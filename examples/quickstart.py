@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: the ADP problem in five minutes.
+
+This example walks through the public API end to end:
+
+1. define a conjunctive query with the datalog-style parser;
+2. build a small in-memory database;
+3. ask the dichotomy whether ADP is poly-time solvable for the query
+   (and why);
+4. solve ADP exactly / heuristically and inspect the solution;
+5. verify the solution against the database.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    ADPSolver,
+    Database,
+    compute_adp,
+    decide,
+    diagnose,
+    evaluate,
+    hardness_certificate,
+    is_poly_time,
+    parse_query,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A query: which students are waitlisted for which class?
+    #    (Example 1 of the paper.)
+    # ------------------------------------------------------------------ #
+    waitlist = parse_query("QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)")
+    print("query:", waitlist)
+
+    # ------------------------------------------------------------------ #
+    # 2. A small registrar database.
+    # ------------------------------------------------------------------ #
+    database = Database.from_dict(
+        {"Major": ["S", "M"], "Req": ["M", "C"], "NoSeat": ["C"]},
+        {
+            "Major": [
+                ("alice", "cs"),
+                ("bob", "cs"),
+                ("carol", "math"),
+                ("dave", "math"),
+                ("erin", "cs"),
+            ],
+            "Req": [
+                ("cs", "databases"),
+                ("cs", "os"),
+                ("math", "algebra"),
+                ("math", "databases"),
+            ],
+            "NoSeat": [("databases",), ("os",)],
+        },
+    )
+    result = evaluate(waitlist, database)
+    print(f"|QWL(D)| = {result.output_count()} waitlist entries:")
+    for row in sorted(result.output_rows):
+        print("   ", row)
+
+    # ------------------------------------------------------------------ #
+    # 3. The dichotomy: is ADP easy or hard for this query?
+    # ------------------------------------------------------------------ #
+    print("\nIsPtime(QWL):", is_poly_time(waitlist))
+    print(decide(waitlist).explain())
+    print("\nstructural diagnosis:", diagnose(waitlist))
+    certificate = hardness_certificate(waitlist)
+    if certificate:
+        print(certificate)
+
+    # ------------------------------------------------------------------ #
+    # 4. Solve: shrink the waitlist by at least 4 entries with the fewest
+    #    interventions (dropping a major declaration, relaxing a
+    #    requirement, or opening seats in a class).
+    # ------------------------------------------------------------------ #
+    solver = ADPSolver()          # greedy at NP-hard leaves (this query is hard)
+    solution = solver.solve(waitlist, database, k=4)
+    print("\nsolution:", solution)
+    for ref in sorted(solution.removed, key=str):
+        print("    remove", ref)
+
+    # ------------------------------------------------------------------ #
+    # 5. Verify against the database.
+    # ------------------------------------------------------------------ #
+    removed = solution.verify(database)
+    print(f"re-evaluated: removing {solution.size} input tuple(s) deletes "
+          f"{removed} waitlist entries (target was 4)")
+
+    # A poly-time example for contrast: with a *universal* output attribute
+    # the query becomes easy and the solver is exact.
+    easy = parse_query("QperMajor(M, C) :- Req(M, C), NoSeat(C)")
+    print("\nIsPtime(QperMajor):", is_poly_time(easy))
+    easy_solution = compute_adp(
+        easy, database.restricted_to(("Req", "NoSeat")), k=2
+    )
+    print("exact solution:", easy_solution)
+
+
+if __name__ == "__main__":
+    main()

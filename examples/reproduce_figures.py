@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation (Figures 7--29) at laptop scale.
+
+Runs every experiment of Section 8 through the harness in
+``repro.experiments.figures`` and prints one tidy table per figure.  The
+sizes default to the "quick" grid (a few minutes of pure Python); pass
+``--full`` for the functions' larger default grids.
+
+The point of the reproduction is the *shape* of each figure (who wins, how
+time and quality scale with N, rho, alpha), not the absolute Java+PostgreSQL
+milliseconds of the paper; see EXPERIMENTS.md for the side-by-side reading.
+
+Run with:  python examples/reproduce_figures.py [--full]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures, render_results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the figure functions' larger default grids (slower)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="FIGURE",
+        help="run a single figure id (e.g. fig07, fig14_15, fig28)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    if args.only:
+        if args.only not in figures.FIGURE_FUNCTIONS:
+            parser.error(
+                f"unknown figure {args.only!r}; choose from "
+                f"{', '.join(figures.FIGURE_FUNCTIONS)}"
+            )
+        results = {args.only: figures.FIGURE_FUNCTIONS[args.only]()}
+    else:
+        results = figures.run_all(quick=not args.full)
+    print(render_results(results))
+    print(f"\ntotal wall-clock time: {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on toolchains without the ``wheel``
+package (``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

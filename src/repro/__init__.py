@@ -1,0 +1,97 @@
+"""repro -- Aggregated Deletion Propagation for counting CQ answers.
+
+A from-scratch Python reproduction of
+
+    Xiao Hu, Shouzhuo Sun, Shweta Patwa, Debmalya Panigrahi, Sudeepa Roy.
+    "Aggregated Deletion Propagation for Counting Conjunctive Query Answers."
+    VLDB 2020 (arXiv:2010.08694).
+
+The ADP problem: given a self-join-free conjunctive query ``Q``, a database
+``D`` and a target ``k``, remove the minimum number of input tuples so that
+at least ``k`` tuples disappear from ``Q(D)``.
+
+Quick start
+-----------
+>>> from repro import parse_query, Database, ADPSolver, is_poly_time
+>>> q = parse_query("Qwl(S, C) :- Major(S, M), Req(M, C), NoSeat(C)")
+>>> is_poly_time(q)
+False
+>>> d = Database.from_dict(
+...     {"Major": ["S", "M"], "Req": ["M", "C"], "NoSeat": ["C"]},
+...     {"Major": [("alice", "cs"), ("bob", "cs")],
+...      "Req": [("cs", "db"), ("cs", "os")],
+...      "NoSeat": [("db",), ("os",)]})
+>>> solution = ADPSolver().solve(q, d, k=2)
+>>> solution.size
+1
+
+Package layout
+--------------
+``repro.query``      conjunctive-query model (atoms, parser, graph, rewrites)
+``repro.data``       in-memory relations / databases / CSV I/O
+``repro.engine``     join evaluation with provenance, semi-joins, max-flow,
+                     partial set cover
+``repro.core``       the paper's contribution: dichotomies, hard structures,
+                     query mappings, ``ComputeADP``, heuristics,
+                     approximations, resilience, selections
+``repro.workloads``  synthetic TPC-H-like / SNAP-like / Zipfian generators and
+                     the query catalog used in the experiments
+``repro.experiments`` the per-figure experiment harness (Figures 7--29)
+"""
+
+from repro.core import (
+    ADPInstance,
+    ADPSolution,
+    ADPSolver,
+    Selection,
+    SolverConfig,
+    compute_adp,
+    decide,
+    diagnose,
+    hardness_certificate,
+    is_np_hard,
+    is_poly_time,
+    is_poly_time_structural,
+    is_poly_time_with_selection,
+    resilience,
+    robustness_profile,
+    solve_with_selection,
+)
+from repro.data import Database, Relation, TupleRef
+from repro.engine import evaluate
+from repro.query import Atom, ConjunctiveQuery, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # query model
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    # data model
+    "Database",
+    "Relation",
+    "TupleRef",
+    # evaluation
+    "evaluate",
+    # dichotomies
+    "is_poly_time",
+    "is_np_hard",
+    "is_poly_time_structural",
+    "decide",
+    "diagnose",
+    "hardness_certificate",
+    # solver
+    "ADPSolver",
+    "SolverConfig",
+    "ADPInstance",
+    "ADPSolution",
+    "compute_adp",
+    # extensions
+    "Selection",
+    "solve_with_selection",
+    "is_poly_time_with_selection",
+    "resilience",
+    "robustness_profile",
+]

@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+``python -m repro <command> ...`` exposes the library's three main workflows
+without writing any Python:
+
+* ``classify`` -- run both dichotomies on a query and print the decision
+  trace plus, for NP-hard queries, a hardness certificate;
+* ``solve`` -- solve ``ADP(Q, D, k)`` on a database stored as a directory of
+  CSV files (one file per relation, written by
+  :func:`repro.data.csvio.save_database_csv` or by hand);
+* ``experiments`` -- regenerate one or all of the paper's figures and print
+  the tidy tables.
+
+Examples
+--------
+::
+
+    python -m repro classify "QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)"
+    python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3
+    python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --ratio 0.5 --method drastic
+    python -m repro experiments --only fig28
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.adp import ADPSolver
+from repro.core.decidability import decide
+from repro.core.mapping import hardness_certificate
+from repro.core.structures import diagnose
+from repro.core.solution import summarize_removed
+from repro.data.csvio import load_database_csv
+from repro.engine.evaluate import evaluate
+from repro.experiments import figures
+from repro.experiments.report import format_table, render_results
+from repro.query.parser import parse_query
+
+
+def _add_classify_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "classify", help="decide whether ADP is poly-time solvable for a query"
+    )
+    parser.add_argument("query", help='datalog-style query, e.g. "Q(A) :- R1(A), R2(A, B)"')
+
+
+def _add_solve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "solve", help="solve ADP(Q, D, k) on a CSV-directory database"
+    )
+    parser.add_argument("query", help="datalog-style query")
+    parser.add_argument("database", help="directory with one <relation>.csv per relation")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--k", type=int, help="number of output tuples to remove")
+    group.add_argument("--ratio", type=float, help="fraction of output tuples to remove")
+    parser.add_argument(
+        "--method",
+        choices=["auto", "greedy", "drastic"],
+        default="auto",
+        help="heuristic used at NP-hard leaves (auto = greedy)",
+    )
+    parser.add_argument(
+        "--counting-only",
+        action="store_true",
+        help="report only the objective value (faster, no tuple list)",
+    )
+
+
+def _add_experiments_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "experiments", help="regenerate the paper's figures (scaled down)"
+    )
+    parser.add_argument(
+        "--only",
+        choices=sorted(figures.FIGURE_FUNCTIONS),
+        help="run a single figure instead of the full sweep",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the figure functions' larger default grids",
+    )
+
+
+def _run_classify(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    trace = decide(query)
+    diagnosis = diagnose(query)
+    print(trace.explain())
+    print()
+    print(f"structural dichotomy: {diagnosis}")
+    certificate = hardness_certificate(query)
+    if certificate:
+        print()
+        print(certificate)
+    return 0
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = load_database_csv(args.database)
+    heuristic = "greedy" if args.method == "auto" else args.method
+    solver = ADPSolver(heuristic=heuristic, counting_only=args.counting_only)
+
+    total = evaluate(query, database).output_count()
+    if total == 0:
+        print("the query result is empty; nothing to remove")
+        return 1
+    if args.k is not None:
+        solution = solver.solve(query, database, args.k)
+    else:
+        solution = solver.solve_ratio(query, database, args.ratio)
+
+    print(f"|Q(D)| = {total}, target k = {solution.k}")
+    print(
+        f"objective = {solution.size} input tuple(s) "
+        f"({'optimal' if solution.optimal else 'heuristic, method=' + solution.method})"
+    )
+    if solution.removed:
+        print(f"per-relation breakdown: {summarize_removed(solution.removed)}")
+        for ref in sorted(solution.removed, key=str):
+            print(f"  remove {ref}")
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    if args.only:
+        results = {args.only: figures.FIGURE_FUNCTIONS[args.only]()}
+    else:
+        results = figures.run_all(quick=not args.full)
+    print(render_results(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aggregated Deletion Propagation for counting CQ answers "
+        "(reproduction of Hu et al., VLDB 2020)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_classify_parser(subparsers)
+    _add_solve_parser(subparsers)
+    _add_experiments_parser(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "classify":
+        return _run_classify(args)
+    if args.command == "solve":
+        return _run_solve(args)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The algorithmic dichotomy: the ``IsPtime`` procedure (Section 4).
+
+``IsPtime(Q)`` decides, in time polynomial in the query size, whether
+``ADP(Q, D, k)`` is poly-time solvable in data complexity for *all* instances
+``D`` and targets ``k`` (Theorem 2).  The procedure (Algorithm 1 / Figure 3):
+
+1. remove all universal attributes (output attributes present in every atom);
+2. if the query became boolean: poly-time iff it has no triad (Theorem 1,
+   from the resilience dichotomy of [11]);
+3. else if some relation is vacuum: poly-time (Lemma 1);
+4. else if the query is disconnected: poly-time iff every connected
+   subquery is poly-time (Lemma 3);
+5. otherwise ("Others" in Figure 3): NP-hard (Lemma 4).
+
+Besides the boolean answer, :func:`decide` returns a :class:`DecisionTrace`
+recording the simplification steps and the base case reached, which the
+documentation examples use to explain *why* a query is easy or hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.structures import find_triad_like
+from repro.query.cq import ConjunctiveQuery
+from repro.query.transforms import connected_components, remove_attributes
+
+
+@dataclass
+class DecisionTrace:
+    """A record of one ``IsPtime`` run.
+
+    Attributes
+    ----------
+    query:
+        The query the trace refers to (possibly an intermediate subquery).
+    poly_time:
+        The verdict for this query.
+    steps:
+        Human-readable simplification / base-case steps, in order.
+    children:
+        Traces of connected subqueries when the decomposition step fired.
+    """
+
+    query: ConjunctiveQuery
+    poly_time: bool
+    steps: List[str] = field(default_factory=list)
+    children: List["DecisionTrace"] = field(default_factory=list)
+
+    def explain(self, indent: int = 0) -> str:
+        """A multi-line, indented explanation of the decision."""
+        pad = "  " * indent
+        verdict = "poly-time" if self.poly_time else "NP-hard"
+        lines = [f"{pad}{self.query}: {verdict}"]
+        for step in self.steps:
+            lines.append(f"{pad}  - {step}")
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+def decide(query: ConjunctiveQuery) -> DecisionTrace:
+    """Run ``IsPtime`` on ``query`` and return the full decision trace."""
+    steps: List[str] = []
+    current = query
+
+    universal = sorted(current.universal_attributes())
+    if universal:
+        steps.append(f"remove universal attributes {universal} (Lemma 2)")
+        current = remove_attributes(current, universal, suffix="~u")
+
+    if current.is_boolean:
+        triad = find_triad_like(current)
+        if triad is None:
+            steps.append("boolean query with no triad: poly-time (Theorem 1)")
+            return DecisionTrace(query, True, steps)
+        steps.append(f"boolean query with triad {triad}: NP-hard (Theorem 4)")
+        return DecisionTrace(query, False, steps)
+
+    if current.has_vacuum_relation:
+        vacuum = [a.name for a in current.vacuum_atoms]
+        steps.append(f"vacuum relation(s) {vacuum}: poly-time (Lemma 1)")
+        return DecisionTrace(query, True, steps)
+
+    components = connected_components(current)
+    if len(components) > 1:
+        steps.append(
+            f"disconnected into {len(components)} connected subqueries (Lemma 3)"
+        )
+        children = [decide(component) for component in components]
+        poly = all(child.poly_time for child in children)
+        return DecisionTrace(query, poly, steps, children)
+
+    steps.append(
+        "connected, non-boolean, no universal attribute, no vacuum relation: "
+        "NP-hard (Lemma 4, 'Others')"
+    )
+    return DecisionTrace(query, False, steps)
+
+
+def is_poly_time(query: ConjunctiveQuery) -> bool:
+    """``IsPtime(Q)``: whether ``ADP(Q, D, k)`` is poly-time solvable.
+
+    Runs in time polynomial in the query size (Theorem 2).
+    """
+    return decide(query).poly_time
+
+
+def is_np_hard(query: ConjunctiveQuery) -> bool:
+    """Whether ``ADP(Q, D, k)`` is NP-hard (the complement of IsPtime)."""
+    return not is_poly_time(query)
+
+
+def hard_leaf_subqueries(query: ConjunctiveQuery) -> List[ConjunctiveQuery]:
+    """The simplified subqueries on which ``IsPtime`` reaches a hard base case.
+
+    The returned queries are the leaves of the ``IsPtime`` recursion that are
+    either a boolean query containing a triad or land in the "Others" bucket
+    of Figure 3.  Every returned leaf admits a hardness witness: a triad for
+    boolean leaves, and a mapping to one of the three core queries for
+    "Others" leaves (Lemma 4 / Section 4.2.3) -- see
+    :func:`repro.core.mapping.find_core_mapping`.
+
+    An empty list means the query is poly-time solvable.
+    """
+
+    def collect(trace: DecisionTrace, acc: List[ConjunctiveQuery]) -> None:
+        if trace.poly_time:
+            return
+        if trace.children:
+            for child in trace.children:
+                collect(child, acc)
+            return
+        # Recompute the simplified query at this leaf.
+        current = trace.query
+        universal = current.universal_attributes()
+        if universal:
+            current = remove_attributes(current, universal, suffix="~u")
+        acc.append(current)
+
+    trace = decide(query)
+    leaves: List[ConjunctiveQuery] = []
+    collect(trace, leaves)
+    return leaves

@@ -1,0 +1,235 @@
+"""The Decompose step of ``ComputeADP`` (Section 7.3, Algorithm 5).
+
+When the query is disconnected, the results of its connected subqueries join
+by cross product; removing ``k_i`` outputs from subquery ``Q_i`` removes
+
+    ``prod_i m_i  -  prod_i (m_i - k_i)``            (``m_i = |Q_i(D)|``)
+
+outputs overall (Lemma 3 / Equation (2)).  ADP therefore reduces to finding
+the cheapest combination ``(k_1, ..., k_s)`` reaching the target, where the
+per-subquery costs come from recursive ``ComputeADP`` calls.
+
+Three combination strategies are provided, matching the ablation of
+Figure 29:
+
+* ``FULL_ENUMERATION`` -- enumerate every combination ``(k_1, ..., k_s)``
+  directly ("decompose into s partitions at once"); exponential in ``s``.
+* ``PAIRWISE`` -- fold the subqueries left to right, combining the prefix
+  with the next subquery by scanning all ``(k_prefix, k_i)`` pairs for every
+  target ``j`` (Algorithm 5 as written, ``O(s * k^3)``).
+* ``IMPROVED_DP`` (default) -- same fold, but for a fixed ``j`` and ``k_i``
+  the smallest feasible ``k_prefix`` is computed in closed form from the
+  cross-product identity, removing the inner loop (``O(s * k^2)``).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from itertools import product as iter_product
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.curves import INFEASIBLE, CostCurve, TableCurve, constant_zero_curve
+from repro.data.database import Database
+from repro.data.relation import TupleRef
+from repro.engine.evaluate import evaluate
+from repro.query.cq import ConjunctiveQuery
+from repro.query.transforms import connected_components
+
+ChildCurveFn = Callable[[ConjunctiveQuery, Database, int], CostCurve]
+
+
+class DecomposeStrategy(Enum):
+    """How the per-subquery solutions are combined (Figure 29 ablation)."""
+
+    IMPROVED_DP = "improved_dp"
+    PAIRWISE = "pairwise"
+    FULL_ENUMERATION = "full_enumeration"
+
+
+def _removed_in_product(prefix_total: int, k1: int, m2: int, k2: int) -> int:
+    """Outputs removed from ``prefix x Q_i`` when removing k1 and k2 outputs.
+
+    ``prefix_total`` is the total number of outputs of the prefix product and
+    ``m2`` the output count of the new component.
+    """
+    return prefix_total * m2 - (prefix_total - k1) * (m2 - k2)
+
+
+def decompose_curve(
+    query: ConjunctiveQuery,
+    database: Database,
+    kmax: int,
+    child_curve: ChildCurveFn,
+    strategy: DecomposeStrategy = DecomposeStrategy.IMPROVED_DP,
+) -> CostCurve:
+    """Build the ADP cost curve of a disconnected query.
+
+    ``child_curve`` is the recursive solver callback (``ComputeADP`` passes
+    itself); see the module docstring for the strategies.
+    """
+    components = connected_components(query)
+    if len(components) < 2:
+        raise ValueError(f"{query.name} is connected; Decompose does not apply")
+
+    sub_databases = [
+        database.restricted_to(component.relation_names) for component in components
+    ]
+    sizes = [
+        evaluate(component, sub_database).output_count()
+        for component, sub_database in zip(components, sub_databases)
+    ]
+    total = math.prod(sizes)
+    if total == 0:
+        return constant_zero_curve()
+    limit = min(kmax, total)
+
+    curves: List[CostCurve] = []
+    optimal = True
+    for component, sub_database, size in zip(components, sub_databases, sizes):
+        curve = child_curve(component, sub_database, min(limit, size))
+        curves.append(curve)
+        optimal = optimal and curve.optimal
+
+    if strategy is DecomposeStrategy.FULL_ENUMERATION:
+        costs, builders = _full_enumeration(curves, sizes, limit)
+    else:
+        improved = strategy is DecomposeStrategy.IMPROVED_DP
+        costs, builders = _fold(curves, sizes, limit, improved=improved)
+
+    def build_solution(k: int) -> FrozenSet[TupleRef]:
+        return builders(k)
+
+    return TableCurve(costs, build_solution, optimal=optimal)
+
+
+# --------------------------------------------------------------------------- #
+# Strategy: full enumeration over (k_1, ..., k_s)
+# --------------------------------------------------------------------------- #
+def _full_enumeration(
+    curves: Sequence[CostCurve], sizes: Sequence[int], limit: int
+) -> Tuple[List[float], Callable[[int], FrozenSet[TupleRef]]]:
+    ranges = [range(0, min(limit, curve.max_gain()) + 1) for curve in curves]
+    total = math.prod(sizes)
+
+    best_cost = [INFEASIBLE] * (limit + 1)
+    best_combo: List[Optional[Tuple[int, ...]]] = [None] * (limit + 1)
+    best_cost[0] = 0.0
+    best_combo[0] = tuple(0 for _ in curves)
+
+    for combo in iter_product(*ranges):
+        cost = 0.0
+        feasible = True
+        for curve, k_i in zip(curves, combo):
+            c = curve.cost(k_i)
+            if c == INFEASIBLE:
+                feasible = False
+                break
+            cost += c
+        if not feasible:
+            continue
+        removed = total - math.prod(m - k for m, k in zip(sizes, combo))
+        removed = min(removed, limit)
+        for j in range(1, removed + 1):
+            if cost < best_cost[j]:
+                best_cost[j] = cost
+                best_combo[j] = combo
+
+    def build(k: int) -> FrozenSet[TupleRef]:
+        combo = best_combo[k]
+        if combo is None:
+            raise ValueError(f"cannot remove {k} outputs")
+        refs: set = set()
+        for curve, k_i in zip(curves, combo):
+            if k_i > 0:
+                refs |= curve.solution(k_i)
+        return frozenset(refs)
+
+    return best_cost, build
+
+
+# --------------------------------------------------------------------------- #
+# Strategy: left fold (PAIRWISE and IMPROVED_DP)
+# --------------------------------------------------------------------------- #
+def _fold(
+    curves: Sequence[CostCurve],
+    sizes: Sequence[int],
+    limit: int,
+    improved: bool,
+) -> Tuple[List[float], Callable[[int], FrozenSet[TupleRef]]]:
+    # prefix_costs[j] = best cost to remove >= j outputs from the prefix
+    # product; prefix_choice[i][j] = (k_prefix, k_i) decision taken when
+    # component i was folded in.
+    first = curves[0]
+    prefix_costs: List[float] = [INFEASIBLE] * (limit + 1)
+    for j in range(0, min(limit, first.max_gain()) + 1):
+        prefix_costs[j] = first.cost(j)
+    prefix_total = sizes[0]
+    choices: List[List[Optional[Tuple[int, int]]]] = []
+
+    for index in range(1, len(curves)):
+        curve = curves[index]
+        m2 = sizes[index]
+        new_costs: List[float] = [INFEASIBLE] * (limit + 1)
+        new_choice: List[Optional[Tuple[int, int]]] = [None] * (limit + 1)
+        new_costs[0] = 0.0
+        new_choice[0] = (0, 0)
+        max_k2 = min(limit, curve.max_gain(), m2)
+        max_k1 = min(limit, prefix_total)
+        for j in range(1, limit + 1):
+            best = INFEASIBLE
+            best_pair: Optional[Tuple[int, int]] = None
+            for k2 in range(0, max_k2 + 1):
+                cost2 = curve.cost(k2)
+                if cost2 == INFEASIBLE:
+                    continue
+                if improved:
+                    # Smallest k1 with prefix_total*m2 - (prefix_total-k1)*(m2-k2) >= j.
+                    if k2 * prefix_total >= j:
+                        k1_candidates = [0]
+                    elif m2 == k2:
+                        continue
+                    else:
+                        needed = j - k2 * prefix_total
+                        k1_min = -(-needed // (m2 - k2))  # ceil division
+                        if k1_min > max_k1:
+                            continue
+                        k1_candidates = [k1_min]
+                else:
+                    k1_candidates = [
+                        k1
+                        for k1 in range(0, min(j, max_k1) + 1)
+                        if _removed_in_product(prefix_total, k1, m2, k2) >= j
+                    ]
+                for k1 in k1_candidates:
+                    cost1 = prefix_costs[k1] if k1 <= limit else INFEASIBLE
+                    if cost1 == INFEASIBLE:
+                        continue
+                    if _removed_in_product(prefix_total, k1, m2, k2) < j:
+                        continue
+                    candidate = cost1 + cost2
+                    if candidate < best:
+                        best = candidate
+                        best_pair = (k1, k2)
+            new_costs[j] = best
+            new_choice[j] = best_pair
+        choices.append(new_choice)
+        prefix_costs = new_costs
+        prefix_total *= m2
+
+    def build(k: int) -> FrozenSet[TupleRef]:
+        refs: set = set()
+        j = k
+        for index in range(len(curves) - 1, 0, -1):
+            pair = choices[index - 1][j] if j <= limit else None
+            if pair is None:
+                raise ValueError(f"cannot remove {k} outputs")
+            k1, k2 = pair
+            if k2 > 0:
+                refs |= curves[index].solution(k2)
+            j = k1
+        if j > 0:
+            refs |= curves[0].solution(j)
+        return frozenset(refs)
+
+    return prefix_costs, build

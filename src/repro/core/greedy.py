@@ -1,0 +1,148 @@
+"""Greedy heuristics for NP-hard queries (Section 7.4).
+
+Two heuristics are implemented:
+
+* :func:`greedy_curve` -- ``GreedyForCQ`` (Algorithm 6): repeatedly delete
+  the input tuple that removes the most still-alive output tuples, restricted
+  (by default) to endogenous relations, which is justified by Lemma 13.  The
+  picks do not depend on the target ``k``, so a single run produces a full
+  :class:`~repro.core.curves.PrefixCurve`.  Compared to the paper's pseudo
+  code, ties on the number of removed outputs are broken by the number of
+  removed *witnesses* (full-join rows); this refinement matters only when all
+  profits are zero (e.g. boolean queries, where several tuples must fall
+  before the single output disappears) and never changes the behaviour on
+  full CQs.
+
+* :func:`drastic_curve` -- ``DrasticGreedyForFullCQ`` (Algorithm 7): for each
+  endogenous relation, compute every tuple's profit once (for a full CQ the
+  witnesses removed by tuples of the same relation are disjoint outputs),
+  sort decreasingly, and take the shortest prefix reaching ``k``; the
+  relation giving the smallest prefix wins.  Only valid for full CQs -- with
+  projections the per-relation profits are no longer additive, which is why
+  the paper (and this library) refuse to apply it there.
+
+``GreedyForCQ`` achieves an ``O(log k)`` approximation on full CQs (it is the
+greedy partial-set-cover algorithm of Theorem 5); neither heuristic has a
+guarantee in the presence of projections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.curves import MinCurve, PrefixCurve
+from repro.core.structures import endogenous_relations
+from repro.data.database import Database
+from repro.data.relation import TupleRef
+from repro.engine.evaluate import evaluate
+from repro.engine.provenance import ProvenanceIndex
+from repro.query.cq import ConjunctiveQuery
+
+
+def greedy_curve(
+    query: ConjunctiveQuery,
+    database: Database,
+    kmax: Optional[int] = None,
+    endogenous_only: bool = True,
+) -> PrefixCurve:
+    """``GreedyForCQ`` as a cost curve (heuristic, ``optimal=False``).
+
+    Parameters
+    ----------
+    query, database:
+        The instance.
+    kmax:
+        Stop once at least ``kmax`` outputs have been removed; defaults to
+        all of ``|Q(D)|``.
+    endogenous_only:
+        Restrict candidate deletions to endogenous relations (Lemma 13).
+        Setting this to ``False`` reproduces the unrestricted variant used in
+        the ablation benchmark.
+    """
+    result = evaluate(query, database)
+    total = result.output_count()
+    if total == 0:
+        return PrefixCurve([], optimal=True)
+    target = total if kmax is None else min(kmax, total)
+
+    index = ProvenanceIndex(result)
+    if endogenous_only:
+        allowed = set(endogenous_relations(query))
+        candidates = [
+            ref for ref in index.participating_refs() if ref.relation in allowed
+        ]
+    else:
+        candidates = list(index.participating_refs())
+    candidates.sort(key=repr)
+
+    picks: List[Tuple[Tuple[TupleRef, ...], int]] = []
+    pending: List[TupleRef] = []
+    removed_refs: set = set()
+    removed_outputs = 0
+    while removed_outputs < target:
+        best_ref = None
+        best_key = (-1, -1)
+        for ref in candidates:
+            if ref in removed_refs:
+                continue
+            witness_gain = index.witness_gain(ref)
+            if witness_gain == 0:
+                continue
+            key = (index.profit(ref), witness_gain)
+            if key > best_key:
+                best_key = key
+                best_ref = ref
+        if best_ref is None:
+            # No candidate can make progress (can only happen when candidates
+            # are restricted and exogenous tuples would be needed, which
+            # Lemma 13 rules out; guarded for safety).
+            break
+        gained = index.remove(best_ref)
+        removed_refs.add(best_ref)
+        removed_outputs += gained
+        if gained > 0:
+            picks.append((tuple(pending) + (best_ref,), gained))
+            pending = []
+        else:
+            pending.append(best_ref)
+    return PrefixCurve(picks, optimal=False)
+
+
+def drastic_curve(
+    query: ConjunctiveQuery,
+    database: Database,
+) -> MinCurve:
+    """``DrasticGreedyForFullCQ`` as a cost curve (heuristic).
+
+    Raises ``ValueError`` when the query has projections (non-output
+    attributes): the per-relation profit bookkeeping is only additive for
+    full CQs.
+    """
+    if not query.is_full:
+        raise ValueError(
+            "DrasticGreedyForFullCQ only applies to full CQs "
+            f"({query.name} has existential attributes "
+            f"{sorted(query.existential_attributes)})"
+        )
+    result = evaluate(query, database)
+    if result.output_count() == 0:
+        return MinCurve([PrefixCurve([], optimal=True)], optimal=True)
+
+    # For a full CQ every witness is a distinct output tuple, so a tuple's
+    # profit is simply the number of witnesses it participates in, and tuples
+    # of the same relation remove disjoint outputs.
+    profits: Dict[str, Dict[TupleRef, int]] = {}
+    for witness in result.witnesses:
+        for ref in witness.refs:
+            profits.setdefault(ref.relation, {})
+            profits[ref.relation][ref] = profits[ref.relation].get(ref, 0) + 1
+
+    curves: List[PrefixCurve] = []
+    for relation_name in endogenous_relations(query):
+        per_tuple = profits.get(relation_name, {})
+        picks = [((ref,), profit) for ref, profit in per_tuple.items()]
+        picks.sort(key=lambda pick: (-pick[1], repr(pick[0])))
+        curves.append(PrefixCurve(picks, optimal=False))
+    if not curves:  # pragma: no cover - every query has an endogenous relation
+        curves.append(PrefixCurve([], optimal=False))
+    return MinCurve(curves, optimal=False)

@@ -1,0 +1,246 @@
+"""Core hard queries and hardness-preserving query mappings (Section 4.2).
+
+The NP-hardness side of the dichotomy is proved by *mapping* an arbitrary
+hard query to one of three core queries whose ADP problem is NP-hard
+(Lemma 5, via partial vertex cover / k-minimum-coverage reductions):
+
+.. code-block:: text
+
+    Qpath(A, B)  :- R1(A), R2(A, B), R3(B)        (called Qcover in the paper)
+    Qswing(A)    :- R2(A, B), R3(B)
+    Qseesaw(A)   :- R1(A), R2(A, B), R3(B)
+
+A *query mapping* (Definition 2) is a function ``f: attr(Q1) -> attr(Q2) ∪
+{*}`` such that every relation of ``Q1`` maps onto the attribute set of some
+relation of ``Q2`` and every relation of ``Q2`` is hit.  Mappings preserve
+NP-hardness (Lemma 6), so exhibiting a mapping from ``Q`` to a core query is
+a hardness certificate for ``Q``.
+
+Because queries have constant size, :func:`find_core_mapping` simply
+enumerates all assignments of attributes to ``{A, B, *}`` and checks the
+mapping conditions -- a robust, directly-testable realisation of the case
+analysis of Section 4.2.3.  The same search is exposed for arbitrary target
+queries through :func:`find_mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+#: Marker for attributes mapped to "anything"/ignored (the ``*`` of Def. 2).
+STAR = "*"
+
+#: Core query ``Qpath`` (written ``Qcover`` in Section 4.2.1): ADP is NP-hard
+#: by reduction from partial vertex cover on bipartite graphs.
+QPATH = parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+
+#: Core query ``Qswing``: ADP is NP-hard (and hard to approximate) by
+#: reduction from k-minimum-coverage.
+QSWING = parse_query("Qswing(A) :- R2(A, B), R3(B)")
+
+#: Core query ``Qseesaw``: ADP is NP-hard by reduction from side-constrained
+#: vertex cover in bipartite graphs.
+QSEESAW = parse_query("Qseesaw(A) :- R1(A), R2(A, B), R3(B)")
+
+#: The three core queries, in the order the paper introduces them.
+CORE_QUERIES: Tuple[ConjunctiveQuery, ...] = (QPATH, QSWING, QSEESAW)
+
+
+@dataclass(frozen=True)
+class QueryMapping:
+    """A mapping ``f`` from the attributes of ``source`` to ``target``.
+
+    ``assignment`` maps every attribute of ``source`` either to an attribute
+    of ``target`` or to :data:`STAR`.
+    """
+
+    source: ConjunctiveQuery
+    target: ConjunctiveQuery
+    assignment: Dict[str, str]
+
+    def image_of_relation(self, relation_name: str) -> frozenset:
+        """``g(Ri)``: the target attributes hit by relation ``relation_name``."""
+        atom = self.source.atom(relation_name)
+        return frozenset(
+            self.assignment[a]
+            for a in atom.attribute_set
+            if self.assignment[a] != STAR
+        )
+
+    def relation_assignment(self) -> Dict[str, Optional[str]]:
+        """Which target relation each source relation is mapped to.
+
+        Only meaningful for valid mappings; relations whose image matches no
+        target relation map to ``None``.
+        """
+        target_by_attrs = {
+            atom.attribute_set: atom.name for atom in self.target.atoms
+        }
+        return {
+            atom.name: target_by_attrs.get(self.image_of_relation(atom.name))
+            for atom in self.source.atoms
+        }
+
+    def is_valid(self) -> bool:
+        """Check the conditions of Definition 2 plus head compatibility.
+
+        Conditions (i) and (ii) are Definition 2 verbatim.  Conditions (iii)
+        and (iv) make explicit the head compatibility that every mapping
+        constructed in the paper's case analysis (Section 4.2.3) satisfies
+        and that the one-to-one output correspondence in the proof of
+        Lemma 6 relies on:
+
+        (iii) output attributes of the source map to output attributes of
+              the target or to ``*``;
+        (iv)  every output attribute of the target is the image of some
+              output attribute of the source.
+
+        Without (iii)/(iv) a poly-time query such as
+        ``Q(A, B) :- R1(A), R2(A, B)`` would admit a "mapping" to the hard
+        core ``Qswing`` that does not preserve the output correspondence.
+        """
+        target_attr_sets = {atom.attribute_set for atom in self.target.atoms}
+        images = {
+            atom.name: self.image_of_relation(atom.name)
+            for atom in self.source.atoms
+        }
+        # (i) every source relation maps onto the attribute set of some
+        #     target relation;
+        if any(image not in target_attr_sets for image in images.values()):
+            return False
+        # (ii) every target relation is the image of at least one source
+        #      relation.
+        covered = set(images.values())
+        if not all(atom.attribute_set in covered for atom in self.target.atoms):
+            return False
+        # (iii) head maps into head ∪ {*}.
+        source_head = self.source.head_attributes
+        target_head = self.target.head_attributes
+        head_image = {
+            self.assignment[a] for a in source_head if self.assignment[a] != STAR
+        }
+        if not head_image <= target_head:
+            return False
+        # (iv) every target output attribute is hit by a source output
+        #      attribute.
+        if not target_head <= head_image:
+            return False
+        # (v) join-structure preservation: for every target attribute Y, the
+        #     source relations whose image contains Y must be linked (pairwise
+        #     or transitively) by shared source attributes mapping to Y.  This
+        #     is what forces every witness of the constructed source instance
+        #     to borrow a *consistent* set of target tuples, giving the
+        #     one-to-one output correspondence that the hardness transfer of
+        #     Lemma 6 relies on; without it, e.g. the poly-time query
+        #     Q(D) :- R1(A), R2(B, C, D) would spuriously "map" to Qswing.
+        for target_attribute in self.target.attributes:
+            carriers = [
+                atom.name
+                for atom in self.source.atoms
+                if target_attribute in self.image_of_relation(atom.name)
+            ]
+            if len(carriers) <= 1:
+                continue
+            if not self._agreement_connected(carriers, target_attribute):
+                return False
+        return True
+
+    def _agreement_connected(self, carriers, target_attribute) -> bool:
+        """Whether the carrier relations are linked by attributes mapping to
+        ``target_attribute`` (condition (v) of :meth:`is_valid`)."""
+        atoms = self.source.atoms_by_name()
+
+        def slot_attributes(name):
+            return {
+                attribute
+                for attribute in atoms[name].attribute_set
+                if self.assignment[attribute] == target_attribute
+            }
+
+        remaining = set(carriers)
+        component = {remaining.pop()}
+        changed = True
+        while changed and remaining:
+            changed = False
+            linked_attributes = set().union(*(slot_attributes(name) for name in component))
+            for name in list(remaining):
+                if slot_attributes(name) & linked_attributes:
+                    component.add(name)
+                    remaining.remove(name)
+                    changed = True
+        return not remaining
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{a}->{b}" for a, b in sorted(self.assignment.items()))
+        return f"{self.source.name} => {self.target.name} [{pairs}]"
+
+
+def find_mapping(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[QueryMapping]:
+    """Search for a valid query mapping from ``source`` to ``target``.
+
+    Enumerates every assignment of source attributes to target attributes or
+    ``*`` (there are ``(|attr(Q2)| + 1) ** |attr(Q1)|`` of them -- query
+    complexity, hence constant for fixed queries) and returns the first valid
+    mapping, or ``None``.
+    """
+    source_attrs = sorted(source.attributes)
+    target_attrs = sorted(target.attributes) + [STAR]
+    for choice in product(target_attrs, repeat=len(source_attrs)):
+        assignment = dict(zip(source_attrs, choice))
+        mapping = QueryMapping(source, target, assignment)
+        if mapping.is_valid():
+            return mapping
+    return None
+
+
+def find_core_mapping(query: ConjunctiveQuery) -> Optional[QueryMapping]:
+    """Find a mapping from ``query`` to one of the three core queries.
+
+    Lemma 4 guarantees that such a mapping exists for every query on which
+    ``IsPtime`` lands in the "Others" bucket (connected, non-boolean, no
+    universal attribute, no vacuum relation); together with Lemma 6 the
+    returned mapping is a certificate of NP-hardness.  Returns ``None`` when
+    no core mapping exists (in particular for poly-time queries).
+    """
+    for core in CORE_QUERIES:
+        mapping = find_mapping(query, core)
+        if mapping is not None:
+            return mapping
+    return None
+
+
+def hardness_certificate(query: ConjunctiveQuery) -> Optional[str]:
+    """A human-readable hardness certificate for ``query``, or ``None``.
+
+    The certificate combines the ``IsPtime`` trace with either a triad (for
+    boolean hard leaves) or a core-query mapping (for "Others" leaves); it is
+    ``None`` exactly when the query is poly-time solvable.
+    """
+    from repro.core.decidability import decide, hard_leaf_subqueries
+    from repro.core.structures import find_triad_like
+
+    trace = decide(query)
+    if trace.poly_time:
+        return None
+    lines: List[str] = [f"{query.name} is NP-hard for ADP:"]
+    for leaf in hard_leaf_subqueries(query):
+        triad = find_triad_like(leaf)
+        if leaf.is_boolean and triad is not None:
+            lines.append(f"  subquery {leaf} contains the triad {triad}")
+            continue
+        mapping = find_core_mapping(leaf)
+        if mapping is not None:
+            lines.append(
+                f"  subquery {leaf} maps to core query {mapping.target.name} "
+                f"via {mapping}"
+            )
+        else:  # pragma: no cover - should not happen if Lemma 4 holds
+            lines.append(f"  subquery {leaf} is hard (no explicit witness found)")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Resilience as a special case of ADP (Section 3.3).
+
+The *resilience* of a boolean query that is true on ``D`` is the minimum
+number of input tuples whose removal makes it false [Freire et al., 2015].
+It coincides with ``ADP(Q, D, 1)`` for the boolean version of ``Q`` and with
+``ADP(Q, D, |Q(D)|)`` for the original query, and its dichotomy (poly-time
+iff triad-free, Theorem 4) is the boolean base case of the ADP dichotomy.
+
+These wrappers expose resilience directly so downstream users (and the
+robustness examples) do not have to phrase it through ADP themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adp import ADPSolver
+from repro.core.solution import ADPSolution
+from repro.core.structures import find_triad_like
+from repro.data.database import Database
+from repro.engine.evaluate import evaluate
+from repro.query.cq import ConjunctiveQuery
+
+
+def is_resilience_poly_time(query: ConjunctiveQuery) -> bool:
+    """Whether resilience of (the boolean version of) ``query`` is poly-time.
+
+    Theorem 4 [11]: poly-time iff the boolean query contains no triad.
+    """
+    return find_triad_like(query.as_boolean()) is None
+
+
+def resilience(
+    query: ConjunctiveQuery,
+    database: Database,
+    solver: Optional[ADPSolver] = None,
+) -> ADPSolution:
+    """Compute the resilience of ``query`` on ``database``.
+
+    The query is turned into its boolean version and solved with ``k = 1``.
+    If the boolean query is already false on ``database`` the returned
+    solution is empty (nothing needs to be removed), with ``k = 0``.
+    """
+    boolean = query.as_boolean()
+    solver = solver or ADPSolver()
+    if evaluate(boolean, database).output_count() == 0:
+        return ADPSolution(
+            query=boolean,
+            k=0,
+            removed=frozenset(),
+            removed_outputs=0,
+            optimal=True,
+            method="already-false",
+            stats={"output_size": 0},
+            objective=0,
+        )
+    return solver.solve(boolean, database, k=1)
+
+
+def robustness_profile(
+    query: ConjunctiveQuery,
+    database: Database,
+    ratios=(0.1, 0.25, 0.5, 0.75, 1.0),
+    solver: Optional[ADPSolver] = None,
+):
+    """How hard it is to destroy various fractions of the query output.
+
+    For each ratio ρ the profile reports the (possibly heuristic) number of
+    input tuples needed to remove at least ρ·|Q(D)| output tuples -- exactly
+    the robustness analysis motivating Examples 2 and 3 of the paper.
+
+    Returns a list of ``(ratio, k, solution)`` triples.
+    """
+    solver = solver or ADPSolver()
+    profile = []
+    for ratio in ratios:
+        solution = solver.solve_ratio(query, database, ratio)
+        profile.append((ratio, solution.k, solution))
+    return profile

@@ -1,0 +1,151 @@
+"""Selection support for ADP (Section 7.5).
+
+The paper extends ADP to conjunctive queries with equality selections
+``σ_{A = a}``.  Lemma 12 shows that the complexity (and the algorithm) only
+depends on the *residual* query obtained by removing the selected attributes:
+
+1. apply the predicates, discarding tuples that violate them (they never need
+   to be removed -- they cannot contribute to the output);
+2. drop the selected attributes from the query and from the surviving tuples
+   (all survivors agree on them, so the projection is one-to-one);
+3. solve ADP on the residual instance and translate the deletion set back to
+   original tuples.
+
+:class:`Selection` represents a conjunction of equality predicates at the
+query level: a predicate on attribute ``A`` is applied to *every* relation
+containing ``A`` (this is what makes step 2 one-to-one; a per-relation
+predicate on a shared attribute is equivalent after the join anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.adp import ADPSolver
+from repro.core.decidability import is_poly_time
+from repro.core.solution import ADPSolution
+from repro.data.database import Database
+from repro.data.relation import Relation, TupleRef
+from repro.query.cq import ConjunctiveQuery
+from repro.query.transforms import remove_attributes
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A conjunction of equality predicates ``attribute = value``."""
+
+    predicates: Tuple[Tuple[str, object], ...]
+
+    @classmethod
+    def equals(cls, assignments: Mapping[str, object]) -> "Selection":
+        """Build a selection from ``{attribute: value}``."""
+        return cls(tuple(sorted(assignments.items(), key=lambda item: item[0])))
+
+    @property
+    def selected_attributes(self) -> FrozenSet[str]:
+        """``A_θ``: the attributes constrained by the selection."""
+        return frozenset(attribute for attribute, _value in self.predicates)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The predicates as a plain dictionary."""
+        return dict(self.predicates)
+
+    def residual_query(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        """``Q^{-A_θ}``: the query with the selected attributes removed."""
+        relevant = self.selected_attributes & query.attributes
+        return remove_attributes(query, relevant, suffix="~sel")
+
+    def apply(self, query: ConjunctiveQuery, database: Database) -> Database:
+        """Filter every relation of ``query`` by the applicable predicates.
+
+        Relations not mentioned by the query are copied unchanged.
+        """
+        assignments = self.as_dict()
+        used = query.atoms_by_name()
+        relations = []
+        for relation in database:
+            atom = used.get(relation.name)
+            if atom is None:
+                relations.append(relation.copy())
+                continue
+            applicable = {
+                attribute: value
+                for attribute, value in assignments.items()
+                if attribute in atom.attribute_set
+            }
+            if applicable:
+                relations.append(relation.select_equals(applicable))
+            else:
+                relations.append(relation.copy())
+        return Database(relations)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{a}={v!r}" for a, v in self.predicates)
+        return f"σ[{rendered}]"
+
+
+def is_poly_time_with_selection(query: ConjunctiveQuery, selection: Selection) -> bool:
+    """Lemma 12: ADP with selections is poly-time iff the residual query is."""
+    return is_poly_time(selection.residual_query(query))
+
+
+def solve_with_selection(
+    query: ConjunctiveQuery,
+    selection: Selection,
+    database: Database,
+    k: int,
+    solver: Optional[ADPSolver] = None,
+) -> ADPSolution:
+    """Solve ``ADP(σ_θ Q, D, k)`` via the residual-query reduction (Lemma 12).
+
+    The returned solution refers to *original* input tuples of ``database``
+    (with the selected attributes still present).
+    """
+    solver = solver or ADPSolver()
+    selected = selection.selected_attributes & query.attributes
+
+    filtered = selection.apply(query, database)
+    residual_query = selection.residual_query(query)
+
+    # Project the selected attributes out of the filtered relations, keeping
+    # a map back to the original rows (one-to-one because all surviving rows
+    # agree on the selected attributes).
+    back_map: Dict[Tuple[str, Tuple], TupleRef] = {}
+    relations = []
+    for atom in query.atoms:
+        relation = filtered.relation(atom.name)
+        kept_attrs = tuple(a for a in relation.attributes if a not in selected)
+        kept_positions = [relation.attribute_index(a) for a in kept_attrs]
+        rows = []
+        for row in relation:
+            projected = tuple(row[i] for i in kept_positions)
+            rows.append(projected)
+            back_map[(atom.name, projected)] = TupleRef(atom.name, row)
+        relations.append(Relation(atom.name, kept_attrs, rows))
+    residual_database = Database(relations)
+
+    residual_solution = solver.solve(residual_query, residual_database, k)
+    removed = frozenset(
+        back_map[(ref.relation, ref.values)] for ref in residual_solution.removed
+    )
+    return ADPSolution(
+        query=query,
+        k=k,
+        removed=removed,
+        removed_outputs=residual_solution.removed_outputs,
+        optimal=residual_solution.optimal,
+        method=residual_solution.method,
+        stats={**residual_solution.stats, "selection": str(selection)},
+        objective=residual_solution.objective,
+    )
+
+
+def selected_output_size(
+    query: ConjunctiveQuery, selection: Selection, database: Database
+) -> int:
+    """``|σ_θ Q(D)|``: output size after applying the selection."""
+    from repro.engine.evaluate import evaluate
+
+    filtered = selection.apply(query, database)
+    return evaluate(query, filtered).output_count()

@@ -1,0 +1,137 @@
+"""ADP problem instances and solutions.
+
+:class:`ADPInstance` bundles a query, a database and a target ``k``;
+:class:`ADPSolution` is what every solver returns: the set of removed input
+tuples, how many output tuples that removal deletes, whether the solution is
+known to be optimal, and bookkeeping about which algorithm produced it.
+
+Solutions can re-verify themselves against the database
+(:meth:`ADPSolution.verify`), which the test-suite uses to check feasibility
+of every algorithm on every instance it generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.data.database import Database
+from repro.data.relation import TupleRef
+from repro.engine.evaluate import evaluate
+from repro.query.cq import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class ADPInstance:
+    """One ADP problem instance ``ADP(Q, D, k)``.
+
+    ``k`` must satisfy ``1 <= k <= |Q(D)|`` (the paper's implicit
+    constraint); :meth:`validate` checks it against the database.
+    """
+
+    query: ConjunctiveQuery
+    database: Database
+    k: int
+
+    def output_size(self) -> int:
+        """``|Q(D)|`` for this instance."""
+        return evaluate(self.query, self.database).output_count()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when ``k`` is out of range."""
+        if self.k < 1:
+            raise ValueError(f"k must be at least 1, got {self.k}")
+        total = self.output_size()
+        if self.k > total:
+            raise ValueError(
+                f"k={self.k} exceeds the number of output tuples |Q(D)|={total}"
+            )
+
+
+@dataclass(frozen=True)
+class ADPSolution:
+    """A (candidate) solution to ``ADP(Q, D, k)``.
+
+    Attributes
+    ----------
+    query, k:
+        The instance solved.
+    removed:
+        Input tuples to delete.
+    removed_outputs:
+        Number of output tuples whose deletion is achieved (as computed by
+        the solver; :meth:`verify` recomputes it from scratch).
+    optimal:
+        ``True`` when the producing algorithm guarantees optimality for this
+        query (exact base cases and dynamic programs on poly-time queries),
+        ``False`` for heuristic/approximate solutions.
+    method:
+        Name of the producing algorithm (``"exact"``, ``"greedy"``,
+        ``"drastic"``, ``"bruteforce"``, ...).
+    stats:
+        Free-form solver statistics (e.g. recursion depth, number of
+        sub-problems, greedy iterations) used by the experiment harness.
+    """
+
+    query: ConjunctiveQuery
+    k: int
+    removed: FrozenSet[TupleRef]
+    removed_outputs: int
+    optimal: bool
+    method: str
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: Objective value.  Normally ``len(removed)``; in counting-only mode the
+    #: solver reports the cost here and leaves ``removed`` empty.
+    objective: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        """The objective value: how many input tuples are removed."""
+        if self.objective is not None:
+            return self.objective
+        return len(self.removed)
+
+    def is_feasible(self) -> bool:
+        """Whether the solver-reported deletion count reaches ``k``."""
+        return self.removed_outputs >= self.k
+
+    def verify(self, database: Database) -> int:
+        """Recompute, from scratch, how many outputs the removal deletes.
+
+        Returns the recomputed count (callers typically assert it is at
+        least ``k``).  This evaluates the query twice and is intended for
+        tests and examples, not for inner loops.
+        """
+        before = evaluate(self.query, database).output_count()
+        after = evaluate(self.query, database.without(self.removed)).output_count()
+        return before - after
+
+    def with_stats(self, **extra: object) -> "ADPSolution":
+        """A copy of the solution with additional statistics merged in."""
+        stats = dict(self.stats)
+        stats.update(extra)
+        return ADPSolution(
+            query=self.query,
+            k=self.k,
+            removed=self.removed,
+            removed_outputs=self.removed_outputs,
+            optimal=self.optimal,
+            method=self.method,
+            stats=stats,
+            objective=self.objective,
+        )
+
+    def __str__(self) -> str:
+        flag = "optimal" if self.optimal else "heuristic"
+        return (
+            f"ADPSolution({self.query.name}, k={self.k}, size={self.size}, "
+            f"removed_outputs={self.removed_outputs}, {flag}, method={self.method})"
+        )
+
+
+def summarize_removed(removed: Iterable[TupleRef]) -> Dict[str, int]:
+    """Per-relation breakdown of a deletion set (handy for reports)."""
+    breakdown: Dict[str, int] = {}
+    for ref in removed:
+        breakdown[ref.relation] = breakdown.get(ref.relation, 0) + 1
+    return breakdown

@@ -1,0 +1,338 @@
+"""Structural analysis of conjunctive queries for the ADP dichotomy.
+
+This module implements every structural notion used by the paper:
+
+* **endogenous / exogenous** relations (Appendix A, originally from the
+  resilience paper [11]);
+* **dominated** relations, both the full-CQ version (Definition 6) and the
+  general version (Definition 7);
+* **hierarchical** joins (Definition 5);
+* the **head join** restricted to non-dominated relations;
+* the three *hard structures* of Theorem 3:
+
+  - **triad** (Definition 3, boolean CQs) / **triad-like** (Definition 4),
+  - **non-hierarchical head join of non-dominated relations**,
+  - **strand** (Definition 8);
+
+* :func:`diagnose` / :func:`is_poly_time_structural`, the structural side of
+  the dichotomy (Theorem 3): ``ADP(Q, D, k)`` is NP-hard iff one of the three
+  hard structures is present.
+
+Everything here is query complexity (sizes of a handful of atoms), so the
+implementations favour direct transliteration of the definitions over
+asymptotic cleverness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.graph import relations_connected_avoiding
+from repro.query.transforms import head_join, restrict_to_relations
+
+
+# ---------------------------------------------------------------------- #
+# Endogenous / exogenous relations
+# ---------------------------------------------------------------------- #
+def endogenous_relations(query: ConjunctiveQuery) -> Tuple[str, ...]:
+    """The endogenous relations of ``query`` (Appendix A).
+
+    ``Rj`` is *exogenous* when some other relation ``Ri`` satisfies
+    ``attr(Ri) ⊊ attr(Rj)`` and *endogenous* otherwise.  When several
+    relations share exactly the same attribute set, only one of them (the
+    first in body order) is considered endogenous, matching the paper's
+    tie-breaking convention.
+    """
+    atoms = list(query.atoms)
+    result: List[str] = []
+    for index, atom in enumerate(atoms):
+        exogenous = False
+        for other_index, other in enumerate(atoms):
+            if other.name == atom.name:
+                continue
+            if other.attribute_set < atom.attribute_set:
+                exogenous = True
+                break
+            if other.attribute_set == atom.attribute_set and other_index < index:
+                exogenous = True
+                break
+        if not exogenous:
+            result.append(atom.name)
+    return tuple(result)
+
+
+def exogenous_relations(query: ConjunctiveQuery) -> Tuple[str, ...]:
+    """The complement of :func:`endogenous_relations` (in body order)."""
+    endogenous = set(endogenous_relations(query))
+    return tuple(name for name in query.relation_names if name not in endogenous)
+
+
+# ---------------------------------------------------------------------- #
+# Dominated relations (Definitions 6 and 7)
+# ---------------------------------------------------------------------- #
+def is_dominated_by(
+    query: ConjunctiveQuery, dominated: str, dominating: str
+) -> bool:
+    """Whether relation ``dominated`` is dominated by ``dominating`` (Def. 7).
+
+    For a full CQ the head contains every attribute and the definition
+    degenerates to Definition 6.  Relations with *equal* attribute sets are
+    handled by the caller's tie-breaking rule, not here: this predicate
+    requires a strict containment ``attr(Ri) ⊊ attr(Rj)``.
+    """
+    if dominated == dominating:
+        return False
+    atoms = query.atoms_by_name()
+    attr_j = atoms[dominated].attribute_set
+    attr_i = atoms[dominating].attribute_set
+    head = query.head_attributes
+
+    # (1) attr(Ri) ⊆ attr(Rj); equal sets are resolved by the duplicate rule.
+    if not attr_i < attr_j:
+        return False
+    # (3) attr(Ri) ⊆ head(Q) or head(Q) ⊆ attr(Ri).
+    if not (attr_i <= head or head <= attr_i):
+        return False
+    # (2) for any Rk with attr(Ri) - attr(Rk) != ∅:
+    #     attr(Rj) ∩ attr(Rk) ⊆ attr(Ri) ∩ head(Q).
+    for other_name, other in atoms.items():
+        if other_name in (dominated,):
+            continue
+        if attr_i - other.attribute_set:
+            if not (attr_j & other.attribute_set) <= (attr_i & head):
+                return False
+    return True
+
+
+def non_dominated_relations(query: ConjunctiveQuery) -> Tuple[str, ...]:
+    """The non-dominated relations of ``query`` (Definition 7 + tie-break).
+
+    A relation is *dominated* when it is dominated by some other relation;
+    relations with identical attribute sets count one (the first in body
+    order) as non-dominated and the rest as dominated.
+    """
+    atoms = list(query.atoms)
+    result: List[str] = []
+    for index, atom in enumerate(atoms):
+        dominated = False
+        for other_index, other in enumerate(atoms):
+            if other.name == atom.name:
+                continue
+            if other.attribute_set == atom.attribute_set and other_index < index:
+                dominated = True
+                break
+            if is_dominated_by(query, atom.name, other.name):
+                dominated = True
+                break
+        if not dominated:
+            result.append(atom.name)
+    return tuple(result)
+
+
+def dominated_relations(query: ConjunctiveQuery) -> Tuple[str, ...]:
+    """The complement of :func:`non_dominated_relations` (in body order)."""
+    non_dominated = set(non_dominated_relations(query))
+    return tuple(name for name in query.relation_names if name not in non_dominated)
+
+
+# ---------------------------------------------------------------------- #
+# Hierarchical joins (Definition 5)
+# ---------------------------------------------------------------------- #
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Whether a (full) CQ is hierarchical (Definition 5).
+
+    For every pair of attributes ``A, B``: ``rels(A) ⊆ rels(B)``,
+    ``rels(B) ⊆ rels(A)`` or ``rels(A) ∩ rels(B) = ∅``.  The check only looks
+    at the body, so it can be applied to any CQ (the paper applies it to head
+    joins, which are full by construction).
+    """
+    attributes = sorted(query.attributes)
+    rels: Dict[str, FrozenSet[str]] = {
+        attribute: frozenset(a.name for a in query.relations_with(attribute))
+        for attribute in attributes
+    }
+    for left, right in combinations(attributes, 2):
+        left_rels, right_rels = rels[left], rels[right]
+        if left_rels <= right_rels or right_rels <= left_rels:
+            continue
+        if not (left_rels & right_rels):
+            continue
+        return False
+    return True
+
+
+def non_hierarchical_witness(
+    query: ConjunctiveQuery,
+) -> Optional[Tuple[str, str]]:
+    """A pair of attributes violating the hierarchical property, if any."""
+    attributes = sorted(query.attributes)
+    rels: Dict[str, FrozenSet[str]] = {
+        attribute: frozenset(a.name for a in query.relations_with(attribute))
+        for attribute in attributes
+    }
+    for left, right in combinations(attributes, 2):
+        left_rels, right_rels = rels[left], rels[right]
+        if left_rels <= right_rels or right_rels <= left_rels:
+            continue
+        if not (left_rels & right_rels):
+            continue
+        return (left, right)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Triad and triad-like structures (Definitions 3 and 4)
+# ---------------------------------------------------------------------- #
+def find_triad_like(query: ConjunctiveQuery) -> Optional[Tuple[str, str, str]]:
+    """Find a triad-like structure (Definition 4), or ``None``.
+
+    A triad-like structure is a triple of *endogenous* relations
+    ``R1, R2, R3`` such that for each pair, say ``R1, R2``, there is a path
+    from ``R1`` to ``R2`` using only attributes in
+    ``attr(Q) - (head(Q) ∪ attr(R3))``.
+
+    On a boolean query the head is empty and this is exactly the *triad* of
+    Definition 3 (the resilience dichotomy of [11]).
+    """
+    endogenous = endogenous_relations(query)
+    if len(endogenous) < 3:
+        return None
+    atoms = query.atoms_by_name()
+    head = query.head_attributes
+    for triple in combinations(endogenous, 3):
+        ok = True
+        for third_index in range(3):
+            third = triple[third_index]
+            first, second = (triple[i] for i in range(3) if i != third_index)
+            forbidden = head | atoms[third].attribute_set
+            if not relations_connected_avoiding(query, first, second, forbidden):
+                ok = False
+                break
+        if ok:
+            return triple
+    return None
+
+
+def find_triad(query: ConjunctiveQuery) -> Optional[Tuple[str, str, str]]:
+    """Find a triad (Definition 3) in a *boolean* CQ, or ``None``.
+
+    Raises ``ValueError`` when called on a non-boolean query -- the triad
+    notion of [11] is only defined for boolean queries; use
+    :func:`find_triad_like` for general CQs.
+    """
+    if not query.is_boolean:
+        raise ValueError("find_triad is only defined for boolean queries")
+    return find_triad_like(query)
+
+
+def has_triad(query: ConjunctiveQuery) -> bool:
+    """Whether a boolean CQ contains a triad."""
+    return find_triad(query) is not None
+
+
+# ---------------------------------------------------------------------- #
+# Strand (Definition 8)
+# ---------------------------------------------------------------------- #
+def find_strand(query: ConjunctiveQuery) -> Optional[Tuple[str, str]]:
+    """Find a strand (Definition 8), or ``None``.
+
+    A strand is a pair of *non-dominated* relations ``Ri, Rj`` such that
+
+    1. ``head(Q) ∩ attr(Ri) != head(Q) ∩ attr(Rj)``, and
+    2. ``(attr(Ri) ∩ attr(Rj)) - head(Q) != ∅``.
+    """
+    atoms = query.atoms_by_name()
+    head = query.head_attributes
+    candidates = non_dominated_relations(query)
+    for left, right in combinations(candidates, 2):
+        attr_left = atoms[left].attribute_set
+        attr_right = atoms[right].attribute_set
+        if (head & attr_left) == (head & attr_right):
+            continue
+        if (attr_left & attr_right) - head:
+            return (left, right)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Head join of non-dominated relations
+# ---------------------------------------------------------------------- #
+def head_join_of_non_dominated(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The head join (Section 5.2.2) restricted to non-dominated relations."""
+    non_dominated = non_dominated_relations(query)
+    restricted = restrict_to_relations(query, non_dominated, name=f"{query.name}_nd")
+    return head_join(restricted)
+
+
+# ---------------------------------------------------------------------- #
+# The structural dichotomy (Theorem 3)
+# ---------------------------------------------------------------------- #
+@dataclass
+class StructuralDiagnosis:
+    """The outcome of the structural classification of a query.
+
+    ``np_hard`` is ``True`` iff at least one hard structure was found; the
+    witnesses (when present) name the relations/attributes realising each
+    structure, which makes NP-hardness results explainable to users.
+    """
+
+    query: ConjunctiveQuery
+    triad_like: Optional[Tuple[str, str, str]] = None
+    strand: Optional[Tuple[str, str]] = None
+    non_hierarchical_attributes: Optional[Tuple[str, str]] = None
+    endogenous: Tuple[str, ...] = field(default_factory=tuple)
+    non_dominated: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def np_hard(self) -> bool:
+        """Whether any hard structure is present (Theorem 3)."""
+        return (
+            self.triad_like is not None
+            or self.strand is not None
+            or self.non_hierarchical_attributes is not None
+        )
+
+    @property
+    def poly_time(self) -> bool:
+        """Whether the query is poly-time solvable according to Theorem 3."""
+        return not self.np_hard
+
+    def hard_structures(self) -> List[str]:
+        """Human-readable names of the hard structures that were found."""
+        found = []
+        if self.triad_like is not None:
+            found.append(f"triad-like{self.triad_like}")
+        if self.strand is not None:
+            found.append(f"strand{self.strand}")
+        if self.non_hierarchical_attributes is not None:
+            found.append(
+                "non-hierarchical head join of non-dominated relations "
+                f"(witness attributes {self.non_hierarchical_attributes})"
+            )
+        return found
+
+    def __str__(self) -> str:
+        verdict = "NP-hard" if self.np_hard else "poly-time"
+        details = "; ".join(self.hard_structures()) or "no hard structure"
+        return f"{self.query.name}: {verdict} ({details})"
+
+
+def diagnose(query: ConjunctiveQuery) -> StructuralDiagnosis:
+    """Classify ``query`` according to the structural dichotomy (Theorem 3)."""
+    head_join_nd = head_join_of_non_dominated(query)
+    return StructuralDiagnosis(
+        query=query,
+        triad_like=find_triad_like(query),
+        strand=find_strand(query),
+        non_hierarchical_attributes=non_hierarchical_witness(head_join_nd),
+        endogenous=endogenous_relations(query),
+        non_dominated=non_dominated_relations(query),
+    )
+
+
+def is_poly_time_structural(query: ConjunctiveQuery) -> bool:
+    """The structural dichotomy: poly-time iff no hard structure (Theorem 3)."""
+    return diagnose(query).poly_time

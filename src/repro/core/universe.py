@@ -1,0 +1,184 @@
+"""The Universe step of ``ComputeADP`` (Section 7.3, Algorithm 4).
+
+When the query has *universal attributes* (output attributes appearing in
+every atom), the instance partitions by the value combination over those
+attributes: the query result is the disjoint union of the results over the
+sub-instances, and deleting a tuple only affects the sub-instance sharing its
+universal values.  ADP therefore reduces to choosing, per sub-instance, how
+many outputs to remove there -- a knapsack-style dynamic program over the
+groups (Lemma 2 / Equation (1)) whose sub-problems are ADP instances of the
+residual query ``Q^{-A}``.
+
+Two strategies are provided, matching the ablation of Figure 28:
+
+* ``COMBINED`` (default): all universal attributes are removed *as one
+  combined attribute*; there is a single level of grouping.
+* ``ONE_BY_ONE``: only the first universal attribute is removed here; the
+  residual query still has universal attributes, so the solver recurses into
+  another Universe level per attribute.  Correct but slower (Section 7.3's
+  "removing them one by one" comparison).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.curves import INFEASIBLE, CostCurve, TableCurve, constant_zero_curve
+from repro.data.database import Database
+from repro.data.relation import Relation, TupleRef
+from repro.query.cq import ConjunctiveQuery
+from repro.query.transforms import remove_attributes
+
+#: Signature of the recursive solver callback: (query, database, kmax) -> curve.
+ChildCurveFn = Callable[[ConjunctiveQuery, Database, int], CostCurve]
+
+
+class UniverseStrategy(Enum):
+    """How universal attributes are eliminated (Figure 28 ablation)."""
+
+    COMBINED = "combined"
+    ONE_BY_ONE = "one_by_one"
+
+
+class _Group:
+    """One sub-instance: a value combination over the universal attributes."""
+
+    def __init__(self, combo: Tuple, database: Database, back_map: Dict[Tuple[str, Tuple], TupleRef]):
+        self.combo = combo
+        self.database = database
+        #: maps (relation, projected row) -> original TupleRef
+        self.back_map = back_map
+        self.curve: Optional[CostCurve] = None
+
+    def map_back(self, refs: FrozenSet[TupleRef]) -> FrozenSet[TupleRef]:
+        """Translate residual-query tuple references to original tuples."""
+        return frozenset(self.back_map[(ref.relation, ref.values)] for ref in refs)
+
+
+def _build_groups(
+    query: ConjunctiveQuery,
+    database: Database,
+    universal: Sequence[str],
+) -> List[_Group]:
+    """Partition the instance by value combination over ``universal``.
+
+    Only combinations present in *every* relation are kept: a combination
+    missing from some relation cannot produce output tuples, so its tuples
+    are dangling and never worth removing.
+    """
+    combos_per_relation: List[set] = []
+    for atom in query.atoms:
+        relation = database.relation(atom.name)
+        positions = [relation.attribute_index(a) for a in universal]
+        combos_per_relation.append({tuple(row[i] for i in positions) for row in relation})
+    shared = set.intersection(*combos_per_relation) if combos_per_relation else set()
+
+    groups: List[_Group] = []
+    for combo in sorted(shared, key=repr):
+        relations: List[Relation] = []
+        back_map: Dict[Tuple[str, Tuple], TupleRef] = {}
+        for atom in query.atoms:
+            relation = database.relation(atom.name)
+            positions = [relation.attribute_index(a) for a in universal]
+            kept_attrs = tuple(a for a in relation.attributes if a not in set(universal))
+            kept_positions = [relation.attribute_index(a) for a in kept_attrs]
+            rows = []
+            for row in relation:
+                if tuple(row[i] for i in positions) != combo:
+                    continue
+                projected = tuple(row[i] for i in kept_positions)
+                rows.append(projected)
+                back_map[(atom.name, projected)] = TupleRef(atom.name, row)
+            relations.append(Relation(atom.name, kept_attrs, rows))
+        groups.append(_Group(combo, Database(relations), back_map))
+    return groups
+
+
+def universe_curve(
+    query: ConjunctiveQuery,
+    database: Database,
+    kmax: int,
+    child_curve: ChildCurveFn,
+    strategy: UniverseStrategy = UniverseStrategy.COMBINED,
+) -> CostCurve:
+    """Build the ADP cost curve of a query with universal attributes.
+
+    Parameters
+    ----------
+    query, database:
+        The instance; ``query`` must have at least one universal attribute.
+    kmax:
+        Largest target the curve must support.
+    child_curve:
+        Recursive solver callback used for the residual query on each
+        sub-instance (``ComputeADP`` passes itself).
+    strategy:
+        ``COMBINED`` removes all universal attributes at once, ``ONE_BY_ONE``
+        removes a single attribute per level (Figure 28 ablation).
+    """
+    universal = sorted(query.universal_attributes())
+    if not universal:
+        raise ValueError(f"{query.name} has no universal attribute")
+    if strategy is UniverseStrategy.ONE_BY_ONE:
+        universal = universal[:1]
+    residual = remove_attributes(query, universal, suffix="~u")
+
+    groups = _build_groups(query, database, universal)
+    if not groups:
+        return constant_zero_curve()
+
+    # Child curves and their maximum gains (|Q(D_i)|).
+    child_max: List[int] = []
+    optimal = True
+    for group in groups:
+        curve = child_curve(residual, group.database, kmax)
+        group.curve = curve
+        child_max.append(curve.max_gain())
+        optimal = optimal and curve.optimal
+
+    total = sum(child_max)
+    limit = min(kmax, total)
+
+    # DP over groups: cost[i][j] = optimal cost using only groups 1..i to
+    # remove >= j outputs; choice[i][j] = how many outputs group i removes.
+    costs: List[List[float]] = [[INFEASIBLE] * (limit + 1) for _ in range(len(groups) + 1)]
+    choice: List[List[int]] = [[0] * (limit + 1) for _ in range(len(groups) + 1)]
+    costs[0][0] = 0.0
+    reachable = 0
+    for i, group in enumerate(groups, start=1):
+        curve = group.curve
+        assert curve is not None
+        reachable = min(limit, reachable + child_max[i - 1])
+        for j in range(0, limit + 1):
+            best = INFEASIBLE
+            best_m = 0
+            upper = min(j, child_max[i - 1])
+            for m in range(0, upper + 1):
+                previous = costs[i - 1][j - m]
+                if previous == INFEASIBLE:
+                    continue
+                here = curve.cost(m)
+                if here == INFEASIBLE:
+                    continue
+                candidate = previous + here
+                if candidate < best:
+                    best = candidate
+                    best_m = m
+            costs[i][j] = best
+            choice[i][j] = best_m
+
+    def build_solution(k: int) -> FrozenSet[TupleRef]:
+        refs: set = set()
+        j = k
+        for i in range(len(groups), 0, -1):
+            m = choice[i][j]
+            if m > 0:
+                group = groups[i - 1]
+                assert group.curve is not None
+                refs |= group.map_back(group.curve.solution(m))
+            j -= m
+        return frozenset(refs)
+
+    return TableCurve(costs[len(groups)], build_solution, optimal=optimal)

@@ -1,0 +1,26 @@
+"""In-memory relational storage.
+
+The paper's experiments keep data in PostgreSQL; this library substitutes a
+small in-memory store with set semantics:
+
+* :class:`repro.data.relation.Relation` -- a named set of tuples over a fixed
+  attribute list;
+* :class:`repro.data.database.Database` -- a collection of relations forming
+  an instance ``D`` of a schema;
+* :class:`repro.data.relation.TupleRef` -- a hashable reference to one input
+  tuple, the unit of deletion for the ADP problem;
+* :mod:`repro.data.csvio` -- plain-text import/export so example datasets can
+  be shipped and inspected.
+"""
+
+from repro.data.relation import Relation, TupleRef
+from repro.data.database import Database
+from repro.data.csvio import load_database_csv, save_database_csv
+
+__all__ = [
+    "Relation",
+    "TupleRef",
+    "Database",
+    "load_database_csv",
+    "save_database_csv",
+]

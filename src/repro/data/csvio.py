@@ -1,0 +1,68 @@
+"""CSV import/export for databases.
+
+A database is stored as one CSV file per relation inside a directory.  The
+first line of each file holds the attribute names; remaining lines hold the
+tuples.  Values are read back as strings unless they parse as integers, which
+is sufficient for the synthetic workloads shipped with the library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def _parse_value(text: str):
+    """Parse a CSV cell: integers stay integers, everything else is a string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def save_database_csv(database: Database, directory: Union[str, Path]) -> Path:
+    """Write every relation of ``database`` to ``directory`` as ``<name>.csv``.
+
+    Returns the directory path.  Existing files with the same names are
+    overwritten.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for relation in database:
+        target = path / f"{relation.name}.csv"
+        with target.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(relation.attributes)
+            for row in sorted(relation, key=repr):
+                writer.writerow(row)
+    return path
+
+
+def load_database_csv(directory: Union[str, Path]) -> Database:
+    """Load a database previously written by :func:`save_database_csv`.
+
+    Every ``*.csv`` file in ``directory`` becomes one relation named after the
+    file stem.
+    """
+    path = Path(directory)
+    if not path.is_dir():
+        raise FileNotFoundError(f"{path} is not a directory")
+    database = Database()
+    for file in sorted(path.glob("*.csv")):
+        with file.open(newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{file} is empty (missing header row)") from None
+            relation = Relation(file.stem, [h.strip() for h in header])
+            for row in reader:
+                if not row:
+                    continue
+                relation.insert(tuple(_parse_value(cell) for cell in row))
+        database.add_relation(relation)
+    return database

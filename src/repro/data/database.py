@@ -1,0 +1,209 @@
+"""Database instances.
+
+A :class:`Database` is a collection of :class:`~repro.data.relation.Relation`
+objects, i.e. one instance ``D`` of a schema ``R``.  The ADP solvers never
+mutate the database they are given; deletion candidates are explored through
+copies (:meth:`Database.without`) or through the provenance index built by
+the evaluation engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.data.relation import Relation, Row, TupleRef, Value
+from repro.query.cq import ConjunctiveQuery
+
+
+class Database:
+    """A named collection of relations (an instance ``D``)."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(
+        cls,
+        schema: Mapping[str, Sequence[str]],
+        rows: Mapping[str, Iterable[Sequence[Value]]] | None = None,
+    ) -> "Database":
+        """Build a database from ``{name: attributes}`` and optional rows.
+
+        Example
+        -------
+        >>> Database.from_dict(
+        ...     {"R1": ["A"], "R2": ["A", "B"]},
+        ...     {"R1": [(1,), (2,)], "R2": [(1, 10)]})
+        Database(R1[2], R2[1])
+        """
+        database = cls()
+        rows = rows or {}
+        for name, attributes in schema.items():
+            database.add_relation(Relation(name, attributes, rows.get(name, ())))
+        return database
+
+    @classmethod
+    def empty_for_query(cls, query: ConjunctiveQuery) -> "Database":
+        """An empty database with one relation per atom of ``query``."""
+        return cls(Relation(a.name, a.attributes) for a in query.atoms)
+
+    def add_relation(self, relation: Relation) -> Relation:
+        """Register a relation (error if the name is already taken)."""
+        if relation.name in self._relations:
+            raise ValueError(f"relation {relation.name} already exists")
+        self._relations[relation.name] = relation
+        return relation
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> Relation:
+        """Return the relation called ``name`` (``KeyError`` if absent)."""
+        return self._relations[name]
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names in insertion order."""
+        return tuple(self._relations)
+
+    def total_tuples(self) -> int:
+        """``|D|``: the total number of input tuples."""
+        return sum(len(r) for r in self._relations.values())
+
+    def all_refs(self) -> List[TupleRef]:
+        """Every input tuple of the database as a :class:`TupleRef`."""
+        refs: List[TupleRef] = []
+        for relation in self._relations.values():
+            refs.extend(relation.refs())
+        return refs
+
+    # ------------------------------------------------------------------ #
+    # Copies and deletions
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Database":
+        """A deep copy of the instance."""
+        return Database(r.copy() for r in self._relations.values())
+
+    def without(self, removed: Iterable[TupleRef]) -> "Database":
+        """A copy of the database with the given input tuples removed.
+
+        Unknown references are ignored (removing an absent tuple is a no-op),
+        which lets callers verify candidate deletion sets without bookkeeping.
+        """
+        copy = self.copy()
+        for ref in removed:
+            if ref.relation in copy:
+                copy.relation(ref.relation).remove(ref.values)
+        return copy
+
+    def remove_tuples(self, removed: Iterable[TupleRef]) -> int:
+        """Remove the given tuples *in place*; returns how many were present."""
+        count = 0
+        for ref in removed:
+            if ref.relation in self and self.relation(ref.relation).remove(ref.values):
+                count += 1
+        return count
+
+    def contains_ref(self, ref: TupleRef) -> bool:
+        """Whether the referenced tuple is present."""
+        return ref.relation in self and tuple(ref.values) in self.relation(ref.relation)
+
+    # ------------------------------------------------------------------ #
+    # Query/schema coupling helpers
+    # ------------------------------------------------------------------ #
+    def restricted_to(self, relation_names: Iterable[str]) -> "Database":
+        """A copy containing only the named relations."""
+        keep = set(relation_names)
+        return Database(
+            r.copy() for r in self._relations.values() if r.name in keep
+        )
+
+    def project_out_attributes(
+        self, query: ConjunctiveQuery, attributes: Iterable[str]
+    ) -> "Database":
+        """Drop ``attributes`` from every relation used by ``query``.
+
+        Used to build instances of residual queries ``Q^{-A}``: rows are
+        projected on the remaining attributes (with deduplication).
+        Relations not mentioned in the query are copied unchanged.
+        """
+        dropped = set(attributes)
+        used = set(query.relation_names)
+        relations = []
+        for relation in self._relations.values():
+            if relation.name in used:
+                relations.append(relation.drop_attributes(dropped))
+            else:
+                relations.append(relation.copy())
+        return Database(relations)
+
+    def aligned_to(self, query: ConjunctiveQuery) -> "Database":
+        """Rename stored columns positionally to match the query's variables.
+
+        Classical CQ notation uses *variables* as atom arguments (e.g. the
+        paper's ``Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)`` over edge
+        relations all stored with columns ``(A, B)``).  This library matches
+        attributes by name, so such a query needs each stored relation's
+        columns renamed to the variables used by its atom.  ``aligned_to``
+        does exactly that: for every atom whose relation exists with the same
+        arity, the columns are renamed positionally; relations not mentioned
+        by the query are copied unchanged.
+
+        Raises ``ValueError`` when an atom's arity differs from the stored
+        relation's arity (renaming would be ambiguous).
+        """
+        atoms = query.atoms_by_name()
+        relations = []
+        for relation in self._relations.values():
+            atom = atoms.get(relation.name)
+            if atom is None:
+                relations.append(relation.copy())
+                continue
+            if len(atom.attributes) != len(relation.attributes):
+                raise ValueError(
+                    f"cannot align relation {relation.name}: stored arity "
+                    f"{len(relation.attributes)} != atom arity {len(atom.attributes)}"
+                )
+            relations.append(Relation(relation.name, atom.attributes, relation.rows))
+        return Database(relations)
+
+    def validate_against(self, query: ConjunctiveQuery) -> None:
+        """Check that every atom of ``query`` has a matching relation.
+
+        The relation must exist and its attribute set must equal the atom's
+        attribute set (the order may differ).  Requiring equality keeps the
+        notion of "input tuple" unambiguous: every stored row of a relation
+        is exactly one removable tuple of the corresponding atom.  Raises
+        ``KeyError``/``ValueError`` otherwise.
+        """
+        for atom in query.atoms:
+            if atom.name not in self:
+                raise KeyError(f"database has no relation {atom.name}")
+            stored = set(self.relation(atom.name).attributes)
+            if stored != atom.attribute_set:
+                raise ValueError(
+                    f"relation {atom.name} stores attributes {sorted(stored)} "
+                    f"but the query atom uses {sorted(atom.attribute_set)}; "
+                    "project the relation onto the atom's attributes first"
+                )
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{r.name}[{len(r)}]" for r in self._relations.values())
+        return f"Database({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)

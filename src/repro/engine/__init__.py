@@ -1,0 +1,41 @@
+"""Query evaluation engine.
+
+The paper's implementation evaluates queries (and re-evaluates them after
+candidate deletions) through PostgreSQL.  This subpackage is the equivalent
+substrate built from scratch:
+
+* :mod:`repro.engine.evaluate` -- natural-join evaluation of a self-join-free
+  CQ with projection, returning output tuples *and* their witnesses
+  (which-provenance);
+* :mod:`repro.engine.provenance` -- an incremental provenance index used by
+  the greedy heuristics and by solution verification;
+* :mod:`repro.engine.semijoin` -- semi-join reduction (dangling-tuple
+  removal);
+* :mod:`repro.engine.flow` -- max-flow / min-cut (Edmonds--Karp) used by the
+  Boolean (resilience) base case of ``ComputeADP``;
+* :mod:`repro.engine.setcover` -- partial set cover (greedy and primal-dual)
+  used by the approximation algorithms for full CQs.
+"""
+
+from repro.engine.evaluate import QueryResult, Witness, evaluate
+from repro.engine.provenance import ProvenanceIndex
+from repro.engine.semijoin import remove_dangling_tuples, semijoin_reduce
+from repro.engine.flow import FlowNetwork
+from repro.engine.setcover import (
+    PartialSetCoverInstance,
+    greedy_partial_cover,
+    primal_dual_partial_cover,
+)
+
+__all__ = [
+    "QueryResult",
+    "Witness",
+    "evaluate",
+    "ProvenanceIndex",
+    "remove_dangling_tuples",
+    "semijoin_reduce",
+    "FlowNetwork",
+    "PartialSetCoverInstance",
+    "greedy_partial_cover",
+    "primal_dual_partial_cover",
+]

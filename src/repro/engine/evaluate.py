@@ -1,0 +1,247 @@
+"""Conjunctive-query evaluation with which-provenance.
+
+The ADP algorithms need two things from the evaluation engine:
+
+1. the query answer ``Q(D)`` (the distinct projection of the natural join of
+   the body on the head attributes), and
+2. for every output tuple, the set of *witnesses*: full-join rows that
+   produce it, each witness being one input tuple per (non-vacuum) atom.
+
+Witness-level provenance is exactly what the greedy heuristics, the Singleton
+base case, the brute-force baseline, and solution verification consume, so
+:func:`evaluate` produces both in one pass.
+
+The join itself is a straightforward left-deep hash join.  Atoms are ordered
+so that each new atom shares attributes with the part already joined whenever
+the query is connected; within a disconnected query the components are joined
+by cross product, matching the semantics used in the paper (Lemma 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Row, TupleRef
+from repro.query.cq import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One full-join row: one input tuple per non-vacuum atom of the query.
+
+    ``refs`` is ordered consistently with the join order chosen by the
+    engine; use :meth:`as_dict` for name-based access.
+    """
+
+    refs: Tuple[TupleRef, ...]
+
+    def as_dict(self) -> Dict[str, TupleRef]:
+        """The witness as ``{relation name: tuple reference}``."""
+        return {ref.relation: ref for ref in self.refs}
+
+    def uses(self, ref: TupleRef) -> bool:
+        """Whether this witness contains the given input tuple."""
+        return ref in self.refs
+
+    def __iter__(self):
+        return iter(self.refs)
+
+
+@dataclass
+class QueryResult:
+    """The result of evaluating a CQ: answers plus witness provenance."""
+
+    query: ConjunctiveQuery
+    output_rows: List[Row]
+    witnesses: List[Witness]
+    witness_outputs: List[int] = field(default_factory=list)
+    #: index of each output row in ``output_rows`` keyed by the row itself
+    output_index: Dict[Row, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.output_index:
+            self.output_index = {row: i for i, row in enumerate(self.output_rows)}
+
+    # ------------------------------------------------------------------ #
+    # Counting
+    # ------------------------------------------------------------------ #
+    def output_count(self) -> int:
+        """``|Q(D)|``: the number of distinct output tuples."""
+        return len(self.output_rows)
+
+    def witness_count(self) -> int:
+        """The number of full-join rows."""
+        return len(self.witnesses)
+
+    # ------------------------------------------------------------------ #
+    # Provenance lookups
+    # ------------------------------------------------------------------ #
+    def witnesses_of(self, output_row: Row) -> List[Witness]:
+        """All witnesses of one output tuple."""
+        target = self.output_index[output_row]
+        return [
+            w
+            for w, out in zip(self.witnesses, self.witness_outputs)
+            if out == target
+        ]
+
+    def participating_refs(self) -> Set[TupleRef]:
+        """Input tuples that participate in at least one witness (non-dangling)."""
+        refs: Set[TupleRef] = set()
+        for witness in self.witnesses:
+            refs.update(witness.refs)
+        return refs
+
+    def outputs_removed_by(self, removed: Iterable[TupleRef]) -> int:
+        """How many output tuples disappear when ``removed`` is deleted.
+
+        An output tuple disappears when *every* one of its witnesses uses at
+        least one removed tuple.
+        """
+        removed_set = set(removed)
+        alive = [0] * len(self.output_rows)
+        for witness, out in zip(self.witnesses, self.witness_outputs):
+            if not removed_set.intersection(witness.refs):
+                alive[out] += 1
+        return sum(1 for count in alive if count == 0)
+
+
+def _join_order(query: ConjunctiveQuery) -> List[int]:
+    """A connected join order over atom indices (greedy BFS on shared attrs)."""
+    atoms = list(query.atoms)
+    remaining = set(range(len(atoms)))
+    order: List[int] = []
+    joined_attrs: Set[str] = set()
+    while remaining:
+        # Prefer an atom sharing attributes with what is already joined.
+        candidates = [
+            i for i in remaining if atoms[i].attribute_set & joined_attrs
+        ]
+        if not candidates:
+            # Start a new connected component: pick the first remaining atom
+            # in body order (deterministic), smallest relations first would
+            # also be valid but body order keeps plans reproducible.
+            candidates = [min(remaining)]
+        # Among candidates prefer larger overlap (cheaper hash join).
+        best = max(
+            candidates,
+            key=lambda i: (len(atoms[i].attribute_set & joined_attrs), -i),
+        )
+        order.append(best)
+        remaining.remove(best)
+        joined_attrs |= atoms[best].attribute_set
+    return order
+
+
+def evaluate(
+    query: ConjunctiveQuery,
+    database: Database,
+    max_witnesses: Optional[int] = None,
+) -> QueryResult:
+    """Evaluate ``query`` over ``database`` with witness provenance.
+
+    Parameters
+    ----------
+    query:
+        A self-join-free CQ.
+    database:
+        The instance; it must contain every relation mentioned by the query
+        (extra attributes in stored relations are allowed -- the atom's
+        attributes are looked up by name).
+    max_witnesses:
+        Optional safety valve: raise ``RuntimeError`` if the number of
+        full-join rows exceeds this bound (protects interactive callers from
+        accidental cross-product blow-ups).
+
+    Returns
+    -------
+    QueryResult
+        Output rows (distinct, ordered deterministically) plus one
+        :class:`Witness` per full-join row, with ``witness_outputs[i]`` giving
+        the output row index produced by witness ``i``.
+    """
+    database.validate_against(query)
+
+    # Vacuum relations participate as a boolean guard: an empty vacuum
+    # relation kills the whole result; a non-empty one contributes the empty
+    # tuple to every witness.
+    vacuum_refs: List[TupleRef] = []
+    for atom in query.atoms:
+        if atom.is_vacuum:
+            relation = database.relation(atom.name)
+            if len(relation) == 0:
+                return QueryResult(query, [], [], [])
+            vacuum_refs.append(TupleRef(atom.name, ()))
+
+    non_vacuum = [a for a in query.atoms if not a.is_vacuum]
+    if not non_vacuum:
+        # Purely boolean query over vacuum relations: single empty answer.
+        witness = Witness(tuple(vacuum_refs))
+        return QueryResult(query, [()], [witness], [0])
+
+    order = _join_order(
+        ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name)
+    )
+    ordered_atoms = [non_vacuum[i] for i in order]
+
+    # Partial results: (assignment dict, list of TupleRefs so far).
+    partials: List[Tuple[Dict[str, object], List[TupleRef]]] = [({}, [])]
+    for atom in ordered_atoms:
+        relation = database.relation(atom.name)
+        positions = [relation.attribute_index(a) for a in atom.attributes]
+        # Every partial assigns exactly the same attribute set, so the shared
+        # (join) attributes can be read off the first partial.
+        bound_attrs = set(partials[0][0]) if partials else set()
+        shared = [a for a in atom.attributes if a in bound_attrs]
+
+        # Hash the relation on the shared attributes.
+        index: Dict[Tuple, List[Tuple[Row, TupleRef]]] = {}
+        for row in relation:
+            atom_values = tuple(row[i] for i in positions)
+            key = tuple(
+                atom_values[atom.attributes.index(a)] for a in shared
+            )
+            index.setdefault(key, []).append((atom_values, TupleRef(atom.name, row)))
+
+        new_partials: List[Tuple[Dict[str, object], List[TupleRef]]] = []
+        for assignment, refs in partials:
+            key = tuple(assignment[a] for a in shared)
+            for atom_values, ref in index.get(key, ()):  # type: ignore[arg-type]
+                new_assignment = dict(assignment)
+                ok = True
+                for attr, value in zip(atom.attributes, atom_values):
+                    if attr in new_assignment and new_assignment[attr] != value:
+                        ok = False
+                        break
+                    new_assignment[attr] = value
+                if ok:
+                    new_partials.append((new_assignment, refs + [ref]))
+        partials = new_partials
+        if max_witnesses is not None and len(partials) > max_witnesses:
+            raise RuntimeError(
+                f"join of {query.name} exceeded max_witnesses={max_witnesses}"
+            )
+        if not partials:
+            break
+
+    output_rows: List[Row] = []
+    output_index: Dict[Row, int] = {}
+    witnesses: List[Witness] = []
+    witness_outputs: List[int] = []
+    head = query.head
+    for assignment, refs in partials:
+        out_row = tuple(assignment[a] for a in head)
+        if out_row not in output_index:
+            output_index[out_row] = len(output_rows)
+            output_rows.append(out_row)
+        witnesses.append(Witness(tuple(refs) + tuple(vacuum_refs)))
+        witness_outputs.append(output_index[out_row])
+
+    return QueryResult(query, output_rows, witnesses, witness_outputs, output_index)
+
+
+def output_size(query: ConjunctiveQuery, database: Database) -> int:
+    """``|Q(D)|`` without keeping the witnesses (convenience wrapper)."""
+    return evaluate(query, database).output_count()

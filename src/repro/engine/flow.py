@@ -1,0 +1,234 @@
+"""Max-flow / min-cut on small networks (Edmonds--Karp).
+
+The Boolean base case of ``ComputeADP`` (Section 7.1 of the paper) reduces
+resilience of a linear boolean query to a minimum cut in a layered network
+whose unit-capacity edges correspond to removable input tuples.  This module
+provides the flow substrate:
+
+* parallel edges with individual labels (so each edge can carry the input
+  tuple it represents);
+* infinite capacities (for tuples of exogenous relations, which are never
+  removed);
+* :meth:`FlowNetwork.max_flow` -- Edmonds--Karp (BFS augmenting paths);
+* :meth:`FlowNetwork.min_cut_edges` -- the finite-capacity edges crossing the
+  source-side/sink-side partition after a max flow.
+
+Networks in this library are data-complexity sized (one edge per tuple), so
+the simple ``O(V * E^2)`` bound of Edmonds--Karp is more than enough.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+INFINITY = math.inf
+
+
+@dataclass
+class _Edge:
+    """Internal directed edge; ``rev`` is the index of the reverse edge."""
+
+    target: int
+    capacity: float
+    flow: float
+    rev: int
+    label: Optional[Hashable] = None
+    is_forward: bool = True
+
+
+class FlowNetwork:
+    """A directed flow network with labelled, possibly parallel edges."""
+
+    def __init__(self) -> None:
+        self._node_ids: Dict[Hashable, int] = {}
+        self._node_names: List[Hashable] = []
+        self._adjacency: List[List[_Edge]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, name: Hashable) -> int:
+        """Register a node (idempotent); returns its internal id."""
+        if name in self._node_ids:
+            return self._node_ids[name]
+        node_id = len(self._node_names)
+        self._node_ids[name] = node_id
+        self._node_names.append(name)
+        self._adjacency.append([])
+        return node_id
+
+    def has_node(self, name: Hashable) -> bool:
+        """Whether ``name`` has been registered."""
+        return name in self._node_ids
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        capacity: float,
+        label: Optional[Hashable] = None,
+    ) -> None:
+        """Add a directed edge ``source -> target`` with the given capacity.
+
+        Parallel edges are allowed and kept distinct (each with its own
+        label), which is how one unit-capacity edge per input tuple is
+        modelled.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        u = self.add_node(source)
+        v = self.add_node(target)
+        forward = _Edge(v, capacity, 0.0, len(self._adjacency[v]), label, True)
+        backward = _Edge(u, 0.0, 0.0, len(self._adjacency[u]), label, False)
+        self._adjacency[u].append(forward)
+        self._adjacency[v].append(backward)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        """Number of registered nodes."""
+        return len(self._node_names)
+
+    def edge_count(self) -> int:
+        """Number of (forward) edges."""
+        return sum(1 for edges in self._adjacency for e in edges if e.is_forward)
+
+    def edges(self) -> List[Tuple[Hashable, Hashable, float, Optional[Hashable]]]:
+        """All forward edges as ``(source, target, capacity, label)``."""
+        result = []
+        for u, edges in enumerate(self._adjacency):
+            for edge in edges:
+                if edge.is_forward:
+                    result.append(
+                        (
+                            self._node_names[u],
+                            self._node_names[edge.target],
+                            edge.capacity,
+                            edge.label,
+                        )
+                    )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Max flow (Edmonds--Karp) and min cut
+    # ------------------------------------------------------------------ #
+    def max_flow(self, source: Hashable, sink: Hashable) -> float:
+        """Compute the maximum flow from ``source`` to ``sink``.
+
+        Residual state is kept on the edges, so :meth:`min_cut_edges` /
+        :meth:`min_cut_labels` can be called afterwards.  Calling
+        ``max_flow`` again re-uses existing flow (idempotent for the same
+        source/sink pair).
+        """
+        if source not in self._node_ids or sink not in self._node_ids:
+            raise KeyError("source or sink not present in the network")
+        s = self._node_ids[source]
+        t = self._node_ids[sink]
+        if s == t:
+            raise ValueError("source and sink must differ")
+        total = 0.0
+        while True:
+            parent = self._bfs_augmenting_path(s, t)
+            if parent is None:
+                break
+            # Find the bottleneck along the path.
+            bottleneck = INFINITY
+            node = t
+            while node != s:
+                prev, edge_index = parent[node]
+                edge = self._adjacency[prev][edge_index]
+                bottleneck = min(bottleneck, edge.capacity - edge.flow)
+                node = prev
+            # Augment.
+            node = t
+            while node != s:
+                prev, edge_index = parent[node]
+                edge = self._adjacency[prev][edge_index]
+                edge.flow += bottleneck
+                self._adjacency[node][edge.rev].flow -= bottleneck
+                node = prev
+            total += bottleneck
+            if bottleneck == INFINITY:  # pragma: no cover - pathological input
+                raise RuntimeError("unbounded flow (infinite-capacity s-t path)")
+        return total
+
+    def _bfs_augmenting_path(
+        self, s: int, t: int
+    ) -> Optional[Dict[int, Tuple[int, int]]]:
+        parent: Dict[int, Tuple[int, int]] = {}
+        visited = {s}
+        queue = deque([s])
+        while queue:
+            node = queue.popleft()
+            for index, edge in enumerate(self._adjacency[node]):
+                if edge.target in visited:
+                    continue
+                if edge.capacity - edge.flow > 1e-12:
+                    visited.add(edge.target)
+                    parent[edge.target] = (node, index)
+                    if edge.target == t:
+                        return parent
+                    queue.append(edge.target)
+        return None
+
+    def source_side(self, source: Hashable) -> Set[Hashable]:
+        """Nodes reachable from ``source`` in the residual graph.
+
+        Only meaningful after :meth:`max_flow`; before any flow is pushed it
+        simply returns the nodes reachable through positive-capacity edges.
+        """
+        s = self._node_ids[source]
+        visited = {s}
+        queue = deque([s])
+        while queue:
+            node = queue.popleft()
+            for edge in self._adjacency[node]:
+                if edge.target not in visited and edge.capacity - edge.flow > 1e-12:
+                    visited.add(edge.target)
+                    queue.append(edge.target)
+        return {self._node_names[n] for n in visited}
+
+    def min_cut_edges(
+        self, source: Hashable
+    ) -> List[Tuple[Hashable, Hashable, float, Optional[Hashable]]]:
+        """Finite-capacity forward edges crossing the min cut.
+
+        Must be called after :meth:`max_flow`.  Returns
+        ``(source node, target node, capacity, label)`` tuples for every
+        saturated edge from the source side to the sink side.
+        """
+        reachable = {self._node_ids[name] for name in self.source_side(source)}
+        cut = []
+        for u, edges in enumerate(self._adjacency):
+            if u not in reachable:
+                continue
+            for edge in edges:
+                if not edge.is_forward or edge.target in reachable:
+                    continue
+                if math.isinf(edge.capacity):
+                    raise RuntimeError(
+                        "min cut crosses an infinite-capacity edge; "
+                        "the network was built incorrectly"
+                    )
+                cut.append(
+                    (
+                        self._node_names[u],
+                        self._node_names[edge.target],
+                        edge.capacity,
+                        edge.label,
+                    )
+                )
+        return cut
+
+    def min_cut_labels(self, source: Hashable) -> List[Hashable]:
+        """The labels of the min-cut edges (``None`` labels are skipped)."""
+        return [
+            label
+            for (_, _, _, label) in self.min_cut_edges(source)
+            if label is not None
+        ]

@@ -1,0 +1,214 @@
+"""Incremental witness-level provenance.
+
+The greedy heuristics (Algorithms 6 and 7) repeatedly ask questions of the
+form "if I additionally delete input tuple ``t``, how many *more* output
+tuples disappear?".  Re-running the query after every candidate deletion --
+what the paper's Java/PostgreSQL implementation does via SQL -- would be
+prohibitively slow in pure Python, so this module maintains the witness
+provenance produced by :func:`repro.engine.evaluate.evaluate` incrementally:
+
+* every output tuple keeps a count of *alive* witnesses (witnesses none of
+  whose input tuples have been deleted);
+* every input tuple knows the witnesses it participates in;
+* deleting a tuple decrements alive counts and reports the outputs whose
+  count reached zero;
+* ``profit(t)`` computes, without mutating anything, how many still-alive
+  outputs would die if ``t`` were deleted (i.e. outputs all of whose alive
+  witnesses contain ``t``).
+
+The index is also the basis of solution verification
+(:meth:`ProvenanceIndex.outputs_removed_by`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.data.relation import TupleRef
+from repro.engine.evaluate import QueryResult
+
+
+class ProvenanceIndex:
+    """Incremental deletion index over the witnesses of a query result."""
+
+    def __init__(self, result: QueryResult):
+        self.result = result
+        self._witness_refs: List[Tuple[TupleRef, ...]] = [
+            w.refs for w in result.witnesses
+        ]
+        self._witness_output: List[int] = list(result.witness_outputs)
+        self._hits: List[int] = [0] * len(self._witness_refs)
+        self._alive_witnesses: List[int] = [0] * result.output_count()
+        for out in self._witness_output:
+            self._alive_witnesses[out] += 1
+        self._ref_to_witnesses: Dict[TupleRef, List[int]] = {}
+        for wid, refs in enumerate(self._witness_refs):
+            for ref in refs:
+                self._ref_to_witnesses.setdefault(ref, []).append(wid)
+        self._removed: Set[TupleRef] = set()
+        self._dead_outputs: int = 0
+        # Outputs with no witnesses at all never existed; by construction the
+        # evaluate() result only lists outputs with >= 1 witness.
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def removed(self) -> Set[TupleRef]:
+        """The tuples deleted so far (a copy)."""
+        return set(self._removed)
+
+    def total_outputs(self) -> int:
+        """``|Q(D)|`` of the original (un-deleted) instance."""
+        return self.result.output_count()
+
+    def removed_output_count(self) -> int:
+        """How many output tuples have been deleted so far."""
+        return self._dead_outputs
+
+    def alive_output_count(self) -> int:
+        """How many output tuples survive the deletions so far."""
+        return self.total_outputs() - self._dead_outputs
+
+    def is_alive(self, output_id: int) -> bool:
+        """Whether output ``output_id`` still has at least one alive witness."""
+        return self._alive_witnesses[output_id] > 0
+
+    def participating_refs(self) -> List[TupleRef]:
+        """All input tuples that participate in at least one witness."""
+        return list(self._ref_to_witnesses)
+
+    def refs_of_relation(self, relation: str) -> List[TupleRef]:
+        """Participating input tuples belonging to one relation."""
+        return [ref for ref in self._ref_to_witnesses if ref.relation == relation]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def profit(self, ref: TupleRef) -> int:
+        """How many *additional* outputs die if ``ref`` is deleted now.
+
+        This is the quantity ``p(t) = |Q(D - S)| - |Q(D - S - t)|`` of
+        Algorithm 6, computed against the current deletion state ``S``.
+        """
+        if ref in self._removed:
+            return 0
+        per_output: Dict[int, int] = {}
+        for wid in self._ref_to_witnesses.get(ref, ()):  # alive witnesses only
+            if self._hits[wid] == 0:
+                out = self._witness_output[wid]
+                per_output[out] = per_output.get(out, 0) + 1
+        return sum(
+            1
+            for out, count in per_output.items()
+            if count == self._alive_witnesses[out]
+        )
+
+    def witness_gain(self, ref: TupleRef) -> int:
+        """How many still-alive witnesses die if ``ref`` is deleted now.
+
+        Used as a tie-breaker by the greedy heuristic: when no single tuple
+        can remove a whole output (all profits are zero, e.g. on boolean
+        queries), making progress on witnesses is the sensible secondary
+        objective.
+        """
+        if ref in self._removed:
+            return 0
+        return sum(
+            1
+            for wid in self._ref_to_witnesses.get(ref, ())
+            if self._hits[wid] == 0
+        )
+
+    def touched_outputs(self, ref: TupleRef) -> int:
+        """How many still-alive outputs have an alive witness containing ``ref``.
+
+        This is an upper bound on the number of outputs that deleting ``ref``
+        can contribute to killing (it equals :meth:`profit` for full CQs) and
+        is sub-additive across tuples, which makes it an admissible pruning
+        bound for the branch-and-bound exact solver.
+        """
+        if ref in self._removed:
+            return 0
+        outputs = set()
+        for wid in self._ref_to_witnesses.get(ref, ()):
+            if self._hits[wid] == 0:
+                out = self._witness_output[wid]
+                if self._alive_witnesses[out] > 0:
+                    outputs.add(out)
+        return len(outputs)
+
+    def initial_profit(self, ref: TupleRef) -> int:
+        """Profit of ``ref`` against the *original* instance (no deletions).
+
+        For a full CQ this is simply the number of witnesses containing
+        ``ref`` (each witness is a distinct output tuple); used by
+        ``DrasticGreedyForFullCQ`` (Algorithm 7).
+        """
+        per_output: Dict[int, int] = {}
+        for wid in self._ref_to_witnesses.get(ref, ()):
+            out = self._witness_output[wid]
+            per_output[out] = per_output.get(out, 0) + 1
+        total_per_output = self._total_witnesses_per_output()
+        return sum(
+            1
+            for out, count in per_output.items()
+            if count == total_per_output[out]
+        )
+
+    def _total_witnesses_per_output(self) -> List[int]:
+        totals = [0] * self.total_outputs()
+        for out in self._witness_output:
+            totals[out] += 1
+        return totals
+
+    def outputs_removed_by(self, removed: Iterable[TupleRef]) -> int:
+        """Stateless verification: outputs killed by deleting ``removed``.
+
+        Does not look at (or change) the incremental deletion state.
+        """
+        return self.result.outputs_removed_by(removed)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def remove(self, ref: TupleRef) -> int:
+        """Delete one input tuple; returns how many outputs died as a result."""
+        if ref in self._removed:
+            return 0
+        self._removed.add(ref)
+        killed = 0
+        for wid in self._ref_to_witnesses.get(ref, ()):
+            self._hits[wid] += 1
+            if self._hits[wid] == 1:
+                out = self._witness_output[wid]
+                self._alive_witnesses[out] -= 1
+                if self._alive_witnesses[out] == 0:
+                    killed += 1
+        self._dead_outputs += killed
+        return killed
+
+    def remove_many(self, refs: Iterable[TupleRef]) -> int:
+        """Delete several tuples; returns the total number of outputs killed."""
+        return sum(self.remove(ref) for ref in refs)
+
+    def restore(self, ref: TupleRef) -> int:
+        """Undo the deletion of ``ref``; returns how many outputs came back."""
+        if ref not in self._removed:
+            return 0
+        self._removed.remove(ref)
+        revived = 0
+        for wid in self._ref_to_witnesses.get(ref, ()):
+            self._hits[wid] -= 1
+            if self._hits[wid] == 0:
+                out = self._witness_output[wid]
+                if self._alive_witnesses[out] == 0:
+                    revived += 1
+                self._alive_witnesses[out] += 1
+        self._dead_outputs -= revived
+        return revived
+
+    def reset(self) -> None:
+        """Undo every deletion."""
+        for ref in list(self._removed):
+            self.restore(ref)

@@ -1,0 +1,28 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 7--29).
+
+* :mod:`repro.experiments.harness` -- timing helpers and the generic
+  "run one (query, database, k) with one method" runner;
+* :mod:`repro.experiments.figures` -- one function per figure (or per figure
+  group sharing a workload) returning an :class:`ExperimentResult` with the
+  same series the paper plots;
+* :mod:`repro.experiments.report` -- plain-text rendering of experiment
+  results (used by ``examples/`` and by EXPERIMENTS.md).
+
+Scales default to laptop-friendly values; every figure function accepts the
+paper's parameters (input sizes, ratios ρ, skew α) so that larger runs are a
+keyword argument away.
+"""
+
+from repro.experiments.harness import ExperimentResult, MethodRun, run_method, timed
+from repro.experiments.report import format_table, render_results
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentResult",
+    "MethodRun",
+    "run_method",
+    "timed",
+    "format_table",
+    "render_results",
+    "figures",
+]

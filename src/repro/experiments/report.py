@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as plots; this library is terminal-first,
+so results are rendered as aligned text tables (one per figure) that show the
+same series: rows are grid points, columns include the method, the running
+time and the solution size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult, columns: Sequence[str] | None = None) -> str:
+    """Render one :class:`ExperimentResult` as an aligned text table."""
+    columns = list(columns) if columns else result.columns()
+    rows = [[_format_cell(row.get(column, "")) for column in columns] for row in result.rows]
+    widths = [
+        max(len(column), *(len(row[i]) for row in rows)) if rows else len(column)
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    ]
+    title = f"{result.figure}: {result.description}"
+    lines = [title, "=" * len(title), header, separator, *body]
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_results(results: Dict[str, ExperimentResult]) -> str:
+    """Render a collection of figure results separated by blank lines."""
+    return "\n\n".join(format_table(result) for result in results.values())
+
+
+def print_results(results: Dict[str, ExperimentResult]) -> None:
+    """Print a collection of figure results to stdout."""
+    print(render_results(results))

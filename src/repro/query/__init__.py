@@ -1,0 +1,37 @@
+"""Conjunctive-query model.
+
+This subpackage contains the query-side substrate used by the ADP algorithms:
+
+* :mod:`repro.query.atoms` -- relation schemas and query atoms;
+* :mod:`repro.query.cq` -- the :class:`ConjunctiveQuery` class;
+* :mod:`repro.query.parser` -- a small datalog-style text parser;
+* :mod:`repro.query.graph` -- the query graph ``G_Q`` and hypergraph views;
+* :mod:`repro.query.transforms` -- query rewrites used by the dichotomy and
+  by ``ComputeADP`` (removing attributes, head join, connected components,
+  residual queries).
+
+Everything here is *query complexity*: sizes are tiny (a handful of atoms and
+attributes), so the code favours clarity over asymptotics.
+"""
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.graph import QueryGraph
+from repro.query.transforms import (
+    connected_components,
+    head_join,
+    remove_attributes,
+    restrict_to_relations,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "QueryGraph",
+    "parse_query",
+    "connected_components",
+    "head_join",
+    "remove_attributes",
+    "restrict_to_relations",
+]

@@ -1,0 +1,97 @@
+"""Query atoms.
+
+An *atom* is one relation occurrence in the body of a conjunctive query,
+e.g. ``R2(B, C)`` in ``Q(A, B, C, E) :- R1(A, B), R2(B, C), R3(C, E)``.
+
+Because the paper restricts attention to CQs *without self-joins* every
+relation name appears at most once in a query body, so an atom is fully
+identified by its relation name.  Attribute names are plain strings; the
+position of an attribute inside an atom is irrelevant for the ADP problem
+(only the *set* of attributes matters), but we keep the declared order so
+that instances can be displayed and parsed consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """One relation occurrence in a query body.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"R1"``.  Unique within a query (no self-joins).
+    attributes:
+        Ordered attribute names.  May be empty, in which case the atom is a
+        *vacuum* relation (Section 3.1 of the paper): its instance is either
+        ``{()}`` ("true") or the empty set ("false").
+    """
+
+    name: str
+    attributes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("atom name must be a non-empty string")
+        attrs = tuple(self.attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(
+                f"atom {self.name} repeats an attribute: {attrs}"
+            )
+        object.__setattr__(self, "attributes", attrs)
+
+    # ------------------------------------------------------------------ #
+    # Convenience predicates
+    # ------------------------------------------------------------------ #
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        """The set of attributes of this atom (positions forgotten)."""
+        return frozenset(self.attributes)
+
+    @property
+    def is_vacuum(self) -> bool:
+        """``True`` when the atom has no attributes (a vacuum relation)."""
+        return not self.attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of this atom."""
+        return len(self.attributes)
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether ``attribute`` occurs in this atom."""
+        return attribute in self.attribute_set
+
+    # ------------------------------------------------------------------ #
+    # Rewrites
+    # ------------------------------------------------------------------ #
+    def without_attributes(self, attributes: Iterable[str]) -> "Atom":
+        """Return a copy of this atom with the given attributes dropped.
+
+        Used by the simplification steps of ``IsPtime`` / ``ComputeADP``
+        (removing universal or selected attributes) and by the head-join
+        construction (removing all non-output attributes).
+        """
+        dropped = set(attributes)
+        kept = tuple(a for a in self.attributes if a not in dropped)
+        return Atom(self.name, kept)
+
+    def restricted_to(self, attributes: Iterable[str]) -> "Atom":
+        """Return a copy of this atom keeping only the given attributes."""
+        keep = set(attributes)
+        kept = tuple(a for a in self.attributes if a in keep)
+        return Atom(self.name, kept)
+
+    def renamed(self, new_name: str) -> "Atom":
+        """Return a copy of this atom with a different relation name."""
+        return Atom(new_name, self.attributes)
+
+    # ------------------------------------------------------------------ #
+    # Display
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"

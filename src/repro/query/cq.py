@@ -1,0 +1,239 @@
+"""Conjunctive queries without self-joins.
+
+The central query object of the library.  A conjunctive query (CQ) is
+
+.. code-block:: text
+
+    Q(A) :- R1(A1), R2(A2), ..., Rp(Ap)
+
+where ``A`` (the *head*) is a subset of the attributes appearing in the body
+(the *output attributes*), and every relation name ``Ri`` is distinct (no
+self-joins).  Following Section 3.1 of the paper:
+
+* a CQ is **full** when all attributes are output attributes;
+* a CQ is **boolean** when the head is empty;
+* an atom is **vacuum** when it has no attributes;
+* an attribute is **universal** when it is an output attribute that appears
+  in every atom of the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.query.atoms import Atom
+
+
+class QueryError(ValueError):
+    """Raised for malformed conjunctive queries."""
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A self-join-free conjunctive query.
+
+    Parameters
+    ----------
+    head:
+        Ordered output attributes.  Must be a subset of the attributes in the
+        body.  An empty head makes the query boolean.
+    atoms:
+        Body atoms.  Relation names must be pairwise distinct.
+    name:
+        Optional human-readable query name (used in reports and ``repr``).
+
+    Notes
+    -----
+    The object is immutable and hashable, so queries can be used as cache
+    keys by the solver (memoising sub-query solutions inside the Universe /
+    Decompose dynamic programs).
+    """
+
+    head: Tuple[str, ...]
+    atoms: Tuple[Atom, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        atoms = tuple(self.atoms)
+        head = tuple(self.head)
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "head", head)
+        if not atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        names = [a.name for a in atoms]
+        if len(set(names)) != len(names):
+            raise QueryError(f"self-joins are not supported (duplicate atoms in {names})")
+        if len(set(head)) != len(head):
+            raise QueryError(f"head repeats an attribute: {head}")
+        body_attrs = set().union(*(a.attribute_set for a in atoms))
+        missing = [h for h in head if h not in body_attrs]
+        if missing:
+            raise QueryError(f"head attributes {missing} do not appear in the body")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(
+        cls,
+        body: Mapping[str, Sequence[str]],
+        head: Sequence[str] = (),
+        name: str = "Q",
+    ) -> "ConjunctiveQuery":
+        """Build a query from ``{relation_name: [attributes...]}``.
+
+        Example
+        -------
+        >>> ConjunctiveQuery.from_dict(
+        ...     {"R1": ["A"], "R2": ["A", "B"], "R3": ["B"]}, head=["A", "B"])
+        Q(A, B) :- R1(A), R2(A, B), R3(B)
+        """
+        atoms = tuple(Atom(rel, tuple(attrs)) for rel, attrs in body.items())
+        return cls(tuple(head), atoms, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors (paper notation: rels(Q), attr(Q), head(Q))
+    # ------------------------------------------------------------------ #
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """``rels(Q)``: relation names in body order."""
+        return tuple(a.name for a in self.atoms)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """``attr(Q)``: all attributes appearing in the body."""
+        return frozenset().union(*(a.attribute_set for a in self.atoms))
+
+    @property
+    def head_attributes(self) -> frozenset[str]:
+        """``head(Q)``: the output attributes as a set."""
+        return frozenset(self.head)
+
+    @property
+    def existential_attributes(self) -> frozenset[str]:
+        """``attr(Q) - head(Q)``: the non-output (existential) attributes."""
+        return self.attributes - self.head_attributes
+
+    def atom(self, relation_name: str) -> Atom:
+        """Return the atom for ``relation_name`` (raises ``KeyError`` if absent)."""
+        for a in self.atoms:
+            if a.name == relation_name:
+                return a
+        raise KeyError(relation_name)
+
+    def atoms_by_name(self) -> Dict[str, Atom]:
+        """Return a ``{relation name: atom}`` mapping."""
+        return {a.name: a for a in self.atoms}
+
+    def relations_with(self, attribute: str) -> Tuple[Atom, ...]:
+        """``rels(A)``: the atoms whose schema contains ``attribute``."""
+        return tuple(a for a in self.atoms if a.has_attribute(attribute))
+
+    # ------------------------------------------------------------------ #
+    # Classification predicates used throughout the paper
+    # ------------------------------------------------------------------ #
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has an empty head."""
+        return not self.head
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every body attribute is an output attribute."""
+        return self.head_attributes == self.attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of output attributes."""
+        return len(self.head)
+
+    @property
+    def vacuum_atoms(self) -> Tuple[Atom, ...]:
+        """Atoms with an empty attribute set."""
+        return tuple(a for a in self.atoms if a.is_vacuum)
+
+    @property
+    def has_vacuum_relation(self) -> bool:
+        """Whether some atom is vacuum (Lemma 1: ADP is then poly-time)."""
+        return any(a.is_vacuum for a in self.atoms)
+
+    def universal_attributes(self) -> frozenset[str]:
+        """Output attributes that appear in *every* atom of the body.
+
+        These are the attributes removed by the first simplification step of
+        ``IsPtime`` (Algorithm 1, line 1) and by the ``Universe`` step of
+        ``ComputeADP``.
+        """
+        if not self.atoms:
+            return frozenset()
+        common = frozenset.intersection(*(a.attribute_set for a in self.atoms))
+        return common & self.head_attributes
+
+    # ------------------------------------------------------------------ #
+    # Derived queries
+    # ------------------------------------------------------------------ #
+    def with_name(self, name: str) -> "ConjunctiveQuery":
+        """Return a copy with a different display name."""
+        return ConjunctiveQuery(self.head, self.atoms, name=name)
+
+    def with_head(self, head: Sequence[str]) -> "ConjunctiveQuery":
+        """Return a copy with a different head (same body)."""
+        return ConjunctiveQuery(tuple(head), self.atoms, name=self.name)
+
+    def as_boolean(self) -> "ConjunctiveQuery":
+        """Return the boolean version of this query (empty head)."""
+        return ConjunctiveQuery((), self.atoms, name=f"{self.name}_bool")
+
+    def as_full(self) -> "ConjunctiveQuery":
+        """Return the full version of this query (head = all body attributes)."""
+        head = tuple(sorted(self.attributes))
+        return ConjunctiveQuery(head, self.atoms, name=f"{self.name}_full")
+
+    # ------------------------------------------------------------------ #
+    # Canonical form, display
+    # ------------------------------------------------------------------ #
+    def signature(self) -> Tuple:
+        """A canonical, hashable signature of the query structure.
+
+        Two queries with the same signature have the same head set and the
+        same body (as a set of named attribute sets); the signature ignores
+        the display name and attribute/atom ordering.  Used as a memoisation
+        key by the solver.
+        """
+        body = tuple(
+            sorted((a.name, tuple(sorted(a.attribute_set))) for a in self.atoms)
+        )
+        return (tuple(sorted(self.head_attributes)), body)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{self.name}({', '.join(self.head)}) :- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+def validate_distinct_attribute_sets(query: ConjunctiveQuery) -> None:
+    """Check the paper's simplifying assumption of Section 3.2.
+
+    The paper assumes all relations of an input CQ have distinct attribute
+    sets (removing duplicate relations does not change poly-time solvability).
+    The library does *not* require this -- the dichotomy code handles
+    duplicates explicitly -- but callers can use this helper to assert the
+    assumption when they rely on it.
+
+    Raises
+    ------
+    QueryError
+        If two atoms share the same attribute set.
+    """
+    seen: Dict[frozenset, str] = {}
+    for atom in query.atoms:
+        key = atom.attribute_set
+        if key in seen:
+            raise QueryError(
+                f"atoms {seen[key]} and {atom.name} have the same attribute set "
+                f"{sorted(key)}"
+            )
+        seen[key] = atom.name

@@ -1,0 +1,199 @@
+"""Graph and hypergraph views of a conjunctive query.
+
+Section 3.1 of the paper uses two representations of a CQ:
+
+* the classical **hypergraph**: vertices are attributes, hyperedges are the
+  atoms' attribute sets;
+* the **query graph** ``G_Q``: vertices are relations, with an edge between
+  two relations whenever they share an attribute.  Connectivity of ``G_Q``
+  defines connected/disconnected queries and drives the ``Decompose``
+  simplification step.
+
+The dichotomy proofs also need *attribute-avoiding* connectivity ("a path
+from R1 to R2 only using attributes in attr(Q) - X"), which is what the
+``relations_connected_avoiding`` helper provides; it underlies triad and
+triad-like detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+
+
+class QueryGraph:
+    """The relation-level graph ``G_Q`` of a conjunctive query."""
+
+    def __init__(self, query: ConjunctiveQuery):
+        self.query = query
+        self._adjacency: Dict[str, Set[str]] = {a.name: set() for a in query.atoms}
+        atoms = list(query.atoms)
+        for i, left in enumerate(atoms):
+            for right in atoms[i + 1:]:
+                if left.attribute_set & right.attribute_set:
+                    self._adjacency[left.name].add(right.name)
+                    self._adjacency[right.name].add(left.name)
+
+    # ------------------------------------------------------------------ #
+    # Basic graph accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> Tuple[str, ...]:
+        """Relation names, in body order."""
+        return self.query.relation_names
+
+    def neighbours(self, relation: str) -> FrozenSet[str]:
+        """Relations sharing at least one attribute with ``relation``."""
+        return frozenset(self._adjacency[relation])
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Undirected edges of ``G_Q`` (each returned once, sorted)."""
+        seen = set()
+        result: List[Tuple[str, str]] = []
+        for left, nbrs in self._adjacency.items():
+            for right in nbrs:
+                edge = tuple(sorted((left, right)))
+                if edge not in seen:
+                    seen.add(edge)
+                    result.append(edge)  # type: ignore[arg-type]
+        return sorted(result)
+
+    # ------------------------------------------------------------------ #
+    # Connectivity
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> List[FrozenSet[str]]:
+        """Connected components of ``G_Q`` as sets of relation names.
+
+        Components are returned in order of the first atom they contain, so
+        decomposition is deterministic.
+        """
+        remaining = list(self.vertices)
+        seen: Set[str] = set()
+        components: List[FrozenSet[str]] = []
+        for start in remaining:
+            if start in seen:
+                continue
+            component = self._bfs(start)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the query is connected (``G_Q`` has one component)."""
+        return len(self.connected_components()) <= 1
+
+    def _bfs(self, start: str) -> Set[str]:
+        queue = deque([start])
+        seen = {start}
+        while queue:
+            node = queue.popleft()
+            for nbr in self._adjacency[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        return seen
+
+
+def hyperedges(query: ConjunctiveQuery) -> Dict[str, FrozenSet[str]]:
+    """The hypergraph view: ``{relation name: attribute set}``."""
+    return {a.name: a.attribute_set for a in query.atoms}
+
+
+def relations_connected_avoiding(
+    query: ConjunctiveQuery,
+    source: str,
+    target: str,
+    forbidden_attributes: Iterable[str],
+) -> bool:
+    """Whether there is a path between two relations avoiding some attributes.
+
+    A *path* between relations ``Ri`` and ``Rj`` (Section 5.1) is a sequence
+    of relations starting at ``Ri`` and ending at ``Rj`` where each
+    consecutive pair shares a common attribute.  The path *only uses
+    attributes in S* when every shared attribute along the path -- and the
+    anchoring attributes at the two endpoints -- belongs to ``S``.
+
+    Here ``S = attr(Q) - forbidden_attributes``.  Concretely:
+
+    * source and target must each contain at least one allowed attribute
+      (otherwise no allowed path can anchor at them);
+    * consecutive relations on the path must share an allowed attribute;
+    * intermediate relations may be any atoms of the query (including
+      ``source``/``target`` themselves).
+
+    This is exactly the connectivity notion needed for triad (Definition 3)
+    and triad-like (Definition 4) detection.
+    """
+    forbidden = set(forbidden_attributes)
+    atoms = query.atoms_by_name()
+    if source not in atoms or target not in atoms:
+        raise KeyError(f"unknown relation {source!r} or {target!r}")
+
+    def allowed(atom_name: str) -> FrozenSet[str]:
+        return frozenset(atoms[atom_name].attribute_set - forbidden)
+
+    if not allowed(source) or not allowed(target):
+        return False
+    if source == target:
+        return True
+
+    # BFS on relations, moving between relations that share an allowed
+    # attribute.
+    queue = deque([source])
+    seen = {source}
+    while queue:
+        current = queue.popleft()
+        current_allowed = allowed(current)
+        for nxt, atom in atoms.items():
+            if nxt in seen:
+                continue
+            if current_allowed & (atom.attribute_set - forbidden):
+                if nxt == target:
+                    return True
+                seen.add(nxt)
+                queue.append(nxt)
+    return False
+
+
+def attributes_connected(
+    query: ConjunctiveQuery,
+    source_attribute: str,
+    target_attribute: str,
+    allowed_attributes: Sequence[str] | None = None,
+) -> bool:
+    """Whether two attributes are connected by a chain of atoms.
+
+    A path between attributes ``A`` and ``B`` is a sequence of relations
+    starting with some atom containing ``A`` and ending with some atom
+    containing ``B`` where consecutive atoms share a common attribute.  When
+    ``allowed_attributes`` is given, shared attributes along the path are
+    restricted to that set (``A`` and ``B`` themselves are always allowed as
+    anchors).
+    """
+    allowed = (
+        set(query.attributes)
+        if allowed_attributes is None
+        else set(allowed_attributes) | {source_attribute, target_attribute}
+    )
+    start_atoms = [a.name for a in query.relations_with(source_attribute)]
+    target_atoms = {a.name for a in query.relations_with(target_attribute)}
+    if not start_atoms or not target_atoms:
+        return False
+    atoms = query.atoms_by_name()
+
+    queue = deque(start_atoms)
+    seen = set(start_atoms)
+    while queue:
+        current = queue.popleft()
+        if current in target_atoms:
+            return True
+        current_allowed = atoms[current].attribute_set & allowed
+        for nxt, atom in atoms.items():
+            if nxt in seen:
+                continue
+            if current_allowed & atom.attribute_set & allowed:
+                seen.add(nxt)
+                queue.append(nxt)
+    return False

@@ -1,0 +1,97 @@
+"""A small datalog-style parser for conjunctive queries.
+
+The syntax mirrors the paper's notation::
+
+    Q(A, B) :- R1(A), R2(A, B), R3(B)
+    Qswing(A) :- R2(A, B), R3(B)
+    Qbool() :- R1(A, B), R2(B, C)
+
+Rules:
+
+* the head is ``Name(attr, ...)`` -- attributes may be empty for boolean
+  queries;
+* the body is a comma-separated list of atoms ``Rel(attr, ...)``;
+* a vacuum atom is written ``Rel()``;
+* whitespace is ignored; ``:-`` and ``<-`` are both accepted.
+
+Selections (``sigma`` predicates of Section 7.5) are *not* part of this
+grammar; they are attached programmatically via
+:class:`repro.core.selection.Selection`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery, QueryError
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+
+
+def _parse_atom_text(text: str) -> Tuple[str, Tuple[str, ...]]:
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise QueryError(f"cannot parse atom {text!r}")
+    name = match.group(1)
+    args_text = match.group(2).strip()
+    if not args_text:
+        return name, ()
+    args = tuple(a.strip() for a in args_text.split(","))
+    if any(not a for a in args):
+        raise QueryError(f"empty attribute name in atom {text!r}")
+    return name, args
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split a body string on the commas that separate atoms.
+
+    Commas inside parentheses separate attributes, not atoms, so a simple
+    ``str.split`` is not enough.
+    """
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryError(f"unbalanced parentheses in body {body!r}")
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise QueryError(f"unbalanced parentheses in body {body!r}")
+    last = "".join(current).strip()
+    if last:
+        parts.append(last)
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style conjunctive query.
+
+    Example
+    -------
+    >>> parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+    Qpath(A, B) :- R1(A), R2(A, B), R3(B)
+    """
+    normalized = text.strip()
+    for separator in (":-", "<-"):
+        if separator in normalized:
+            head_text, body_text = normalized.split(separator, 1)
+            break
+    else:
+        raise QueryError(f"query {text!r} has no ':-' separator")
+
+    head_name, head_attrs = _parse_atom_text(head_text)
+    atom_texts = _split_atoms(body_text)
+    if not atom_texts:
+        raise QueryError(f"query {text!r} has an empty body")
+    atoms = tuple(Atom(*_parse_atom_text(atom)) for atom in atom_texts)
+    return ConjunctiveQuery(head_attrs, atoms, name=head_name)

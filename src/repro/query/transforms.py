@@ -1,0 +1,108 @@
+"""Query rewrites used by the dichotomy and by ``ComputeADP``.
+
+These are the *simplification steps* of the paper:
+
+* :func:`remove_attributes` -- drop a set of attributes from every atom and
+  from the head (used for universal attributes, Lemma 2, and for selected
+  attributes, Lemma 12);
+* :func:`connected_components` -- decompose a disconnected query into its
+  connected subqueries (Lemma 3);
+* :func:`head_join` -- the residual query after removing all non-output
+  attributes (Section 4.2.3 and the structural characterisation);
+* :func:`restrict_to_relations` -- the subquery induced by a subset of atoms.
+
+All functions return *new* :class:`~repro.query.cq.ConjunctiveQuery` objects;
+queries are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.graph import QueryGraph
+
+
+def remove_attributes(
+    query: ConjunctiveQuery, attributes: Iterable[str], suffix: str = "'"
+) -> ConjunctiveQuery:
+    """Remove ``attributes`` from every atom and from the head.
+
+    This implements the residual query ``Q^{-A}`` of Lemma 2 (for a universal
+    attribute ``A``) and ``Q^{-A_theta}`` of Lemma 12 (for selected
+    attributes).  Atoms that lose all attributes become vacuum atoms; they
+    are kept in the body because vacuum relations matter for the dichotomy
+    (Lemma 1).
+    """
+    dropped = set(attributes)
+    new_atoms = tuple(a.without_attributes(dropped) for a in query.atoms)
+    new_head = tuple(h for h in query.head if h not in dropped)
+    return ConjunctiveQuery(new_head, new_atoms, name=f"{query.name}{suffix}")
+
+
+def restrict_to_relations(
+    query: ConjunctiveQuery, relation_names: Iterable[str], name: str | None = None
+) -> ConjunctiveQuery:
+    """The subquery induced by ``relation_names``.
+
+    The head is restricted to output attributes that still appear in the
+    retained atoms.  Atom order follows the original body order.
+    """
+    keep = set(relation_names)
+    atoms = tuple(a for a in query.atoms if a.name in keep)
+    if not atoms:
+        raise ValueError("cannot restrict a query to an empty set of relations")
+    remaining_attrs = set().union(*(a.attribute_set for a in atoms))
+    head = tuple(h for h in query.head if h in remaining_attrs)
+    return ConjunctiveQuery(head, atoms, name=name or f"{query.name}|{len(atoms)}")
+
+
+def connected_components(query: ConjunctiveQuery) -> List[ConjunctiveQuery]:
+    """Decompose ``query`` into its connected subqueries.
+
+    Components are ordered by the first atom of the body they contain, so the
+    decomposition is deterministic.  A connected query returns ``[query]``
+    (same object semantics, new instance).
+    """
+    graph = QueryGraph(query)
+    components = graph.connected_components()
+    order = {name: i for i, name in enumerate(query.relation_names)}
+    components.sort(key=lambda comp: min(order[r] for r in comp))
+    result = []
+    for index, component in enumerate(components, start=1):
+        result.append(
+            restrict_to_relations(query, component, name=f"{query.name}_{index}")
+        )
+    return result
+
+
+def head_join(query: ConjunctiveQuery, suffix: str = "_head") -> ConjunctiveQuery:
+    """The *head join* of ``query``.
+
+    Section 4.2.3: the residual query after removing all non-output
+    attributes from all relations.  The result is a full CQ over the output
+    attributes (atoms whose attributes were all existential become vacuum).
+    """
+    return remove_attributes(query, query.existential_attributes, suffix=suffix)
+
+
+def project_head(
+    query: ConjunctiveQuery, attributes: Sequence[str], suffix: str = "_proj"
+) -> ConjunctiveQuery:
+    """Return a copy of ``query`` whose head is restricted to ``attributes``.
+
+    Attributes not already in the head are ignored.  The body is unchanged.
+    """
+    head = tuple(h for h in query.head if h in set(attributes))
+    return ConjunctiveQuery(head, query.atoms, name=f"{query.name}{suffix}")
+
+
+def drop_relations(
+    query: ConjunctiveQuery, relation_names: Iterable[str], suffix: str = "_drop"
+) -> ConjunctiveQuery:
+    """Return the query without the given atoms (head restricted accordingly)."""
+    dropped = set(relation_names)
+    keep = [name for name in query.relation_names if name not in dropped]
+    if not keep:
+        raise ValueError("cannot drop every atom of a query")
+    return restrict_to_relations(query, keep, name=f"{query.name}{suffix}")

@@ -1,0 +1,59 @@
+"""Workload generators and the query catalog of the experimental section.
+
+The paper evaluates on TPC-H, a SNAP Facebook ego-network, and synthetic
+Zipfian data.  Neither external dataset can be shipped here, so this
+subpackage provides deterministic synthetic generators with the same schemas
+and the same distributional knobs (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.workloads.tpch` -- ``Supplier(NK, SK)``, ``PartSupp(SK, PK)``,
+  ``LineItem(OK, PK)`` with skewed foreign-key fan-out (queries Q1, σθQ1);
+* :mod:`repro.workloads.snap` -- a clustered "social circles" ego-network
+  whose bidirected edges are partitioned into ``R1..R4`` by rank modulo 4
+  (queries Q2..Q5);
+* :mod:`repro.workloads.zipf` -- ``R1(A), R2(A, B), R3(B)`` instances whose
+  ``A``-degrees follow a Zipf(α) distribution (queries Qpath / Q6,
+  Figures 16--27);
+* :mod:`repro.workloads.synthetic` -- uniform random instances for the
+  optimisation ablations (queries Q7, Q8, Figures 28--29);
+* :mod:`repro.workloads.queries` -- every named query used in the paper
+  (QWL, QPossible, Q3path, Q1..Q8, the core queries).
+"""
+
+from repro.workloads.queries import (
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    Q6,
+    Q7,
+    Q8,
+    Q3PATH,
+    QPOSSIBLE,
+    QWL,
+    QUERY_CATALOG,
+)
+from repro.workloads.tpch import generate_tpch
+from repro.workloads.snap import generate_ego_network
+from repro.workloads.zipf import generate_zipf_path
+from repro.workloads.synthetic import generate_q7_instance, generate_q8_instance
+
+__all__ = [
+    "QWL",
+    "QPOSSIBLE",
+    "Q3PATH",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "Q6",
+    "Q7",
+    "Q8",
+    "QUERY_CATALOG",
+    "generate_tpch",
+    "generate_ego_network",
+    "generate_zipf_path",
+    "generate_q7_instance",
+    "generate_q8_instance",
+]

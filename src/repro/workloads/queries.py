@@ -1,0 +1,86 @@
+"""The query catalog of the paper.
+
+Every named query appearing in the paper's examples (Section 1) and in the
+experimental section (Section 8) is defined here so that examples, tests and
+benchmarks can refer to them by name.
+
+===========  ==================================================================
+Name         Definition
+===========  ==================================================================
+``QWL``      ``QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)`` (Example 1)
+``QPOSSIBLE````QPossible(C) :- Teaches(P, C), NotOnLeave(P)`` (Example 2)
+``Q3PATH``   ``Q3path(A, B, C, D) :- R1(A, B), R2(B, C), R3(C, D)`` (Example 3)
+``Q1``       TPC-H join ``Q1(NK, SK, PK, OK)`` (Section 8.1, NP-hard)
+``Q2``       length-3 path over the ego network (NP-hard)
+``Q3``       triangle over the ego network (NP-hard)
+``Q4``       pair of length-2 connections, disconnected query (NP-hard parts)
+``Q5``       common-friend star query (NP-hard)
+``Q6``       ``Q6(A, B) :- R1(A), R2(A, B)`` singleton query (poly-time)
+``QPATH_EXP````Qpath(A, B) :- R1(A), R2(A, B), R3(B)`` (NP-hard, Figures 16-19)
+``Q7``       singleton/universal-attribute ablation query (Figure 28)
+``Q8``       disconnected decomposition ablation query (Figure 29)
+===========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+# --------------------------------------------------------------------------- #
+# Motivating examples (Section 1)
+# --------------------------------------------------------------------------- #
+QWL = parse_query("QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)")
+QPOSSIBLE = parse_query("QPossible(C) :- Teaches(P, C), NotOnLeave(P)")
+Q3PATH = parse_query("Q3path(A, B, C, D) :- R1(A, B), R2(B, C), R3(C, D)")
+
+# --------------------------------------------------------------------------- #
+# TPC-H query (Section 8.1): Q1 is a full CQ over the three-relation schema.
+# The selection σ[PK = const] makes it poly-time (Lemma 12); without the
+# selection it is NP-hard.
+# --------------------------------------------------------------------------- #
+Q1 = parse_query("Q1(NK, SK, PK, OK) :- Supplier(NK, SK), PartSupp(SK, PK), LineItem(OK, PK)")
+
+# --------------------------------------------------------------------------- #
+# SNAP ego-network queries (Section 8.1).
+# --------------------------------------------------------------------------- #
+Q2 = parse_query("Q2(A, B, C, D) :- R1(A, B), R2(B, C), R3(C, D)")
+Q3 = parse_query("Q3(A, B, C) :- R1(A, B), R2(B, C), R3(C, A)")
+Q4 = parse_query("Q4(A, C, E, G) :- R1(A, B), R2(B, C), R3(E, F), R4(F, G)")
+Q5 = parse_query("Q5(A, B, C) :- R1(A, E), R2(B, E), R3(C, E)")
+
+# --------------------------------------------------------------------------- #
+# Synthetic data-distribution queries (Section 8.4).
+# --------------------------------------------------------------------------- #
+Q6 = parse_query("Q6(A, B) :- R1(A), R2(A, B)")
+QPATH_EXP = parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+
+# --------------------------------------------------------------------------- #
+# Optimisation ablation queries (Section 8.5).
+# --------------------------------------------------------------------------- #
+Q7 = parse_query(
+    "Q7(A, B, C, D, E, F, G) :- "
+    "R1(A, B, C), R2(A, B, C, D, E), R3(A, B, C, D, G), R4(A, B, C, F)"
+)
+Q8 = parse_query(
+    "Q8(A1, B1, A2, B2, A3, B3) :- "
+    "R11(A1), R12(A1, B1), R21(A2), R22(A2, B2), R31(A3), R32(A3, B3)"
+)
+
+#: Every named query, keyed by the name used in the paper / in reports.
+QUERY_CATALOG: Dict[str, ConjunctiveQuery] = {
+    "QWL": QWL,
+    "QPossible": QPOSSIBLE,
+    "Q3path": Q3PATH,
+    "Q1": Q1,
+    "Q2": Q2,
+    "Q3": Q3,
+    "Q4": Q4,
+    "Q5": Q5,
+    "Q6": Q6,
+    "Qpath": QPATH_EXP,
+    "Q7": Q7,
+    "Q8": Q8,
+}

@@ -1,0 +1,113 @@
+"""A synthetic SNAP-like ego network (Section 8.1 / 8.3).
+
+The paper evaluates Q2--Q5 on the ego network of Facebook user 414 from the
+SNAP collection (7 circles, 150 nodes, 3386 directed edges after
+bidirection), with the edges distributed round-robin into four relations
+``R1(A, B) .. R4(A, B)`` by ``rank mod 4``.
+
+The real dataset is not redistributable here, so :func:`generate_ego_network`
+builds a synthetic ego network with the same macroscopic structure:
+
+* an *ego* node connected to every other node (that is what makes it an ego
+  network);
+* the remaining nodes are grouped into a handful of *circles* (social
+  circles); nodes within a circle are densely connected, nodes across
+  circles sparsely;
+* every edge is inserted in both directions, exactly as in the paper's
+  pre-processing;
+* edges are ranked deterministically and assigned to ``R1..R4`` by
+  ``rank mod 4``.
+
+The defaults (150 nodes, 7 circles, in-circle probability tuned to land near
+~3.4k directed edges) match the scale of ego network 414.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+@dataclass(frozen=True)
+class EgoNetworkConfig:
+    """Generation knobs for the synthetic ego network."""
+
+    nodes: int = 150
+    circles: int = 7
+    in_circle_probability: float = 0.85
+    cross_circle_probability: float = 0.03
+    relations: int = 4
+    seed: int = 414
+
+
+def _circle_of(node: int, config: EgoNetworkConfig) -> int:
+    """Deterministic circle assignment (node 0 is the ego, unaffiliated)."""
+    return node % config.circles
+
+
+def generate_ego_edges(config: EgoNetworkConfig) -> List[Tuple[int, int]]:
+    """Generate the *directed* edge list of the synthetic ego network.
+
+    Edges come out sorted and deduplicated; both directions of every
+    undirected edge are present.
+    """
+    rng = random.Random(config.seed)
+    undirected: set = set()
+    ego = 0
+    for node in range(1, config.nodes):
+        undirected.add((ego, node))
+    for left in range(1, config.nodes):
+        for right in range(left + 1, config.nodes):
+            same_circle = _circle_of(left, config) == _circle_of(right, config)
+            probability = (
+                config.in_circle_probability
+                if same_circle
+                else config.cross_circle_probability
+            )
+            if rng.random() < probability:
+                undirected.add((left, right))
+    directed = set()
+    for left, right in undirected:
+        directed.add((left, right))
+        directed.add((right, left))
+    return sorted(directed)
+
+
+def generate_ego_network(
+    config: EgoNetworkConfig | None = None,
+    nodes: int | None = None,
+    seed: int | None = None,
+) -> Database:
+    """Generate the partitioned ego-network database used by Q2--Q5.
+
+    Returns a database with relations ``R1(A, B) .. R4(A, B)`` (or however
+    many ``config.relations`` requests), where directed edge number ``i`` (in
+    sorted order) is stored in relation ``R{(i mod r) + 1}``, mirroring the
+    paper's "rank mod 4" partitioning.
+    """
+    cfg = config or EgoNetworkConfig()
+    if nodes is not None or seed is not None:
+        cfg = EgoNetworkConfig(
+            nodes=nodes if nodes is not None else cfg.nodes,
+            circles=cfg.circles,
+            in_circle_probability=cfg.in_circle_probability,
+            cross_circle_probability=cfg.cross_circle_probability,
+            relations=cfg.relations,
+            seed=seed if seed is not None else cfg.seed,
+        )
+    edges = generate_ego_edges(cfg)
+    relations = [
+        Relation(f"R{index + 1}", ("A", "B")) for index in range(cfg.relations)
+    ]
+    for rank, (left, right) in enumerate(edges):
+        relations[rank % cfg.relations].insert((left, right))
+    return Database(relations)
+
+
+def edge_count(database: Database, relation_names: Sequence[str] = ("R1", "R2", "R3", "R4")) -> int:
+    """Total number of directed edges stored across the given relations."""
+    return sum(len(database.relation(name)) for name in relation_names if name in database)

@@ -1,0 +1,80 @@
+"""Uniform random instances for the optimisation ablations (Section 8.5).
+
+Two queries are used:
+
+* ``Q7(A, B, C, D, E, F, G) :- R1(A, B, C), R2(A, B, C, D, E),
+  R3(A, B, C, D, G), R4(A, B, C, F)`` -- the attributes ``A, B, C`` are
+  universal and ``R1`` is the singleton relation, so the query exercises the
+  Universe / Singleton machinery (Figure 28);
+* ``Q8(A1, B1, ..., B3) :- R11(A1), R12(A1, B1), R21(A2), R22(A2, B2),
+  R31(A3), R32(A3, B3)`` -- three disconnected easy subqueries, exercising
+  the Decompose strategies (Figure 29).
+
+The paper generates each tuple uniformly at random with values between 1 and
+100; these helpers do the same (deterministically, given a seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def generate_q7_instance(
+    tuples_per_relation: int = 500,
+    domain: int = 100,
+    seed: int = 28,
+) -> Database:
+    """Random instance for Q7 (Figure 28): four wide relations sharing A, B, C."""
+    rng = random.Random(seed)
+    schemas = {
+        "R1": ("A", "B", "C"),
+        "R2": ("A", "B", "C", "D", "E"),
+        "R3": ("A", "B", "C", "D", "G"),
+        "R4": ("A", "B", "C", "F"),
+    }
+    # Share a common pool of (A, B, C) prefixes so the join is non-trivial.
+    prefixes = [
+        (rng.randint(1, domain), rng.randint(1, domain), rng.randint(1, domain))
+        for _ in range(max(2, tuples_per_relation // 5))
+    ]
+    relations = []
+    for name, attributes in schemas.items():
+        relation = Relation(name, attributes)
+        guard = 0
+        while len(relation) < tuples_per_relation and guard < 50 * tuples_per_relation:
+            guard += 1
+            prefix = rng.choice(prefixes)
+            suffix = tuple(rng.randint(1, domain) for _ in range(len(attributes) - 3))
+            relation.insert(prefix + suffix)
+        relations.append(relation)
+    return Database(relations)
+
+
+def generate_q8_instance(
+    unary_tuples: int = 25,
+    binary_tuples: int = 50,
+    domain: int = 100,
+    seed: int = 29,
+) -> Database:
+    """Random instance for Q8 (Figure 29): three disconnected easy subqueries.
+
+    Each subquery ``i`` is ``R_i1(A_i), R_i2(A_i, B_i)`` with ``unary_tuples``
+    values in the unary relation and ``binary_tuples`` edges in the binary
+    one (the paper uses 25 and 50).
+    """
+    rng = random.Random(seed)
+    relations = []
+    for index in (1, 2, 3):
+        a_attr, b_attr = f"A{index}", f"B{index}"
+        values = rng.sample(range(1, domain + 1), min(unary_tuples, domain))
+        unary = Relation(f"R{index}1", (a_attr,), [(v,) for v in values])
+        binary = Relation(f"R{index}2", (a_attr, b_attr))
+        guard = 0
+        while len(binary) < binary_tuples and guard < 50 * binary_tuples:
+            guard += 1
+            binary.insert((rng.choice(values), rng.randint(1, domain)))
+        relations.extend([unary, binary])
+    return Database(relations)

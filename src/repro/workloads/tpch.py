@@ -1,0 +1,120 @@
+"""A synthetic TPC-H-like workload (Section 8.1 / 8.2).
+
+The paper uses the TPC-H relations ``Supplier``, ``PartSupp`` and
+``LineItem`` and the query
+
+    ``Q1(NK, SK, PK, OK) :- Supplier(NK, SK), PartSupp(SK, PK), LineItem(OK, PK)``
+
+together with the selection ``PK = 13370``.  The actual dbgen data cannot be
+downloaded here, so :func:`generate_tpch` produces a deterministic instance
+with the same three-relation shape and comparable join characteristics:
+
+* suppliers get a nation key drawn uniformly from a small nation pool;
+* each supplier offers several parts (``PartSupp``), with parts drawn from a
+  mildly skewed distribution so some parts have many suppliers (this is what
+  makes the query result large relative to the input, like in TPC-H);
+* line items reference existing parts, again with skew, and fresh order keys.
+
+The sizes are controlled by ``total_tuples``, split roughly 1:3:6 across the
+three relations (mirroring the relative sizes of the TPC-H tables used in the
+paper's plots).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+#: The part key used for the paper's selection experiments (σ[PK = 13370]).
+SELECTED_PART_KEY = 13370
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Generation knobs for the synthetic TPC-H-like instance."""
+
+    total_tuples: int = 1000
+    nations: int = 25
+    #: Zipf-ish skew of part popularity (0 = uniform).
+    part_skew: float = 0.6
+    #: Fraction of distinct parts relative to the PartSupp size.
+    part_ratio: float = 0.2
+    seed: int = 7
+
+    def split(self) -> Tuple[int, int, int]:
+        """Sizes of (Supplier, PartSupp, LineItem), summing to ``total_tuples``."""
+        suppliers = max(1, self.total_tuples // 10)
+        partsupp = max(1, (3 * self.total_tuples) // 10)
+        lineitem = max(1, self.total_tuples - suppliers - partsupp)
+        return suppliers, partsupp, lineitem
+
+
+def _skewed_choice(rng: random.Random, population: int, skew: float) -> int:
+    """Pick an index in ``[0, population)`` with Zipf-like skew."""
+    if skew <= 0:
+        return rng.randrange(population)
+    # Inverse-CDF sampling of a truncated Pareto-ish distribution keeps the
+    # generator dependency-free and fast.
+    u = rng.random()
+    index = int(population * (u ** (1.0 + skew)))
+    return min(index, population - 1)
+
+
+def generate_tpch(
+    total_tuples: int = 1000,
+    seed: int = 7,
+    config: TpchConfig | None = None,
+) -> Database:
+    """Generate a synthetic TPC-H-like database.
+
+    Parameters
+    ----------
+    total_tuples:
+        Approximate total number of input tuples across the three relations.
+    seed:
+        Random seed; generation is fully deterministic given the seed.
+    config:
+        Full configuration (overrides ``total_tuples``/``seed`` when given).
+
+    Returns
+    -------
+    Database
+        Relations ``Supplier(NK, SK)``, ``PartSupp(SK, PK)``,
+        ``LineItem(OK, PK)``.  The selected part key
+        :data:`SELECTED_PART_KEY` is guaranteed to exist and to join with at
+        least one supplier and one line item.
+    """
+    cfg = config or TpchConfig(total_tuples=total_tuples, seed=seed)
+    rng = random.Random(cfg.seed)
+    n_supplier, n_partsupp, n_lineitem = cfg.split()
+
+    supplier = Relation("Supplier", ("NK", "SK"))
+    partsupp = Relation("PartSupp", ("SK", "PK"))
+    lineitem = Relation("LineItem", ("OK", "PK"))
+
+    supplier_keys = list(range(1, n_supplier + 1))
+    for sk in supplier_keys:
+        supplier.insert((rng.randrange(cfg.nations), sk))
+
+    n_parts = max(1, int(n_partsupp * cfg.part_ratio))
+    part_keys = [SELECTED_PART_KEY + i for i in range(n_parts)]
+    while len(partsupp) < n_partsupp:
+        sk = supplier_keys[_skewed_choice(rng, len(supplier_keys), cfg.part_skew)]
+        pk = part_keys[_skewed_choice(rng, len(part_keys), cfg.part_skew)]
+        partsupp.insert((sk, pk))
+
+    # Make sure the selected part joins on both sides.
+    partsupp.insert((supplier_keys[0], SELECTED_PART_KEY))
+
+    order_key = 0
+    while len(lineitem) < n_lineitem:
+        order_key += 1
+        pk = part_keys[_skewed_choice(rng, len(part_keys), cfg.part_skew)]
+        lineitem.insert((order_key, pk))
+    lineitem.insert((order_key + 1, SELECTED_PART_KEY))
+
+    return Database([supplier, partsupp, lineitem])

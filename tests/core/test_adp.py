@@ -1,0 +1,156 @@
+"""Unit tests for the unified ComputeADP solver (Algorithm 2)."""
+
+import pytest
+
+from repro.core.adp import ADPSolver, SolverConfig, compute_adp
+from repro.core.bruteforce import bruteforce_optimum
+from repro.core.decidability import is_poly_time
+from repro.data.database import Database
+from repro.engine.evaluate import evaluate
+from repro.query.parser import parse_query
+
+
+class TestSolverDispatch:
+    def test_exact_on_singleton_query(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"]},
+            {"R1": [(1,), (2,)], "R2": [(1, 10), (1, 11), (2, 20)]},
+        )
+        solution = ADPSolver().solve(query, database, 2)
+        assert solution.optimal
+        assert solution.method == "exact"
+        assert solution.size == 1
+
+    def test_exact_on_boolean_query(self):
+        query = parse_query("Q() :- R1(A), R2(A, B), R3(B)")
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"], "R3": ["B"]},
+            {"R1": [("a",)], "R2": [("a", "b")], "R3": [("b",)]},
+        )
+        solution = ADPSolver().solve(query, database, 1)
+        assert solution.optimal
+        assert solution.size == 1
+
+    def test_heuristic_on_hard_query(self, qpath, path_instance):
+        solution = ADPSolver().solve(qpath, path_instance, 2)
+        assert not solution.optimal
+        assert solution.method == "greedy"
+        assert solution.removed_outputs >= 2
+
+    def test_drastic_heuristic(self, qpath, path_instance):
+        solution = ADPSolver(heuristic="drastic").solve(qpath, path_instance, 2)
+        assert solution.method == "drastic"
+        assert solution.removed_outputs >= 2
+
+    def test_drastic_falls_back_on_projection(self):
+        query = parse_query("Qswing(A) :- R2(A, B), R3(B)")
+        database = Database.from_dict(
+            {"R2": ["A", "B"], "R3": ["B"]},
+            {"R2": [(1, 1), (2, 1), (3, 2)], "R3": [(1,), (2,)]},
+        )
+        solution = ADPSolver(heuristic="drastic").solve(query, database, 2)
+        assert solution.removed_outputs >= 2
+        assert solution.stats["heuristic_fallbacks"] >= 1
+
+    def test_universal_then_decompose_recursion(self):
+        # Universal attribute A; residual query is disconnected.
+        query = parse_query("Q(A, B, C) :- R1(A, B), R2(A, C)")
+        database = Database.from_dict(
+            {"R1": ["A", "B"], "R2": ["A", "C"]},
+            {
+                "R1": [(1, 10), (1, 11), (2, 20)],
+                "R2": [(1, 5), (1, 6), (2, 7)],
+            },
+        )
+        assert is_poly_time(query)
+        total = evaluate(query, database).output_count()
+        solver = ADPSolver()
+        for k in range(1, total + 1):
+            solution = solver.solve(query, database, k)
+            assert solution.optimal
+            assert solution.size == bruteforce_optimum(query, database, k)
+
+    def test_counting_only_mode(self, qpath, path_instance):
+        solution = ADPSolver(counting_only=True).solve(qpath, path_instance, 2)
+        assert solution.removed == frozenset()
+        assert solution.size >= 1
+        reporting = ADPSolver().solve(qpath, path_instance, 2)
+        assert solution.size == reporting.size
+
+    def test_exactness_matches_dichotomy(self, qpath):
+        solver = ADPSolver()
+        assert not solver.is_exact_for(qpath)
+        assert solver.is_exact_for(parse_query("Q(A, B) :- R1(A), R2(A, B)"))
+
+
+class TestSolverValidation:
+    def test_k_out_of_range(self, qpath, path_instance):
+        solver = ADPSolver()
+        with pytest.raises(ValueError):
+            solver.solve(qpath, path_instance, 0)
+        with pytest.raises(ValueError):
+            solver.solve(qpath, path_instance, 99)
+
+    def test_solve_ratio(self, qpath, path_instance):
+        total = evaluate(qpath, path_instance).output_count()
+        solution = ADPSolver().solve_ratio(qpath, path_instance, 0.5)
+        assert solution.k == -(-total // 2) or solution.k == max(1, int(0.5 * total) + (total % 2 == 1))
+        assert solution.removed_outputs >= solution.k
+
+    def test_solve_ratio_rejects_bad_ratio(self, qpath, path_instance):
+        with pytest.raises(ValueError):
+            ADPSolver().solve_ratio(qpath, path_instance, 0.0)
+        with pytest.raises(ValueError):
+            ADPSolver().solve_ratio(qpath, path_instance, 1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SolverConfig(heuristic="nonsense")
+        with pytest.raises(ValueError):
+            ADPSolver(SolverConfig(), heuristic="greedy")
+
+    def test_compute_adp_wrapper(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"]},
+            {"R1": [(1,), (2,)], "R2": [(1, 10), (1, 11), (2, 20)]},
+        )
+        assert compute_adp(query, database, k=2).size == 1
+
+
+class TestSolutionQualityOnEasyQueries:
+    @pytest.mark.parametrize(
+        "query_text, schema, rows",
+        [
+            (
+                "Q(A, B) :- R1(A), R2(A, B)",
+                {"R1": ["A"], "R2": ["A", "B"]},
+                {"R1": [(1,), (2,), (3,)], "R2": [(1, 1), (1, 2), (2, 1), (3, 3), (3, 4)]},
+            ),
+            (
+                "Q(A) :- R1(A, B), R2(A, B, C)",
+                {"R1": ["A", "B"], "R2": ["A", "B", "C"]},
+                {
+                    "R1": [(1, 1), (1, 2), (2, 1)],
+                    "R2": [(1, 1, 7), (1, 2, 7), (2, 1, 7), (2, 1, 8)],
+                },
+            ),
+            (
+                "Q(A, C) :- R1(A), R2(C)",
+                {"R1": ["A"], "R2": ["C"]},
+                {"R1": [(1,), (2,)], "R2": [(5,), (6,), (7,)]},
+            ),
+        ],
+    )
+    def test_exact_matches_bruteforce_for_all_k(self, query_text, schema, rows):
+        query = parse_query(query_text)
+        database = Database.from_dict(schema, rows)
+        assert is_poly_time(query)
+        total = evaluate(query, database).output_count()
+        solver = ADPSolver()
+        for k in range(1, total + 1):
+            solution = solver.solve(query, database, k)
+            assert solution.optimal
+            assert solution.removed_outputs >= k
+            assert solution.size == bruteforce_optimum(query, database, k), (query_text, k)

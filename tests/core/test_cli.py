@@ -1,0 +1,90 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.csvio import save_database_csv
+from repro.data.database import Database
+
+
+@pytest.fixture
+def csv_database(tmp_path):
+    database = Database.from_dict(
+        {"R1": ["A"], "R2": ["A", "B"]},
+        {"R1": [(1,), (2,)], "R2": [(1, 10), (1, 11), (2, 20)]},
+    )
+    return save_database_csv(database, tmp_path / "db")
+
+
+class TestClassifyCommand:
+    def test_easy_query(self, capsys):
+        assert main(["classify", "Q(A, B) :- R1(A), R2(A, B)"]) == 0
+        out = capsys.readouterr().out
+        assert "poly-time" in out
+
+    def test_hard_query_prints_certificate(self, capsys):
+        assert main(["classify", "Qswing(A) :- R2(A, B), R3(B)"]) == 0
+        out = capsys.readouterr().out
+        assert "NP-hard" in out
+        assert "core query" in out or "triad" in out
+
+
+class TestSolveCommand:
+    def test_solve_with_k(self, capsys, csv_database):
+        code = main(["solve", "Q(A, B) :- R1(A), R2(A, B)", str(csv_database), "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objective = 1" in out
+        assert "remove" in out
+
+    def test_solve_with_ratio_and_counting(self, capsys, csv_database):
+        code = main(
+            [
+                "solve",
+                "Q(A, B) :- R1(A), R2(A, B)",
+                str(csv_database),
+                "--ratio",
+                "0.5",
+                "--counting-only",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+
+    def test_solve_empty_result(self, capsys, tmp_path):
+        empty = Database.from_dict({"R1": ["A"], "R2": ["A", "B"]}, {"R1": [], "R2": []})
+        path = save_database_csv(empty, tmp_path / "empty")
+        code = main(["solve", "Q(A, B) :- R1(A), R2(A, B)", str(path), "--k", "1"])
+        assert code == 1
+
+    def test_k_and_ratio_are_mutually_exclusive(self, csv_database):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve",
+                    "Q(A, B) :- R1(A), R2(A, B)",
+                    str(csv_database),
+                    "--k",
+                    "1",
+                    "--ratio",
+                    "0.5",
+                ]
+            )
+
+
+class TestExperimentsCommand:
+    def test_single_figure(self, capsys):
+        assert main(["experiments", "--only", "fig12_13"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 12-13" in out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--only", "nope"])

@@ -1,0 +1,98 @@
+"""Unit tests for the cost-curve abstraction."""
+
+import math
+
+import pytest
+
+from repro.core.curves import (
+    INFEASIBLE,
+    MinCurve,
+    PrefixCurve,
+    TableCurve,
+    constant_zero_curve,
+)
+from repro.data.relation import TupleRef
+
+
+def ref(i):
+    return TupleRef("R", (i,))
+
+
+class TestPrefixCurve:
+    def test_costs_and_solutions(self):
+        curve = PrefixCurve([((ref(1),), 5), ((ref(2),), 3), ((ref(3),), 1)])
+        assert curve.max_gain() == 9
+        assert curve.cost(0) == 0
+        assert curve.cost(5) == 1
+        assert curve.cost(6) == 2
+        assert curve.cost(9) == 3
+        assert curve.cost(10) == INFEASIBLE
+        assert curve.solution(6) == {ref(1), ref(2)}
+        assert curve.solution(0) == frozenset()
+
+    def test_zero_gain_picks_are_dropped(self):
+        curve = PrefixCurve([((ref(1),), 0), ((ref(2),), 2)])
+        assert curve.cost(1) == 1
+        assert curve.solution(1) == {ref(2)}
+
+    def test_multi_ref_picks_count_all_refs(self):
+        curve = PrefixCurve([((ref(1), ref(2)), 1), ((ref(3),), 1)])
+        assert curve.cost(1) == 2
+        assert curve.cost(2) == 3
+
+    def test_infeasible_solution_raises(self):
+        curve = PrefixCurve([((ref(1),), 1)])
+        with pytest.raises(ValueError):
+            curve.solution(5)
+
+    def test_empty_curve(self):
+        curve = constant_zero_curve()
+        assert curve.max_gain() == 0
+        assert curve.cost(0) == 0
+        assert curve.cost(1) == INFEASIBLE
+
+    def test_cost_is_monotone(self):
+        curve = PrefixCurve([((ref(i),), 7 - i) for i in range(1, 7)])
+        costs = [curve.cost(k) for k in range(curve.max_gain() + 1)]
+        assert costs == sorted(costs)
+
+
+class TestMinCurve:
+    def test_takes_pointwise_minimum(self):
+        expensive = PrefixCurve([((ref(1), ref(2)), 2)])
+        cheap = PrefixCurve([((ref(3),), 1)])
+        combined = MinCurve([expensive, cheap])
+        assert combined.cost(1) == 1
+        assert combined.solution(1) == {ref(3)}
+        assert combined.cost(2) == 2
+        assert combined.solution(2) == {ref(1), ref(2)}
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            MinCurve([])
+
+    def test_infeasible_k(self):
+        combined = MinCurve([PrefixCurve([((ref(1),), 1)])])
+        assert combined.cost(5) == INFEASIBLE
+        with pytest.raises(ValueError):
+            combined.solution(5)
+
+
+class TestTableCurve:
+    def test_table_lookup(self):
+        curve = TableCurve([0, 1, 3], lambda k: frozenset({ref(k)}), optimal=True)
+        assert curve.cost(0) == 0
+        assert curve.cost(2) == 3
+        assert curve.cost(7) == INFEASIBLE
+        assert curve.solution(2) == {ref(2)}
+        assert curve.max_gain() == 2
+
+    def test_requires_zero_start(self):
+        with pytest.raises(ValueError):
+            TableCurve([1, 2], lambda k: frozenset())
+
+    def test_infeasible_entries(self):
+        curve = TableCurve([0, math.inf], lambda k: frozenset())
+        assert curve.max_gain() == 0
+        with pytest.raises(ValueError):
+            curve.solution(1)

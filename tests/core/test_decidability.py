@@ -1,0 +1,80 @@
+"""Unit tests for the IsPtime procedure (algorithmic dichotomy, Section 4)."""
+
+from repro.core.decidability import decide, hard_leaf_subqueries, is_np_hard, is_poly_time
+from repro.query.parser import parse_query
+
+
+class TestPaperVerdicts:
+    def test_core_queries_are_np_hard(self):
+        assert is_np_hard(parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)"))
+        assert is_np_hard(parse_query("Qswing(A) :- R2(A, B), R3(B)"))
+        assert is_np_hard(parse_query("Qseesaw(A) :- R1(A), R2(A, B), R3(B)"))
+
+    def test_motivating_examples(self):
+        assert is_np_hard(parse_query("QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)"))
+        assert is_np_hard(parse_query("QPossible(C) :- Teaches(P, C), NotOnLeave(P)"))
+        assert is_np_hard(
+            parse_query("Q3path(A, B, C, D) :- R1(A, B), R2(B, C), R3(C, D)")
+        )
+
+    def test_example4_of_the_paper(self):
+        # Example 4: Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)
+        # decomposes into two components; the component with R1, R3, R4 is hard.
+        query = parse_query("Q(A, F, G, H) :- R1(A, B), R2(F, G), R3(B, C), R4(C), R5(G, H)")
+        assert is_np_hard(query)
+        leaves = hard_leaf_subqueries(query)
+        assert len(leaves) == 1
+        assert set(leaves[0].relation_names) == {"R1", "R3", "R4"}
+
+    def test_boolean_cases(self):
+        assert is_poly_time(parse_query("Q() :- R1(A), R2(A, B), R3(B)"))
+        assert is_np_hard(parse_query("Q() :- R1(A, B), R2(B, C), R3(C, A)"))
+        assert is_np_hard(parse_query("Q() :- R1(A, B, C), R2(A), R3(B), R4(C)"))
+
+    def test_vacuum_relation_is_easy(self):
+        assert is_poly_time(parse_query("Q(A) :- R1(A), R0()"))
+
+    def test_universal_attribute_simplification(self):
+        # Hard triangle becomes easy with a universal output attribute.
+        assert is_poly_time(parse_query("Q(A) :- R1(A, C, E), R2(A, E, F), R3(A, F, H)"))
+        # But the selective-output version from Section 5.2.2 stays hard.
+        assert is_np_hard(parse_query("Q(A, B) :- R1(A, C, E), R2(A, B, E, F), R3(B, F, H)"))
+
+    def test_full_hierarchical_join_is_easy(self):
+        assert is_poly_time(
+            parse_query(
+                "Q(A, B, C, E, F, H) :- R1(A, B, C), R2(A, B, F), R3(A, E), R4(A, E, H)"
+            )
+        )
+
+    def test_full_path_join_is_hard(self):
+        assert is_np_hard(parse_query("Q(A, B, C, E) :- R1(A, B), R2(B, C), R3(C, E)"))
+
+    def test_non_hierarchical_but_isptime_true(self):
+        # Section 5.2.2's example: Q(A,B,E) :- R1(A,E),R2(A,B,E),R3(B,E),R4(E)
+        # is non-hierarchical yet IsPtime returns true (E is universal, then
+        # R4 becomes vacuum).
+        assert is_poly_time(
+            parse_query("Q(A, B, E) :- R1(A, E), R2(A, B, E), R3(B, E), R4(E)")
+        )
+
+    def test_single_relation_queries(self):
+        assert is_poly_time(parse_query("Q(A) :- R1(A, B)"))
+        assert is_poly_time(parse_query("Q() :- R1(A, B)"))
+        assert is_poly_time(parse_query("Q(A, B) :- R1(A, B)"))
+
+
+class TestDecisionTrace:
+    def test_trace_mentions_simplifications(self):
+        trace = decide(parse_query("Q(A) :- R1(A), R2(A, B)"))
+        explanation = trace.explain()
+        assert "universal" in explanation
+        assert trace.poly_time
+
+    def test_trace_of_disconnected_query_has_children(self):
+        trace = decide(parse_query("Q(A, F) :- R1(A), R2(F, G)"))
+        assert len(trace.children) == 2
+        assert trace.poly_time
+
+    def test_hard_leaves_empty_for_easy_queries(self):
+        assert hard_leaf_subqueries(parse_query("Q(A) :- R1(A), R2(A, B)")) == []

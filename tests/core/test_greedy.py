@@ -1,0 +1,104 @@
+"""Unit tests for GreedyForCQ and DrasticGreedyForFullCQ."""
+
+import pytest
+
+from repro.core.bruteforce import bruteforce_optimum
+from repro.core.greedy import drastic_curve, greedy_curve
+from repro.data.database import Database
+from repro.engine.evaluate import evaluate
+from repro.query.parser import parse_query
+
+
+QPATH = parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+
+
+class TestGreedyForCQ:
+    def test_greedy_is_feasible(self, qpath, path_instance):
+        curve = greedy_curve(qpath, path_instance, kmax=4)
+        removed = curve.solution(4)
+        assert evaluate(qpath, path_instance).outputs_removed_by(removed) >= 4
+        assert not curve.optimal
+
+    def test_greedy_never_beats_bruteforce(self, qpath, path_instance):
+        total = evaluate(qpath, path_instance).output_count()
+        for k in range(1, total + 1):
+            greedy_cost = greedy_curve(qpath, path_instance, kmax=k).cost(k)
+            assert greedy_cost >= bruteforce_optimum(qpath, path_instance, k)
+
+    def test_greedy_picks_highest_profit_first(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"]},
+            {"R1": [(1,), (2,)], "R2": [(1, 1), (1, 2), (1, 3), (2, 1)]},
+        )
+        curve = greedy_curve(query, database)
+        picks = curve.picks()
+        assert picks[0][1] == 3  # the a=1 group first
+
+    def test_endogenous_restriction(self, qpath, path_instance):
+        restricted = greedy_curve(qpath, path_instance, endogenous_only=True)
+        unrestricted = greedy_curve(qpath, path_instance, endogenous_only=False)
+        # Both must be feasible for the full range they report.
+        assert restricted.max_gain() >= 1
+        assert unrestricted.max_gain() >= 1
+        # The restriction never picks tuples of the exogenous middle relation.
+        refs = restricted.solution(restricted.max_gain())
+        assert all(ref.relation in {"R1", "R3"} for ref in refs)
+
+    def test_empty_result(self):
+        query = parse_query("Q(A) :- R1(A), R2(A)")
+        database = Database.from_dict({"R1": ["A"], "R2": ["A"]},
+                                      {"R1": [(1,)], "R2": [(2,)]})
+        curve = greedy_curve(query, database)
+        assert curve.max_gain() == 0
+
+    def test_boolean_query_progress_through_zero_profit_picks(self):
+        # On a boolean query every single deletion has profit 0 until the very
+        # last one; the curve must still reach gain 1 with the right cost.
+        query = parse_query("Q() :- R1(A), R2(A, B), R3(B)")
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"], "R3": ["B"]},
+            {"R1": [(1,), (2,)], "R2": [(1, 1), (2, 2)], "R3": [(1,), (2,)]},
+        )
+        curve = greedy_curve(query, database, kmax=1)
+        assert curve.max_gain() == 1
+        assert curve.cost(1) >= 2  # both paths must be broken
+
+    def test_kmax_truncates_work(self, qpath, path_instance):
+        curve = greedy_curve(qpath, path_instance, kmax=1)
+        assert curve.max_gain() >= 1
+
+
+class TestDrasticGreedy:
+    def test_rejects_projection(self):
+        query = parse_query("Q(A) :- R1(A, B)")
+        with pytest.raises(ValueError):
+            drastic_curve(query, Database.from_dict({"R1": ["A", "B"]}, {"R1": [(1, 2)]}))
+
+    def test_full_path_query(self, path_instance):
+        query = parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+        curve = drastic_curve(query, path_instance)
+        result = evaluate(query, path_instance)
+        for k in (1, 2, 4):
+            removed = curve.solution(k)
+            assert result.outputs_removed_by(removed) >= k
+
+    def test_single_relation_only(self, path_instance):
+        query = parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+        curve = drastic_curve(query, path_instance)
+        refs = curve.solution(2)
+        assert len({ref.relation for ref in refs}) == 1
+
+    def test_never_better_than_bruteforce(self, path_instance):
+        query = parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)")
+        curve = drastic_curve(query, path_instance)
+        total = evaluate(query, path_instance).output_count()
+        for k in range(1, total + 1):
+            assert curve.cost(k) >= bruteforce_optimum(query, path_instance, k)
+
+    def test_empty_result(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        database = Database.from_dict({"R1": ["A"], "R2": ["A", "B"]},
+                                      {"R1": [], "R2": [(1, 2)]})
+        curve = drastic_curve(query, database)
+        assert curve.max_gain() == 0

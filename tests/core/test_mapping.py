@@ -1,0 +1,102 @@
+"""Unit tests for core queries and hardness-preserving query mappings."""
+
+from repro.core.decidability import is_poly_time
+from repro.core.mapping import (
+    CORE_QUERIES,
+    QPATH,
+    QSEESAW,
+    QSWING,
+    QueryMapping,
+    find_core_mapping,
+    find_mapping,
+    hardness_certificate,
+)
+from repro.query.parser import parse_query
+
+
+class TestCoreQueries:
+    def test_core_queries_shapes(self):
+        assert QPATH.head == ("A", "B") and len(QPATH.atoms) == 3
+        assert QSWING.head == ("A",) and len(QSWING.atoms) == 2
+        assert QSEESAW.head == ("A",) and len(QSEESAW.atoms) == 3
+        assert len(CORE_QUERIES) == 3
+
+    def test_core_queries_are_np_hard(self):
+        for core in CORE_QUERIES:
+            assert not is_poly_time(core)
+
+
+class TestMappingValidity:
+    def test_identity_mapping_is_valid(self):
+        mapping = QueryMapping(QPATH, QPATH, {"A": "A", "B": "B"})
+        assert mapping.is_valid()
+        assert mapping.relation_assignment() == {"R1": "R1", "R2": "R2", "R3": "R3"}
+
+    def test_missing_target_relation_invalid(self):
+        mapping = QueryMapping(QSWING, QPATH, {"A": "A", "B": "B"})
+        # Qswing has only two atoms; it cannot cover Qpath's three relations.
+        assert not mapping.is_valid()
+
+    def test_head_compatibility_required(self):
+        # Q(A,B) :- R1(A), R2(A,B) is poly-time; the "mapping" swapping A and
+        # B onto Qswing violates head compatibility and must be rejected.
+        easy = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        mapping = QueryMapping(easy, QSWING, {"A": "B", "B": "A"})
+        assert not mapping.is_valid()
+        assert find_mapping(easy, QSWING) is None
+
+    def test_image_of_relation(self):
+        mapping = QueryMapping(QPATH, QPATH, {"A": "A", "B": "*"})
+        assert mapping.image_of_relation("R2") == frozenset({"A"})
+
+
+class TestFindCoreMapping:
+    def test_paper_example5_maps_to_seesaw(self):
+        # Example 5: Q1(A,C,F) :- R1(A,C), R2(B), R3(B,C), R4(C,E,F) maps to
+        # Qseesaw (head join has the vacuum relation R2).
+        query = parse_query("Q1(A, C, F) :- R1(A, C), R2(B), R3(B, C), R4(C, E, F)")
+        mapping = find_core_mapping(query)
+        assert mapping is not None
+
+    def test_paper_example6_maps_to_path(self):
+        # Example 6: Q2(A,B) :- R1(A), R2(A,C), R3(C,B), R4(B) maps to Qpath.
+        query = parse_query("Q2(A, B) :- R1(A), R2(A, C), R3(C, B), R4(B)")
+        mapping = find_core_mapping(query)
+        assert mapping is not None
+
+    def test_paper_example7_full_cq(self):
+        # Example 7: the full chain Q3(A,B,C,E) :- R1(A,C), R2(C,E), R3(E,B).
+        query = parse_query("Q3(A, B, C, E) :- R1(A, C), R2(C, E), R3(E, B)")
+        assert find_core_mapping(query) is not None
+
+    def test_swing_shaped_query(self):
+        query = parse_query("QPossible(C) :- Teaches(P, C), NotOnLeave(P)")
+        mapping = find_core_mapping(query)
+        assert mapping is not None
+        assert mapping.target.name in {"Qswing", "Qseesaw", "Qpath"}
+
+    def test_poly_time_queries_have_no_core_mapping(self):
+        # Mappings preserve hardness (Lemma 6), so no poly-time query may map
+        # to a core query.
+        for text in (
+            "Q(A, B) :- R1(A), R2(A, B)",
+            "Q(A) :- R1(A, B)",
+            "Q(A) :- R1(A), R2(A, B), R3(A, B, C)",
+            "Q() :- R1(A), R2(A, B), R3(B)",
+        ):
+            assert find_core_mapping(parse_query(text)) is None, text
+
+
+class TestHardnessCertificate:
+    def test_certificate_for_hard_query(self):
+        text = hardness_certificate(parse_query("Qswing(A) :- R2(A, B), R3(B)"))
+        assert text is not None
+        assert "NP-hard" in text
+
+    def test_certificate_for_triad(self):
+        text = hardness_certificate(parse_query("Q() :- R1(A, B), R2(B, C), R3(C, A)"))
+        assert text is not None
+        assert "triad" in text
+
+    def test_no_certificate_for_easy_query(self):
+        assert hardness_certificate(parse_query("Q(A) :- R1(A, B)")) is None

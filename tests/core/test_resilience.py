@@ -1,0 +1,64 @@
+"""Unit tests for the resilience wrappers."""
+
+from repro.core.resilience import is_resilience_poly_time, resilience, robustness_profile
+from repro.data.database import Database
+from repro.query.parser import parse_query
+
+
+class TestResilience:
+    def test_chain_resilience_is_min_cut(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B), R3(B)")
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"], "R3": ["B"]},
+            {
+                "R1": [("a1",), ("a2",)],
+                "R2": [("a1", "b1"), ("a2", "b2")],
+                "R3": [("b1",), ("b2",)],
+            },
+        )
+        solution = resilience(query, database)
+        assert solution.optimal
+        assert solution.size == 2
+        # Removing the solution makes the boolean query false.
+        assert solution.verify(database) == 1
+
+    def test_false_query_has_zero_resilience(self):
+        query = parse_query("Q() :- R1(A), R2(A)")
+        database = Database.from_dict({"R1": ["A"], "R2": ["A"]},
+                                      {"R1": [(1,)], "R2": [(2,)]})
+        solution = resilience(query, database)
+        assert solution.size == 0
+        assert solution.method == "already-false"
+
+    def test_triangle_resilience_is_heuristic(self):
+        query = parse_query("Q() :- R1(A, B), R2(B, C), R3(C, A)")
+        database = Database.from_dict(
+            {"R1": ["A", "B"], "R2": ["B", "C"], "R3": ["C", "A"]},
+            {"R1": [(1, 2)], "R2": [(2, 3)], "R3": [(3, 1)]},
+        )
+        solution = resilience(query, database)
+        assert solution.removed_outputs == 1
+        assert not solution.optimal
+
+    def test_poly_time_predicate(self):
+        assert is_resilience_poly_time(parse_query("Q(A, B) :- R1(A), R2(A, B), R3(B)"))
+        assert not is_resilience_poly_time(parse_query("Q() :- R1(A, B), R2(B, C), R3(C, A)"))
+
+
+class TestRobustnessProfile:
+    def test_profile_is_monotone(self):
+        query = parse_query("QPossible(C) :- Teaches(P, C), NotOnLeave(P)")
+        database = Database.from_dict(
+            {"Teaches": ["P", "C"], "NotOnLeave": ["P"]},
+            {
+                "Teaches": [("p1", "c1"), ("p1", "c2"), ("p2", "c3"), ("p3", "c4")],
+                "NotOnLeave": [("p1",), ("p2",), ("p3",)],
+            },
+        )
+        profile = robustness_profile(query, database, ratios=(0.25, 0.5, 1.0))
+        ks = [k for (_r, k, _s) in profile]
+        sizes = [solution.size for (_r, _k, solution) in profile]
+        assert ks == sorted(ks)
+        assert sizes == sorted(sizes)
+        for _ratio, k, solution in profile:
+            assert solution.removed_outputs >= k

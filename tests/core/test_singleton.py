@@ -1,0 +1,139 @@
+"""Unit tests for the Singleton base case (Definition 10 / Algorithm 3)."""
+
+import pytest
+
+from repro.core.bruteforce import bruteforce_optimum
+from repro.core.singleton import is_singleton, singleton_curve, singleton_relation
+from repro.data.database import Database
+from repro.data.relation import TupleRef
+from repro.engine.evaluate import evaluate
+from repro.query.parser import parse_query
+
+
+class TestSingletonDetection:
+    def test_case1_detection(self):
+        # attr(R1) = {A} is contained in every relation and in the head.
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        assert singleton_relation(query) == "R1"
+
+    def test_case2_detection(self):
+        # head {A} is contained in attr(R1) = {A,B} which is minimal.
+        query = parse_query("Q(A) :- R1(A, B), R2(A, B, C)")
+        assert singleton_relation(query) == "R1"
+
+    def test_vacuum_relation_is_singleton(self):
+        query = parse_query("Q(A) :- R0(), R1(A)")
+        assert singleton_relation(query) == "R0"
+
+    def test_q7_is_singleton(self):
+        query = parse_query(
+            "Q7(A, B, C, D, E, F, G) :- R1(A, B, C), R2(A, B, C, D, E), "
+            "R3(A, B, C, D, G), R4(A, B, C, F)"
+        )
+        assert singleton_relation(query) == "R1"
+
+    def test_qpath_is_not_singleton(self):
+        assert not is_singleton(parse_query("Qpath(A, B) :- R1(A), R2(A, B), R3(B)"))
+
+    def test_qswing_is_not_singleton(self):
+        # Condition (2) of Definition 10 fails: attr(R3) = {B} is incomparable
+        # with head {A}.
+        assert not is_singleton(parse_query("Qswing(A) :- R2(A, B), R3(B)"))
+
+    def test_non_singleton_raises(self):
+        query = parse_query("Qswing(A) :- R2(A, B), R3(B)")
+        database = Database.empty_for_query(query)
+        with pytest.raises(ValueError):
+            singleton_curve(query, database)
+
+
+class TestSingletonCase1:
+    def setup_method(self):
+        self.query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        self.database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"]},
+            {
+                "R1": [(1,), (2,), (3,)],
+                "R2": [(1, 10), (1, 11), (1, 12), (2, 20), (3, 30), (3, 31)],
+            },
+        )
+
+    def test_profits_sorted_by_group_size(self):
+        curve = singleton_curve(self.query, self.database)
+        assert curve.optimal
+        # Group sizes are 3, 2, 1: removing one tuple removes 3 outputs, two
+        # tuples remove 5, three remove all 6.
+        assert curve.cost(3) == 1
+        assert curve.cost(4) == 2
+        assert curve.cost(6) == 3
+        assert curve.max_gain() == 6
+
+    def test_solutions_come_from_the_singleton_relation(self):
+        curve = singleton_curve(self.query, self.database)
+        assert {ref.relation for ref in curve.solution(4)} == {"R1"}
+
+    def test_matches_bruteforce(self):
+        for k in range(1, 7):
+            assert singleton_curve(self.query, self.database).cost(k) == \
+                bruteforce_optimum(self.query, self.database, k)
+
+    def test_dangling_singleton_tuples_are_ignored(self):
+        self.database.relation("R1").insert((99,))
+        curve = singleton_curve(self.query, self.database)
+        assert curve.max_gain() == 6
+        assert all(ref.values != (99,) for k in (1, 6) for ref in curve.solution(k))
+
+
+class TestSingletonCase2:
+    def setup_method(self):
+        # head {A} ⊆ attr(R1) = {A, B} ⊆ attr(R2) = {A, B, C}
+        self.query = parse_query("Q(A) :- R1(A, B), R2(A, B, C)")
+        self.database = Database.from_dict(
+            {"R1": ["A", "B"], "R2": ["A", "B", "C"]},
+            {
+                "R1": [(1, 10), (1, 11), (2, 20), (3, 30), (3, 31), (3, 32)],
+                "R2": [(1, 10, 0), (1, 11, 0), (2, 20, 0), (2, 20, 1),
+                        (3, 30, 0), (3, 31, 0), (3, 32, 0)],
+            },
+        )
+
+    def test_costs_sorted_ascending(self):
+        curve = singleton_curve(self.query, self.database)
+        # Output costs: a=2 needs 1 tuple, a=1 needs 2, a=3 needs 3.
+        assert curve.cost(1) == 1
+        assert curve.cost(2) == 3
+        assert curve.cost(3) == 6
+        assert curve.optimal
+
+    def test_solution_removes_whole_groups(self):
+        curve = singleton_curve(self.query, self.database)
+        solution = curve.solution(2)
+        assert {ref.relation for ref in solution} == {"R1"}
+        assert len(solution) == 3
+
+    def test_matches_bruteforce(self):
+        for k in (1, 2, 3):
+            assert singleton_curve(self.query, self.database).cost(k) == \
+                bruteforce_optimum(self.query, self.database, k)
+
+    def test_dangling_tuples_not_counted_in_cost(self):
+        self.database.relation("R1").insert((1, 99))  # no R2 partner
+        curve = singleton_curve(self.query, self.database)
+        assert curve.cost(2) == 3
+
+
+class TestSingletonEdgeCases:
+    def test_empty_result(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        database = Database.from_dict({"R1": ["A"], "R2": ["A", "B"]},
+                                      {"R1": [(1,)], "R2": []})
+        curve = singleton_curve(query, database)
+        assert curve.max_gain() == 0
+
+    def test_vacuum_singleton_removes_everything_with_one_tuple(self):
+        query = parse_query("Q(A) :- R0(), R1(A)")
+        database = Database.from_dict({"R0": [], "R1": ["A"]},
+                                      {"R0": [()], "R1": [(1,), (2,), (3,)]})
+        curve = singleton_curve(query, database)
+        assert curve.cost(3) == 1
+        assert curve.solution(3) == {TupleRef("R0", ())}

@@ -1,0 +1,71 @@
+"""Unit tests for ADP instances and solutions."""
+
+import pytest
+
+from repro.core.solution import ADPInstance, ADPSolution, summarize_removed
+from repro.data.database import Database
+from repro.data.relation import TupleRef
+from repro.query.parser import parse_query
+
+
+QUERY = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+
+
+def db():
+    return Database.from_dict(
+        {"R1": ["A"], "R2": ["A", "B"]},
+        {"R1": [(1,), (2,)], "R2": [(1, 10), (2, 20)]},
+    )
+
+
+class TestADPInstance:
+    def test_output_size_and_validate(self):
+        instance = ADPInstance(QUERY, db(), 2)
+        assert instance.output_size() == 2
+        instance.validate()
+
+    def test_validate_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ADPInstance(QUERY, db(), 0).validate()
+        with pytest.raises(ValueError):
+            ADPInstance(QUERY, db(), 3).validate()
+
+
+class TestADPSolution:
+    def make(self, removed, objective=None):
+        return ADPSolution(
+            query=QUERY,
+            k=1,
+            removed=frozenset(removed),
+            removed_outputs=1,
+            optimal=True,
+            method="exact",
+            objective=objective,
+        )
+
+    def test_size_defaults_to_removed_cardinality(self):
+        solution = self.make([TupleRef("R1", (1,))])
+        assert solution.size == 1
+        assert solution.is_feasible()
+
+    def test_counting_mode_objective(self):
+        solution = self.make([], objective=3)
+        assert solution.size == 3
+
+    def test_verify_recomputes(self):
+        solution = self.make([TupleRef("R1", (1,))])
+        assert solution.verify(db()) == 1
+
+    def test_with_stats_merges(self):
+        solution = self.make([TupleRef("R1", (1,))]).with_stats(runtime=1.5)
+        assert solution.stats["runtime"] == 1.5
+        assert solution.size == 1
+
+    def test_str_mentions_method(self):
+        assert "exact" in str(self.make([]))
+
+
+class TestSummarizeRemoved:
+    def test_breakdown(self):
+        removed = [TupleRef("R1", (1,)), TupleRef("R2", (1, 10)), TupleRef("R2", (2, 20))]
+        assert summarize_removed(removed) == {"R1": 1, "R2": 2}

@@ -1,0 +1,38 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.data.csvio import load_database_csv, save_database_csv
+from repro.data.database import Database
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        database = Database.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"]},
+            {"R1": [(1,), (2,)], "R2": [(1, "x"), (2, "y")]},
+        )
+        directory = save_database_csv(database, tmp_path / "db")
+        loaded = load_database_csv(directory)
+        assert loaded.relation_names == ("R1", "R2")
+        assert loaded.relation("R1").rows == {(1,), (2,)}
+        assert loaded.relation("R2").rows == {(1, "x"), (2, "y")}
+
+    def test_integers_are_parsed_back(self, tmp_path):
+        database = Database.from_dict({"R": ["A", "B"]}, {"R": [(10, "20x")]})
+        loaded = load_database_csv(save_database_csv(database, tmp_path))
+        row = next(iter(loaded.relation("R")))
+        assert row == (10, "20x")
+        assert isinstance(row[0], int)
+        assert isinstance(row[1], str)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database_csv(tmp_path / "nope")
+
+    def test_empty_file_rejected(self, tmp_path):
+        target = tmp_path / "broken"
+        target.mkdir()
+        (target / "R.csv").write_text("")
+        with pytest.raises(ValueError):
+            load_database_csv(target)

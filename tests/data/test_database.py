@@ -1,0 +1,101 @@
+"""Unit tests for the Database container."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation, TupleRef
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def small_db():
+    return Database.from_dict(
+        {"R1": ["A"], "R2": ["A", "B"]},
+        {"R1": [(1,), (2,)], "R2": [(1, 10), (2, 20), (2, 21)]},
+    )
+
+
+class TestDatabaseBasics:
+    def test_from_dict_and_access(self, small_db):
+        assert small_db.relation_names == ("R1", "R2")
+        assert len(small_db["R2"]) == 3
+        assert small_db.total_tuples() == 5
+        assert "R1" in small_db and "Rx" not in small_db
+
+    def test_duplicate_relation_rejected(self):
+        db = Database([Relation("R", ("A",))])
+        with pytest.raises(ValueError):
+            db.add_relation(Relation("R", ("A",)))
+
+    def test_all_refs(self, small_db):
+        refs = small_db.all_refs()
+        assert len(refs) == 5
+        assert TupleRef("R2", (1, 10)) in refs
+
+    def test_empty_for_query(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        db = Database.empty_for_query(query)
+        assert db.relation("R2").attributes == ("A", "B")
+        assert db.total_tuples() == 0
+
+
+class TestCopiesAndDeletions:
+    def test_without_removes_copies(self, small_db):
+        removed = small_db.without([TupleRef("R2", (1, 10))])
+        assert small_db.total_tuples() == 5
+        assert removed.total_tuples() == 4
+
+    def test_without_ignores_unknown_refs(self, small_db):
+        removed = small_db.without([TupleRef("R2", (999, 999)), TupleRef("Rx", (1,))])
+        assert removed.total_tuples() == 5
+
+    def test_remove_tuples_in_place(self, small_db):
+        count = small_db.remove_tuples([TupleRef("R1", (1,)), TupleRef("R1", (7,))])
+        assert count == 1
+        assert small_db.total_tuples() == 4
+
+    def test_contains_ref(self, small_db):
+        assert small_db.contains_ref(TupleRef("R1", (1,)))
+        assert not small_db.contains_ref(TupleRef("R1", (9,)))
+
+    def test_restricted_to(self, small_db):
+        restricted = small_db.restricted_to(["R1"])
+        assert restricted.relation_names == ("R1",)
+
+
+class TestQueryCoupling:
+    def test_validate_against_accepts_matching(self, small_db):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        small_db.validate_against(query)
+
+    def test_validate_against_missing_relation(self, small_db):
+        query = parse_query("Q(A) :- R9(A)")
+        with pytest.raises(KeyError):
+            small_db.validate_against(query)
+
+    def test_validate_against_wrong_attributes(self, small_db):
+        query = parse_query("Q(A, C) :- R1(A), R2(A, C)")
+        with pytest.raises(ValueError):
+            small_db.validate_against(query)
+
+    def test_aligned_to_renames_positionally(self):
+        edges = Database.from_dict({"R1": ["A", "B"], "R2": ["A", "B"]},
+                                   {"R1": [(1, 2)], "R2": [(2, 3)]})
+        query = parse_query("Q(A, B, C) :- R1(A, B), R2(B, C)")
+        aligned = edges.aligned_to(query)
+        assert aligned.relation("R2").attributes == ("B", "C")
+        aligned.validate_against(query)
+
+    def test_aligned_to_arity_mismatch(self):
+        db = Database.from_dict({"R1": ["A"]}, {"R1": [(1,)]})
+        query = parse_query("Q(A, B) :- R1(A, B)")
+        with pytest.raises(ValueError):
+            db.aligned_to(query)
+
+    def test_project_out_attributes(self, small_db):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        projected = small_db.project_out_attributes(query, ["A"])
+        assert projected.relation("R1").attributes == ()
+        assert projected.relation("R2").attributes == ("B",)
+        # R1 had two tuples that collapse onto the empty tuple.
+        assert len(projected.relation("R1")) == 1

@@ -1,0 +1,87 @@
+"""Unit tests for relations and tuple references."""
+
+import pytest
+
+from repro.data.relation import Relation, TupleRef
+
+
+class TestRelationBasics:
+    def test_insert_and_len(self):
+        relation = Relation("R", ("A", "B"))
+        relation.insert((1, 2))
+        relation.insert((1, 2))  # set semantics
+        relation.insert((3, 4))
+        assert len(relation) == 2
+        assert (1, 2) in relation
+
+    def test_insert_wrong_arity(self):
+        relation = Relation("R", ("A",))
+        with pytest.raises(ValueError):
+            relation.insert((1, 2))
+
+    def test_remove(self):
+        relation = Relation("R", ("A",), [(1,), (2,)])
+        assert relation.remove((1,))
+        assert not relation.remove((1,))
+        assert len(relation) == 1
+
+    def test_vacuum_relation(self):
+        relation = Relation("R", ())
+        assert relation.is_vacuum
+        relation.insert(())
+        assert len(relation) == 1
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("R", ("A", "A"))
+
+    def test_refs_are_stable_and_sorted(self):
+        relation = Relation("R", ("A",), [(2,), (1,)])
+        refs = relation.refs()
+        assert refs == sorted(refs)
+        assert all(isinstance(ref, TupleRef) for ref in refs)
+
+    def test_ref_for_missing_row(self):
+        relation = Relation("R", ("A",), [(1,)])
+        with pytest.raises(KeyError):
+            relation.ref((9,))
+
+
+class TestRelationalOperations:
+    def test_project(self):
+        relation = Relation("R", ("A", "B"), [(1, 10), (1, 20), (2, 10)])
+        assert relation.project(["A"]) == {(1,), (2,)}
+        assert relation.project(["B", "A"]) == {(10, 1), (20, 1), (10, 2)}
+
+    def test_select_equals(self):
+        relation = Relation("R", ("A", "B"), [(1, 10), (2, 20)])
+        selected = relation.select_equals({"A": 1})
+        assert selected.rows == {(1, 10)}
+
+    def test_select_predicate(self):
+        relation = Relation("R", ("A", "B"), [(1, 10), (2, 20)])
+        selected = relation.select(lambda row: row["B"] > 15)
+        assert selected.rows == {(2, 20)}
+
+    def test_drop_attributes_deduplicates(self):
+        relation = Relation("R", ("A", "B"), [(1, 10), (1, 20)])
+        dropped = relation.drop_attributes(["B"])
+        assert dropped.attributes == ("A",)
+        assert dropped.rows == {(1,)}
+
+    def test_copy_is_independent(self):
+        relation = Relation("R", ("A",), [(1,)])
+        copy = relation.copy()
+        copy.insert((2,))
+        assert len(relation) == 1
+        assert len(copy) == 2
+
+
+class TestTupleRef:
+    def test_equality_and_hash(self):
+        assert TupleRef("R", (1, 2)) == TupleRef("R", (1, 2))
+        assert len({TupleRef("R", (1,)), TupleRef("R", (1,))}) == 1
+        assert TupleRef("R", (1,)) != TupleRef("S", (1,))
+
+    def test_str(self):
+        assert str(TupleRef("R", (1, "x"))) == "R(1, x)"

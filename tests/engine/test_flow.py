@@ -1,0 +1,108 @@
+"""Unit tests for the Edmonds--Karp max-flow / min-cut substrate."""
+
+import math
+
+import pytest
+
+from repro.engine.flow import INFINITY, FlowNetwork
+
+
+def diamond_network():
+    """s -> a, b -> t with a cross edge; classic max-flow exercise."""
+    network = FlowNetwork()
+    network.add_edge("s", "a", 3, label="sa")
+    network.add_edge("s", "b", 2, label="sb")
+    network.add_edge("a", "b", 1, label="ab")
+    network.add_edge("a", "t", 2, label="at")
+    network.add_edge("b", "t", 3, label="bt")
+    return network
+
+
+class TestMaxFlow:
+    def test_diamond_max_flow(self):
+        network = diamond_network()
+        assert network.max_flow("s", "t") == 5
+
+    def test_single_edge(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 4)
+        assert network.max_flow("s", "t") == 4
+
+    def test_disconnected_source_sink(self):
+        network = FlowNetwork()
+        network.add_node("t")
+        network.add_edge("s", "a", 1)
+        assert network.max_flow("s", "t") == 0
+
+    def test_parallel_edges_add_up(self):
+        network = FlowNetwork()
+        for i in range(3):
+            network.add_edge("s", "t", 1, label=i)
+        assert network.max_flow("s", "t") == 3
+
+    def test_infinite_capacity_path_raises(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", INFINITY)
+        with pytest.raises(RuntimeError):
+            network.max_flow("s", "t")
+
+    def test_unknown_nodes_raise(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(KeyError):
+            network.max_flow("s", "x")
+
+    def test_same_source_and_sink_raises(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            network.max_flow("s", "s")
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork()
+        with pytest.raises(ValueError):
+            network.add_edge("s", "t", -1)
+
+
+class TestMinCut:
+    def test_cut_value_equals_flow(self):
+        network = diamond_network()
+        flow = network.max_flow("s", "t")
+        cut = network.min_cut_edges("s")
+        assert sum(capacity for (_, _, capacity, _) in cut) == flow
+
+    def test_cut_labels(self):
+        network = FlowNetwork()
+        network.add_edge("s", "m", 1, label="left")
+        network.add_edge("m", "t", 5, label="right")
+        network.max_flow("s", "t")
+        assert network.min_cut_labels("s") == ["left"]
+
+    def test_cut_avoids_infinite_edges(self):
+        # s -> m (inf), m -> t (1): the only finite cut is {m -> t}.
+        network = FlowNetwork()
+        network.add_edge("s", "m", INFINITY, label="exogenous")
+        network.add_edge("m", "t", 1, label="endogenous")
+        network.max_flow("s", "t")
+        assert network.min_cut_labels("s") == ["endogenous"]
+
+    def test_cut_disconnects_source_from_sink(self):
+        network = diamond_network()
+        network.max_flow("s", "t")
+        side = network.source_side("s")
+        assert "s" in side and "t" not in side
+
+
+class TestIntrospection:
+    def test_edge_and_node_counts(self):
+        network = diamond_network()
+        assert network.node_count == 4
+        assert network.edge_count() == 5
+        assert len(network.edges()) == 5
+
+    def test_add_node_is_idempotent(self):
+        network = FlowNetwork()
+        first = network.add_node("x")
+        second = network.add_node("x")
+        assert first == second
+        assert network.has_node("x")

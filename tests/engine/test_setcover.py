@@ -1,0 +1,98 @@
+"""Unit tests for partial set cover (greedy and primal-dual)."""
+
+import pytest
+
+from repro.engine.setcover import (
+    PartialSetCoverInstance,
+    greedy_partial_cover,
+    primal_dual_partial_cover,
+    sets_from_witnesses,
+)
+
+
+def instance(sets, target):
+    return PartialSetCoverInstance({k: frozenset(v) for k, v in sets.items()}, target)
+
+
+class TestInstance:
+    def test_universe_and_frequency(self):
+        psc = instance({"s1": {1, 2}, "s2": {2, 3}}, target=2)
+        assert psc.universe == {1, 2, 3}
+        assert psc.max_frequency() == 2
+
+    def test_coverage_and_feasibility(self):
+        psc = instance({"s1": {1, 2}, "s2": {2, 3}}, target=3)
+        assert psc.coverage(["s1"]) == 2
+        assert not psc.is_feasible(["s1"])
+        assert psc.is_feasible(["s1", "s2"])
+
+    def test_validate_rejects_impossible_target(self):
+        psc = instance({"s1": {1}}, target=5)
+        with pytest.raises(ValueError):
+            psc.validate()
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            instance({"s1": {1}}, target=-1)
+
+
+class TestGreedy:
+    def test_picks_largest_first(self):
+        psc = instance({"big": {1, 2, 3}, "small": {4}}, target=3)
+        assert greedy_partial_cover(psc) == ["big"]
+
+    def test_partial_target_stops_early(self):
+        psc = instance({"a": {1, 2}, "b": {3, 4}, "c": {5}}, target=3)
+        chosen = greedy_partial_cover(psc)
+        assert len(chosen) == 2
+        assert psc.is_feasible(chosen)
+
+    def test_zero_target(self):
+        psc = instance({"a": {1}}, target=0)
+        assert greedy_partial_cover(psc) == []
+
+    def test_infeasible_raises(self):
+        psc = instance({"a": {1}}, target=2)
+        with pytest.raises(ValueError):
+            greedy_partial_cover(psc)
+
+
+class TestPrimalDual:
+    def test_feasible_solution(self):
+        psc = instance({"a": {1, 2}, "b": {2, 3}, "c": {4}}, target=3)
+        chosen = primal_dual_partial_cover(psc)
+        assert psc.is_feasible(chosen)
+
+    def test_single_set_optimal_guess(self):
+        psc = instance({"best": {1, 2, 3, 4}, "x": {1}, "y": {2}}, target=4)
+        assert primal_dual_partial_cover(psc) == ["best"]
+
+    def test_zero_target(self):
+        psc = instance({"a": {1}}, target=0)
+        assert primal_dual_partial_cover(psc) == []
+
+    def test_infeasible_raises(self):
+        psc = instance({"a": {1}}, target=3)
+        with pytest.raises(ValueError):
+            primal_dual_partial_cover(psc)
+
+    def test_frequency_bound_on_vertex_cover_instance(self):
+        # Edges as elements, vertices as sets: frequency 2 instance; the
+        # primal-dual answer is at most 2x the optimum (here optimum = 1).
+        star_edges = {f"e{i}" for i in range(4)}
+        sets = {"center": frozenset(star_edges)}
+        for i in range(4):
+            sets[f"leaf{i}"] = frozenset({f"e{i}"})
+        psc = PartialSetCoverInstance(sets, target=4)
+        chosen = primal_dual_partial_cover(psc)
+        assert psc.is_feasible(chosen)
+        assert len(chosen) <= 2 * 1
+
+
+class TestWitnessReduction:
+    def test_sets_from_witnesses(self):
+        witnesses = [("t1", "t2"), ("t1", "t3")]
+        sets = sets_from_witnesses(witnesses)
+        assert sets["t1"] == {0, 1}
+        assert sets["t2"] == {0}
+        assert sets["t3"] == {1}

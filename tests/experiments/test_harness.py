@@ -1,0 +1,70 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.experiments.harness import (
+    ExperimentResult,
+    MethodRun,
+    run_method,
+    target_from_ratio,
+    timed,
+)
+from repro.query.parser import parse_query
+
+
+QUERY = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+
+
+def db():
+    return Database.from_dict(
+        {"R1": ["A"], "R2": ["A", "B"]},
+        {"R1": [(1,), (2,)], "R2": [(1, 10), (1, 11), (2, 20)]},
+    )
+
+
+class TestHarness:
+    def test_timed(self):
+        value, seconds = timed(lambda: 41 + 1)
+        assert value == 42
+        assert seconds >= 0
+
+    def test_target_from_ratio(self):
+        assert target_from_ratio(QUERY, db(), 0.5) == 2
+        assert target_from_ratio(QUERY, db(), 0.01) == 1
+
+    def test_target_from_ratio_empty_result(self):
+        empty = Database.from_dict({"R1": ["A"], "R2": ["A", "B"]}, {"R1": [], "R2": []})
+        with pytest.raises(ValueError):
+            target_from_ratio(QUERY, empty, 0.5)
+
+    @pytest.mark.parametrize("method", ["exact", "exact-counting", "greedy", "drastic", "bruteforce"])
+    def test_run_method(self, method):
+        run = run_method(QUERY, db(), 2, method)
+        assert isinstance(run, MethodRun)
+        assert run.k == 2
+        assert run.solution_size >= 1
+        assert run.removed_outputs >= 2
+        assert run.seconds >= 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_method(QUERY, db(), 1, "magic")
+
+    def test_as_row_merges_extras(self):
+        run = run_method(QUERY, db(), 1, "exact")
+        row = run.as_row(alpha=0.5)
+        assert row["alpha"] == 0.5
+        assert row["method"] == "exact"
+
+
+class TestExperimentResult:
+    def test_columns_and_series(self):
+        result = ExperimentResult("Fig X", "demo")
+        result.add({"method": "a", "n": 1, "seconds": 0.5})
+        result.add({"method": "a", "n": 2, "seconds": 0.7})
+        result.add({"method": "b", "n": 1, "seconds": 0.1})
+        assert result.columns() == ["method", "n", "seconds"]
+        series = result.series(group_by="method", x="n", y="seconds")
+        assert series["a"] == [(1, 0.5), (2, 0.7)]
+        assert len(result.filter(method="b")) == 1

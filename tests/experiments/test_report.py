@@ -1,0 +1,44 @@
+"""Unit tests for the text report renderer."""
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import format_table, print_results, render_results
+
+
+def sample_result():
+    result = ExperimentResult("Figure X", "demo experiment", notes="a note")
+    result.add({"method": "exact", "seconds": 0.1234567, "solution_size": 3})
+    result.add({"method": "greedy", "seconds": 0.05, "solution_size": 4})
+    return result
+
+
+class TestFormatTable:
+    def test_contains_title_header_and_rows(self):
+        text = format_table(sample_result())
+        assert "Figure X: demo experiment" in text
+        assert "method" in text and "seconds" in text
+        assert "exact" in text and "greedy" in text
+        assert "note: a note" in text
+
+    def test_floats_are_rounded(self):
+        text = format_table(sample_result())
+        assert "0.1235" in text
+
+    def test_column_subset(self):
+        text = format_table(sample_result(), columns=["method"])
+        assert "seconds" not in text
+
+    def test_empty_result(self):
+        empty = ExperimentResult("Figure Y", "nothing")
+        text = format_table(empty)
+        assert "Figure Y" in text
+
+
+class TestRenderResults:
+    def test_multiple_results_are_separated(self):
+        results = {"a": sample_result(), "b": sample_result()}
+        text = render_results(results)
+        assert text.count("Figure X: demo experiment") == 2
+
+    def test_print_results(self, capsys):
+        print_results({"a": sample_result()})
+        assert "Figure X" in capsys.readouterr().out

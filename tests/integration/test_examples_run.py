@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", [e for e in EXAMPLES if e != "reproduce_figures.py"])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_reproduce_figures_single_figure():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "reproduce_figures.py"), "--only", "fig12_13"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "Figures 12-13" in completed.stdout
+
+
+def test_at_least_three_examples_shipped():
+    assert len(EXAMPLES) >= 3

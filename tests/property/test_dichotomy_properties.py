@@ -1,0 +1,83 @@
+"""Property-based tests of the two dichotomies.
+
+The central theoretical claims of the paper are checked on randomly generated
+self-join-free queries:
+
+* Theorem 3: the procedural dichotomy (``IsPtime``) and the structural
+  dichotomy (triad-like / strand / non-hierarchical head join of
+  non-dominated relations) agree on every query;
+* Lemma 2 / Lemma 3: the two simplification steps preserve the complexity;
+* Lemma 4 + Lemma 6: every hard "Others" leaf admits a mapping onto one of
+  the three core queries, and no poly-time query does;
+* Theorem 4: on boolean queries the dichotomy degenerates to the triad
+  criterion of the resilience paper.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.decidability import decide, hard_leaf_subqueries, is_poly_time
+from repro.core.mapping import find_core_mapping
+from repro.core.structures import find_triad_like, is_poly_time_structural
+from repro.query.transforms import connected_components, remove_attributes
+
+from tests.conftest import queries
+
+
+@settings(max_examples=300, deadline=None)
+@given(queries(max_relations=4, max_attributes=4))
+def test_procedural_and_structural_dichotomies_agree(query):
+    assert is_poly_time(query) == is_poly_time_structural(query)
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries(max_relations=4, max_attributes=4))
+def test_removing_universal_attributes_preserves_complexity(query):
+    universal = query.universal_attributes()
+    if not universal:
+        return
+    residual = remove_attributes(query, universal)
+    assert is_poly_time(query) == is_poly_time(residual)
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries(max_relations=4, max_attributes=4))
+def test_decomposition_preserves_complexity(query):
+    components = connected_components(query)
+    if len(components) < 2:
+        return
+    assert is_poly_time(query) == all(is_poly_time(c) for c in components)
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries(max_relations=4, max_attributes=4))
+def test_hard_leaves_admit_core_mappings(query):
+    for leaf in hard_leaf_subqueries(query):
+        if leaf.is_boolean:
+            assert find_triad_like(leaf) is not None
+        else:
+            assert find_core_mapping(leaf) is not None, str(leaf)
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries(max_relations=3, max_attributes=4))
+def test_poly_time_queries_have_no_core_mapping(query):
+    # Lemma 6: a mapping to a hard core query would make the query hard.
+    if is_poly_time(query) and not query.is_boolean:
+        assert find_core_mapping(query) is None, str(query)
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries(max_relations=4, max_attributes=4))
+def test_boolean_dichotomy_is_triad_criterion(query):
+    boolean = query.as_boolean()
+    assert is_poly_time(boolean) == (find_triad_like(boolean) is None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries(max_relations=4, max_attributes=4))
+def test_decision_trace_is_consistent(query):
+    trace = decide(query)
+    assert trace.poly_time == is_poly_time(query)
+    assert trace.steps
+    # Hard leaves exist iff the query is NP-hard.
+    assert bool(hard_leaf_subqueries(query)) == (not trace.poly_time)

@@ -1,0 +1,68 @@
+"""Unit tests for query atoms."""
+
+import pytest
+
+from repro.query.atoms import Atom
+
+
+class TestAtomConstruction:
+    def test_basic_atom(self):
+        atom = Atom("R1", ("A", "B"))
+        assert atom.name == "R1"
+        assert atom.attributes == ("A", "B")
+        assert atom.arity == 2
+        assert not atom.is_vacuum
+
+    def test_vacuum_atom(self):
+        atom = Atom("R0")
+        assert atom.is_vacuum
+        assert atom.arity == 0
+        assert atom.attribute_set == frozenset()
+
+    def test_attribute_set_ignores_order(self):
+        assert Atom("R", ("A", "B")).attribute_set == Atom("R", ("B", "A")).attribute_set
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(ValueError):
+            Atom("R", ("A", "A"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Atom("", ("A",))
+
+    def test_atoms_are_hashable_and_comparable(self):
+        assert Atom("R", ("A",)) == Atom("R", ("A",))
+        assert len({Atom("R", ("A",)), Atom("R", ("A",))}) == 1
+
+
+class TestAtomRewrites:
+    def test_without_attributes(self):
+        atom = Atom("R", ("A", "B", "C"))
+        assert atom.without_attributes({"B"}).attributes == ("A", "C")
+
+    def test_without_all_attributes_becomes_vacuum(self):
+        atom = Atom("R", ("A", "B"))
+        assert atom.without_attributes({"A", "B"}).is_vacuum
+
+    def test_without_unknown_attribute_is_noop(self):
+        atom = Atom("R", ("A",))
+        assert atom.without_attributes({"Z"}) == atom
+
+    def test_restricted_to(self):
+        atom = Atom("R", ("A", "B", "C"))
+        assert atom.restricted_to({"C", "A"}).attributes == ("A", "C")
+
+    def test_renamed(self):
+        atom = Atom("R", ("A",))
+        renamed = atom.renamed("S")
+        assert renamed.name == "S"
+        assert renamed.attributes == ("A",)
+
+    def test_has_attribute(self):
+        atom = Atom("R", ("A", "B"))
+        assert atom.has_attribute("A")
+        assert not atom.has_attribute("Z")
+
+    def test_str(self):
+        assert str(Atom("R", ("A", "B"))) == "R(A, B)"
+        assert str(Atom("R")) == "R()"

@@ -1,0 +1,108 @@
+"""Unit tests for the ConjunctiveQuery class."""
+
+import pytest
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery, QueryError, validate_distinct_attribute_sets
+from repro.query.parser import parse_query
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        query = ConjunctiveQuery.from_dict(
+            {"R1": ["A"], "R2": ["A", "B"]}, head=["A", "B"], name="Q"
+        )
+        assert query.relation_names == ("R1", "R2")
+        assert query.head == ("A", "B")
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(("A",), ())
+
+    def test_rejects_self_joins(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((), (Atom("R", ("A",)), Atom("R", ("B",))))
+
+    def test_rejects_head_not_in_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(("Z",), (Atom("R", ("A",)),))
+
+    def test_rejects_duplicate_head(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(("A", "A"), (Atom("R", ("A",)),))
+
+
+class TestAccessors:
+    def test_attributes_and_head(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B), R3(B, C)")
+        assert query.attributes == {"A", "B", "C"}
+        assert query.head_attributes == {"A", "B"}
+        assert query.existential_attributes == {"C"}
+
+    def test_relations_with(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        assert [a.name for a in query.relations_with("A")] == ["R1", "R2"]
+        assert [a.name for a in query.relations_with("B")] == ["R2"]
+
+    def test_atom_lookup(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        assert query.atom("R2").attributes == ("A", "B")
+        with pytest.raises(KeyError):
+            query.atom("missing")
+
+
+class TestClassification:
+    def test_boolean_and_full(self):
+        boolean = parse_query("Q() :- R1(A), R2(A, B)")
+        full = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        projected = parse_query("Q(A) :- R1(A), R2(A, B)")
+        assert boolean.is_boolean and not boolean.is_full
+        assert full.is_full and not full.is_boolean
+        assert not projected.is_full and not projected.is_boolean
+
+    def test_vacuum_detection(self):
+        query = parse_query("Q(A) :- R1(A), R2()")
+        assert query.has_vacuum_relation
+        assert [a.name for a in query.vacuum_atoms] == ["R2"]
+
+    def test_universal_attributes(self):
+        query = parse_query("Q(A, B) :- R1(A, B), R2(A, C), R3(A)")
+        assert query.universal_attributes() == {"A"}
+        # B is output but not in every atom; C is everywhere it exists but not output.
+        boolean = parse_query("Q() :- R1(A), R2(A)")
+        assert boolean.universal_attributes() == frozenset()
+
+    def test_universal_attribute_single_atom(self):
+        query = parse_query("Q(A) :- R1(A, B)")
+        assert query.universal_attributes() == {"A"}
+
+
+class TestDerivedQueries:
+    def test_as_boolean_and_as_full(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        assert query.as_boolean().is_boolean
+        assert query.as_full().is_full
+        assert query.as_full().head_attributes == {"A", "B"}
+
+    def test_with_head(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        assert query.with_head(["B"]).head == ("B",)
+
+    def test_signature_ignores_order_and_name(self):
+        first = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        second = parse_query("Other(B, A) :- R2(B, A), R1(A)")
+        assert first.signature() == second.signature()
+
+    def test_signature_distinguishes_heads(self):
+        first = parse_query("Q(A) :- R1(A), R2(A, B)")
+        second = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        assert first.signature() != second.signature()
+
+
+class TestDistinctAttributeSets:
+    def test_accepts_distinct(self):
+        validate_distinct_attribute_sets(parse_query("Q(A) :- R1(A), R2(A, B)"))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(QueryError):
+            validate_distinct_attribute_sets(parse_query("Q(A) :- R1(A, B), R2(B, A)"))

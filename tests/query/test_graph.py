@@ -1,0 +1,76 @@
+"""Unit tests for query graph / connectivity helpers."""
+
+from repro.query.graph import (
+    QueryGraph,
+    attributes_connected,
+    hyperedges,
+    relations_connected_avoiding,
+)
+from repro.query.parser import parse_query
+
+
+class TestQueryGraph:
+    def test_edges_of_chain(self):
+        query = parse_query("Q() :- R1(A, B), R2(B, C), R3(C, D)")
+        graph = QueryGraph(query)
+        assert graph.edges() == [("R1", "R2"), ("R2", "R3")]
+        assert graph.neighbours("R2") == {"R1", "R3"}
+
+    def test_connected_components(self):
+        query = parse_query("Q(A, F) :- R1(A, B), R2(B), R3(F, G), R4(G)")
+        graph = QueryGraph(query)
+        components = graph.connected_components()
+        assert len(components) == 2
+        assert {"R1", "R2"} in components
+        assert {"R3", "R4"} in components
+        assert not graph.is_connected()
+
+    def test_single_relation_is_connected(self):
+        query = parse_query("Q(A) :- R1(A)")
+        assert QueryGraph(query).is_connected()
+
+    def test_figure2_example(self):
+        # The example CQ of Figure 2 is connected.
+        query = parse_query(
+            "Q(A, C, F, K) :- R1(A, B, C), R2(A, H), R3(B, E, F), R4(E, K), R5(K, I), R6(C, I, J)"
+        )
+        assert QueryGraph(query).is_connected()
+
+    def test_hyperedges(self):
+        query = parse_query("Q() :- R1(A, B), R2(B)")
+        assert hyperedges(query) == {"R1": {"A", "B"}, "R2": {"B"}}
+
+
+class TestAvoidingConnectivity:
+    def test_triangle_paths_avoiding_third(self):
+        # In the triangle, R1 and R2 share B which is not in R3(C,A), so a
+        # path avoiding attr(R3) exists.
+        query = parse_query("Q() :- R1(A, B), R2(B, C), R3(C, A)")
+        assert relations_connected_avoiding(query, "R1", "R2", {"C", "A"})
+        assert relations_connected_avoiding(query, "R2", "R3", {"A", "B"})
+        assert relations_connected_avoiding(query, "R1", "R3", {"B", "C"})
+
+    def test_chain_cannot_avoid_middle_attribute(self):
+        query = parse_query("Q() :- R1(A), R2(A, B), R3(B)")
+        # R1 and R3 are only connected through A and B; forbidding both cuts them.
+        assert not relations_connected_avoiding(query, "R1", "R3", {"A", "B"})
+        assert relations_connected_avoiding(query, "R1", "R3", set())
+
+    def test_endpoint_without_allowed_attribute(self):
+        query = parse_query("Q() :- R1(A), R2(A, B)")
+        assert not relations_connected_avoiding(query, "R1", "R2", {"A"})
+
+    def test_same_relation_is_trivially_connected(self):
+        query = parse_query("Q() :- R1(A), R2(A, B)")
+        assert relations_connected_avoiding(query, "R1", "R1", set())
+
+
+class TestAttributeConnectivity:
+    def test_attributes_connected_through_chain(self):
+        query = parse_query("Q() :- R1(A, B), R2(B, C), R3(C, D)")
+        assert attributes_connected(query, "A", "D")
+        assert not attributes_connected(query, "A", "D", allowed_attributes=["A", "D"])
+
+    def test_disconnected_attributes(self):
+        query = parse_query("Q() :- R1(A), R2(B)")
+        assert not attributes_connected(query, "A", "B")

@@ -1,0 +1,58 @@
+"""Unit tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.query.cq import QueryError
+from repro.query.parser import parse_query
+
+
+class TestParser:
+    def test_simple_query(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B), R3(B)")
+        assert query.name == "Q"
+        assert query.head == ("A", "B")
+        assert query.relation_names == ("R1", "R2", "R3")
+        assert query.atom("R2").attributes == ("A", "B")
+
+    def test_boolean_query(self):
+        query = parse_query("Qb() :- R1(A, B), R2(B, C)")
+        assert query.is_boolean
+
+    def test_vacuum_atom(self):
+        query = parse_query("Q(A) :- R1(A), R2()")
+        assert query.atom("R2").is_vacuum
+
+    def test_arrow_separator(self):
+        query = parse_query("Q(A) <- R1(A, B)")
+        assert query.head == ("A",)
+
+    def test_whitespace_insensitive(self):
+        query = parse_query("  Q ( A ,B )   :-   R1( A ) , R2(A,  B) ")
+        assert query.head == ("A", "B")
+        assert query.relation_names == ("R1", "R2")
+
+    def test_underscores_and_digits_in_names(self):
+        query = parse_query("Q_1(A1) :- Rel_2(A1, B_2)")
+        assert query.name == "Q_1"
+        assert query.atom("Rel_2").attributes == ("A1", "B_2")
+
+    def test_roundtrip_through_str(self):
+        text = "Qpath(A, B) :- R1(A), R2(A, B), R3(B)"
+        assert str(parse_query(str(parse_query(text)))) == text
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Q(A) R1(A)",                # no separator
+            "Q(A) :- ",                  # empty body
+            "Q(A) :- R1(A,)",            # empty attribute
+            "Q(A) :- R1((A)",            # unbalanced parens
+            "Q(A) :- R1(A), R1(B)",      # self-join
+            "Q(Z) :- R1(A)",             # head not in body
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(QueryError):
+            parse_query(text)

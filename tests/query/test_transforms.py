@@ -1,0 +1,91 @@
+"""Unit tests for query rewrites (remove attributes, head join, decomposition)."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.transforms import (
+    connected_components,
+    drop_relations,
+    head_join,
+    project_head,
+    remove_attributes,
+    restrict_to_relations,
+)
+
+
+class TestRemoveAttributes:
+    def test_removes_from_body_and_head(self):
+        query = parse_query("Q(A, B) :- R1(A, B), R2(A, C)")
+        residual = remove_attributes(query, {"A"})
+        assert residual.head == ("B",)
+        assert residual.atom("R1").attributes == ("B",)
+        assert residual.atom("R2").attributes == ("C",)
+
+    def test_can_create_vacuum_relations(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        residual = remove_attributes(query, {"A"})
+        assert residual.atom("R1").is_vacuum
+        assert residual.is_boolean
+
+    def test_original_query_unchanged(self):
+        query = parse_query("Q(A) :- R1(A, B)")
+        remove_attributes(query, {"A"})
+        assert query.head == ("A",)
+
+
+class TestHeadJoin:
+    def test_head_join_removes_existential_attributes(self):
+        query = parse_query("Q(A, C) :- R1(A, B), R2(B, C), R3(C)")
+        hj = head_join(query)
+        assert hj.attributes == {"A", "C"}
+        assert hj.atom("R1").attributes == ("A",)
+        assert hj.is_full
+
+    def test_head_join_of_boolean_query_is_all_vacuum(self):
+        query = parse_query("Q() :- R1(A), R2(A, B)")
+        hj = head_join(query)
+        assert all(atom.is_vacuum for atom in hj.atoms)
+
+
+class TestComponents:
+    def test_connected_query_yields_itself(self):
+        query = parse_query("Q(A) :- R1(A), R2(A, B)")
+        components = connected_components(query)
+        assert len(components) == 1
+        assert components[0].relation_names == ("R1", "R2")
+
+    def test_disconnected_query_decomposes(self):
+        query = parse_query("Q(A, F, G, H) :- R1(A, B), R2(F, G), R3(B, C), R4(C), R5(G, H)")
+        components = connected_components(query)
+        assert len(components) == 2
+        names = [set(component.relation_names) for component in components]
+        assert {"R1", "R3", "R4"} in names
+        assert {"R2", "R5"} in names
+
+    def test_component_heads_are_restricted(self):
+        query = parse_query("Q(A, F) :- R1(A), R2(F)")
+        components = connected_components(query)
+        heads = sorted(component.head for component in components)
+        assert heads == [("A",), ("F",)]
+
+
+class TestRestrictAndDrop:
+    def test_restrict_to_relations(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B), R3(B)")
+        restricted = restrict_to_relations(query, ["R1", "R2"])
+        assert restricted.relation_names == ("R1", "R2")
+        assert restricted.head == ("A", "B")
+
+    def test_restrict_to_empty_raises(self):
+        query = parse_query("Q(A) :- R1(A)")
+        with pytest.raises(ValueError):
+            restrict_to_relations(query, [])
+
+    def test_drop_relations(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B), R3(B)")
+        dropped = drop_relations(query, ["R3"])
+        assert dropped.relation_names == ("R1", "R2")
+
+    def test_project_head(self):
+        query = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+        assert project_head(query, ["B"]).head == ("B",)

