@@ -22,6 +22,13 @@ records which case applies (``optimal`` flag and ``method`` string).
 Internally every step produces a :class:`~repro.core.curves.CostCurve`
 (solutions for all targets up to ``k``), because the Universe/Decompose
 dynamic programs need the costs of sub-problems for many targets at once.
+
+All evaluation goes through the columnar witness engine
+(:mod:`repro.engine.evaluate`): the repeated ``evaluate`` calls this module
+issues per solve -- sizing the target, the base-case algorithm, verifying
+the returned deletion set -- and the re-evaluations of identical
+sub-instances inside the Universe/Decompose recursions are served from the
+memoizing evaluation cache rather than re-joining.
 """
 
 from __future__ import annotations

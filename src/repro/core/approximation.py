@@ -26,6 +26,7 @@ from repro.engine.setcover import (
     PartialSetCoverInstance,
     greedy_partial_cover,
     primal_dual_partial_cover,
+    sets_from_packed_provenance,
 )
 from repro.query.cq import ConjunctiveQuery
 
@@ -45,6 +46,10 @@ def full_cq_cover_instance(
             f"{query.name} projects out {sorted(query.existential_attributes)}"
         )
     result = evaluate(query, database)
+    if result.provenance is not None:
+        return PartialSetCoverInstance(
+            sets_from_packed_provenance(result.provenance), target=k
+        )
     sets: Dict[TupleRef, set] = {}
     for index, witness in enumerate(result.witnesses):
         for ref in witness.refs:

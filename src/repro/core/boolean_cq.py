@@ -153,19 +153,20 @@ def min_cut_curve(
 
     for index, name in enumerate(order):
         relation = reduced.relation(name)
-        atom = atoms[name]
         left_attrs = boundaries[index - 1] if index > 0 else ()
         right_attrs = boundaries[index] if index < len(order) - 1 else ()
         capacity = 1.0 if name in endogenous else INFINITY
-        for row in relation:
-            values = dict(zip(relation.attributes, row))
-            left_key = tuple(values[a] for a in left_attrs)
-            right_key = tuple(values[a] for a in right_attrs)
-            left_node = ("boundary", index, left_key)
-            right_node = ("boundary", index + 1, right_key)
-            network.add_edge(
-                left_node, right_node, capacity, label=TupleRef(name, row)
+        left_positions = [relation.attribute_index(a) for a in left_attrs]
+        right_positions = [relation.attribute_index(a) for a in right_attrs]
+        network.add_edges(
+            (
+                ("boundary", index, tuple(row[p] for p in left_positions)),
+                ("boundary", index + 1, tuple(row[p] for p in right_positions)),
+                capacity,
+                TupleRef(name, row),
             )
+            for row in relation
+        )
 
     flow = network.max_flow(source, sink)
     cut_refs = tuple(network.min_cut_labels(source))

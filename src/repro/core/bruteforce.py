@@ -18,7 +18,7 @@ Two safe prunings are applied (both preserve optimality):
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.solution import ADPSolution
 from repro.core.structures import endogenous_relations
@@ -79,16 +79,38 @@ def bruteforce_solve(
             "brute force would enumerate too many subsets"
         )
 
+    # Subset evaluation oracle.  With the columnar engine each candidate
+    # becomes one arbitrary-precision bitmask over the witnesses; the outputs
+    # killed by a subset are counted with word-level AND/OR instead of
+    # per-witness set intersections, which is what makes the enumeration
+    # tolerable at benchmark sizes.
+    prov = result.provenance
+    if prov is not None:
+        candidate_masks = prov.witness_masks_for(pool)
+        output_masks = prov.output_masks()
+
+        def outputs_removed(subset: Tuple[int, ...]) -> int:
+            killed = 0
+            for i in subset:
+                killed |= candidate_masks[i]
+            return sum(1 for mask in output_masks if mask & killed == mask)
+
+    else:
+
+        def outputs_removed(subset: Tuple[int, ...]) -> int:
+            return result.outputs_removed_by([pool[i] for i in subset])
+
     checked = 0
+    indices = range(len(pool))
     for size in range(0, len(pool) + 1):
-        for subset in combinations(pool, size):
+        for subset in combinations(indices, size):
             checked += 1
-            removed_outputs = result.outputs_removed_by(subset)
+            removed_outputs = outputs_removed(subset)
             if removed_outputs >= k:
                 return ADPSolution(
                     query=query,
                     k=k,
-                    removed=frozenset(subset),
+                    removed=frozenset(pool[i] for i in subset),
                     removed_outputs=removed_outputs,
                     optimal=True,
                     method="bruteforce",

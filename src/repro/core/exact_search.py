@@ -108,7 +108,7 @@ def branch_and_bound_solve(
     greedy_removed: List[TupleRef] = []
     while index.removed_output_count() < k:
         best = max(
-            (ref for ref in candidates if ref not in index.removed),
+            (ref for ref in candidates if not index.is_removed(ref)),
             key=lambda ref: (index.profit(ref), index.witness_gain(ref), repr(ref)),
             default=None,
         )
@@ -148,7 +148,7 @@ def branch_and_bound_solve(
         if removed_outputs + _upper_profit_bound(index, remaining, budget) < k:
             return
         for offset, ref in enumerate(remaining):
-            if ref in index.removed:
+            if index.is_removed(ref):
                 continue
             if state.best_size is not None and len(chosen) + 1 >= state.best_size:
                 # Any completion through this branch has size >= the incumbent.

@@ -21,6 +21,15 @@ Two heuristics are implemented:
   projections the per-relation profits are no longer additive, which is why
   the paper (and this library) refuse to apply it there.
 
+Both heuristics run on the columnar engine's packed provenance: candidates
+are dense ref IDs scanned through :class:`~repro.engine.provenance.
+ProvenanceIndex`'s integer API, and the scan prunes with the invariant
+``profit(t) <= witness_gain(t)`` (the witness gain is maintained
+incrementally and is O(1) to read), which skips the expensive profit
+computation for candidates that provably cannot beat the current best.  The
+pruning never changes which tuple is picked, so the produced curves are
+identical to the row engine's.
+
 ``GreedyForCQ`` achieves an ``O(log k)`` approximation on full CQs (it is the
 greedy partial-set-cover algorithm of Theorem 5); neither heuristic has a
 guarantee in the presence of projections.
@@ -69,37 +78,53 @@ def greedy_curve(
     if endogenous_only:
         allowed = set(endogenous_relations(query))
         candidates = [
-            ref for ref in index.participating_refs() if ref.relation in allowed
+            rid
+            for rid in range(index.ref_count())
+            if index.ref_at(rid).relation in allowed
         ]
     else:
-        candidates = list(index.participating_refs())
-    candidates.sort(key=repr)
+        candidates = list(range(index.ref_count()))
+    candidates.sort(key=lambda rid: repr(index.ref_at(rid)))
 
     picks: List[Tuple[Tuple[TupleRef, ...], int]] = []
     pending: List[TupleRef] = []
-    removed_refs: set = set()
     removed_outputs = 0
     while removed_outputs < target:
-        best_ref = None
-        best_key = (-1, -1)
-        for ref in candidates:
-            if ref in removed_refs:
+        best_rid = -1
+        best_profit = -1
+        best_gain = -1
+        exhausted: Optional[List[int]] = None
+        for rid in candidates:
+            gain = index.witness_gain_id(rid)
+            if gain == 0:
+                # All witnesses of this tuple are already dead (in particular
+                # every previously picked tuple): it can never make progress
+                # again, so drop it from future scans.
+                if exhausted is None:
+                    exhausted = []
+                exhausted.append(rid)
                 continue
-            witness_gain = index.witness_gain(ref)
-            if witness_gain == 0:
+            # profit <= witness gain, so a candidate whose gain cannot beat
+            # the incumbent key (profit, gain) cannot be selected: skip the
+            # profit computation.  This never changes the picked tuple.
+            if gain < best_profit or (gain == best_profit and gain <= best_gain):
                 continue
-            key = (index.profit(ref), witness_gain)
-            if key > best_key:
-                best_key = key
-                best_ref = ref
-        if best_ref is None:
+            profit = index.profit_id(rid)
+            if profit > best_profit or (profit == best_profit and gain > best_gain):
+                best_profit = profit
+                best_gain = gain
+                best_rid = rid
+        if exhausted:
+            dead = set(exhausted)
+            candidates = [rid for rid in candidates if rid not in dead]
+        if best_rid < 0:
             # No candidate can make progress (can only happen when candidates
             # are restricted and exogenous tuples would be needed, which
             # Lemma 13 rules out; guarded for safety).
             break
-        gained = index.remove(best_ref)
-        removed_refs.add(best_ref)
+        gained = index.remove_id(best_rid)
         removed_outputs += gained
+        best_ref = index.ref_at(best_rid)
         if gained > 0:
             picks.append((tuple(pending) + (best_ref,), gained))
             pending = []
@@ -132,10 +157,24 @@ def drastic_curve(
     # profit is simply the number of witnesses it participates in, and tuples
     # of the same relation remove disjoint outputs.
     profits: Dict[str, Dict[TupleRef, int]] = {}
-    for witness in result.witnesses:
-        for ref in witness.refs:
-            profits.setdefault(ref.relation, {})
-            profits[ref.relation][ref] = profits[ref.relation].get(ref, 0) + 1
+    prov = result.provenance
+    if prov is not None:
+        # Count occurrences per packed column: one dict of tids per atom.
+        for position, name in enumerate(prov.atom_names):
+            counts: Dict[int, int] = {}
+            get = counts.get
+            for tid in prov.ref_columns[position]:
+                counts[tid] = get(tid, 0) + 1
+            view = prov.refs_for_atom(position)
+            profits[name] = {view[tid]: count for tid, count in counts.items()}
+        witness_count = prov.witness_count()
+        for vacuum_ref in prov.vacuum_refs:
+            profits[vacuum_ref.relation] = {vacuum_ref: witness_count}
+    else:
+        for witness in result.witnesses:
+            for ref in witness.refs:
+                profits.setdefault(ref.relation, {})
+                profits[ref.relation][ref] = profits[ref.relation].get(ref, 0) + 1
 
     curves: List[PrefixCurve] = []
     for relation_name in endogenous_relations(query):

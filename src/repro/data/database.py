@@ -84,6 +84,19 @@ class Database:
         """``|D|``: the total number of input tuples."""
         return sum(len(r) for r in self._relations.values())
 
+    def version_token(self) -> Tuple[Tuple[str, int], ...]:
+        """A cheap, hashable fingerprint of the instance's mutation state.
+
+        One ``(relation name, relation version)`` pair per relation, in
+        insertion order.  In-place mutations bump relation versions, so two
+        equal tokens on the *same* ``Database`` object guarantee the stored
+        tuples are unchanged -- the invariant the evaluation cache relies on.
+        The token says nothing about other ``Database`` objects.
+        """
+        return tuple(
+            (name, relation.version) for name, relation in self._relations.items()
+        )
+
     def all_refs(self) -> List[TupleRef]:
         """Every input tuple of the database as a :class:`TupleRef`."""
         refs: List[TupleRef] = []

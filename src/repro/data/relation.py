@@ -63,6 +63,9 @@ class Relation:
         self.name = name
         self.attributes: Tuple[str, ...] = attrs
         self._rows: Set[Row] = set()
+        #: monotone mutation counter; the evaluation cache keys on it, so it
+        #: only moves when the tuple set actually changes.
+        self._version: int = 0
         for row in rows:
             self.insert(row)
 
@@ -77,7 +80,9 @@ class Relation:
                 f"relation {self.name} expects {len(self.attributes)} values, "
                 f"got {len(stored)}: {stored!r}"
             )
-        self._rows.add(stored)
+        if stored not in self._rows:
+            self._rows.add(stored)
+            self._version += 1
         return stored
 
     def insert_many(self, rows: Iterable[Sequence[Value]]) -> None:
@@ -90,11 +95,14 @@ class Relation:
         stored = tuple(row)
         if stored in self._rows:
             self._rows.remove(stored)
+            self._version += 1
             return True
         return False
 
     def clear(self) -> None:
         """Remove every tuple."""
+        if self._rows:
+            self._version += 1
         self._rows.clear()
 
     # ------------------------------------------------------------------ #
@@ -113,6 +121,15 @@ class Relation:
     def rows(self) -> Set[Row]:
         """The tuple set (a copy, so callers cannot mutate storage)."""
         return set(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped whenever the tuple set changes.
+
+        The columnar evaluation cache uses ``(relation name, version)`` pairs
+        to detect stale entries without hashing the stored tuples.
+        """
+        return self._version
 
     @property
     def is_vacuum(self) -> bool:

@@ -6,9 +6,15 @@ substrate built from scratch:
 
 * :mod:`repro.engine.evaluate` -- natural-join evaluation of a self-join-free
   CQ with projection, returning output tuples *and* their witnesses
-  (which-provenance);
-* :mod:`repro.engine.provenance` -- an incremental provenance index used by
-  the greedy heuristics and by solution verification;
+  (which-provenance); the public :class:`QueryResult`/:class:`Witness` API is
+  a thin view over the columnar core;
+* :mod:`repro.engine.columnar` -- the columnar witness core: per-relation
+  tuple interning, a batch left-deep hash join over integer ID columns, and
+  packed per-atom provenance columns;
+* :mod:`repro.engine.cache` -- memoization of evaluation results keyed by
+  (query canonical form, database version);
+* :mod:`repro.engine.provenance` -- an incremental provenance index (dense
+  integer arrays) used by the greedy heuristics and by solution verification;
 * :mod:`repro.engine.semijoin` -- semi-join reduction (dangling-tuple
   removal);
 * :mod:`repro.engine.flow` -- max-flow / min-cut (Edmonds--Karp) used by the
@@ -17,7 +23,18 @@ substrate built from scratch:
   used by the approximation algorithms for full CQs.
 """
 
-from repro.engine.evaluate import QueryResult, Witness, evaluate
+from repro.engine.cache import EvaluationCache
+from repro.engine.columnar import ColumnarProvenance, RelationIndex
+from repro.engine.evaluate import (
+    QueryResult,
+    Witness,
+    clear_evaluation_cache,
+    engine_mode,
+    evaluate,
+    evaluate_rows,
+    evaluation_cache_stats,
+    set_engine_mode,
+)
 from repro.engine.provenance import ProvenanceIndex
 from repro.engine.semijoin import remove_dangling_tuples, semijoin_reduce
 from repro.engine.flow import FlowNetwork
@@ -25,12 +42,21 @@ from repro.engine.setcover import (
     PartialSetCoverInstance,
     greedy_partial_cover,
     primal_dual_partial_cover,
+    sets_from_packed_provenance,
 )
 
 __all__ = [
     "QueryResult",
     "Witness",
     "evaluate",
+    "evaluate_rows",
+    "set_engine_mode",
+    "engine_mode",
+    "clear_evaluation_cache",
+    "evaluation_cache_stats",
+    "EvaluationCache",
+    "ColumnarProvenance",
+    "RelationIndex",
     "ProvenanceIndex",
     "remove_dangling_tuples",
     "semijoin_reduce",
@@ -38,4 +64,5 @@ __all__ = [
     "PartialSetCoverInstance",
     "greedy_partial_cover",
     "primal_dual_partial_cover",
+    "sets_from_packed_provenance",
 ]

@@ -1,0 +1,109 @@
+"""Memoizing evaluation cache.
+
+``ComputeADP`` re-evaluates the same (query, database) pair many times in one
+solve: once to size the target, once inside the base-case algorithm, once to
+verify the returned deletion set -- and the Universe/Decompose dynamic
+programs repeat that pattern per sub-instance.  The joins are identical, so
+this module caches :class:`~repro.engine.evaluate.QueryResult` objects.
+
+Keying
+------
+Entries are held in a ``WeakKeyDictionary`` keyed by the ``Database`` object
+(so a discarded instance releases its cached results), and within a database
+by
+
+* the query's **canonical form** -- the head in order plus the body as a
+  sorted set of ``(relation, attribute set)`` pairs, ignoring display names
+  and atom order, and
+* the database's **version token** -- the per-relation mutation counters of
+  :meth:`repro.data.database.Database.version_token`.
+
+In-place mutation bumps a relation's version, so stale entries can never be
+returned; they age out of the per-database LRU instead.
+
+Cached results are shared between callers and must be treated as immutable
+(every consumer in this library builds its own mutable state, e.g.
+``ProvenanceIndex``, on top of them).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Hashable, Tuple
+
+from repro.data.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+#: Per-database bound on cached results: old entries (including stale
+#: versions) are evicted in insertion order once the bound is hit.
+MAX_ENTRIES_PER_DATABASE = 64
+
+
+def canonical_query_key(query: ConjunctiveQuery) -> Hashable:
+    """The query part of a cache key.
+
+    Unlike :meth:`ConjunctiveQuery.signature` this keeps the *order* of the
+    head (output rows are ordered tuples, so ``Q(A, B)`` and ``Q(B, A)`` must
+    not share an entry) while still ignoring the display name and the
+    atom/attribute order of the body.
+    """
+    body = tuple(
+        sorted((atom.name, tuple(sorted(atom.attribute_set))) for atom in query.atoms)
+    )
+    return (query.head, body)
+
+
+class EvaluationCache:
+    """A per-database LRU of evaluation results (see the module docstring)."""
+
+    def __init__(self, max_entries_per_database: int = MAX_ENTRIES_PER_DATABASE):
+        self._per_database: "weakref.WeakKeyDictionary[Database, Dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._max_entries = max_entries_per_database
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, query: ConjunctiveQuery, database: Database):
+        """The cached result for ``(query, database)`` or ``None``."""
+        entries = self._per_database.get(database)
+        if entries is None:
+            self.misses += 1
+            return None
+        key = (canonical_query_key(query), database.version_token())
+        result = entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        # Refresh recency (dicts preserve insertion order).
+        entries.pop(key)
+        entries[key] = result
+        self.hits += 1
+        return result
+
+    def store(self, query: ConjunctiveQuery, database: Database, result) -> None:
+        """Cache one evaluation result."""
+        try:
+            entries = self._per_database.setdefault(database, {})
+        except TypeError:  # pragma: no cover - non-weakref-able database stub
+            return
+        token = database.version_token()
+        # Relation versions are monotone and all entries of this dict belong
+        # to this database object, so an entry with a different token can
+        # never hit again: drop the stale payloads instead of pinning them.
+        stale = [key for key in entries if key[1] != token]
+        for key in stale:
+            entries.pop(key)
+        entries[(canonical_query_key(query), token)] = result
+        while len(entries) > self._max_entries:
+            entries.pop(next(iter(entries)))
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._per_database = weakref.WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` since the last :meth:`clear`."""
+        return (self.hits, self.misses)

@@ -1,0 +1,410 @@
+"""Columnar witness-provenance core.
+
+The row-at-a-time evaluator materialized one assignment ``dict`` and one
+``Witness`` object per full-join row; profiling showed that allocation (and
+the ``TupleRef`` hashing it forces on every consumer) dominated the
+Figure 12--16 benchmarks.  This module is the batch-oriented replacement:
+
+* :class:`RelationIndex` interns every stored tuple of a relation into a
+  dense integer ID (``tid``), so the join and all provenance bookkeeping can
+  work on plain ``int`` columns;
+* :func:`join_columns` runs the left-deep hash join one *atom* at a time over
+  whole columns: the intermediate state is a set of parallel Python lists
+  (one value column per still-needed attribute, one ``tid`` column per joined
+  atom) and each join step is a build/probe pass plus C-speed list gathers --
+  no per-row dicts, no per-row ``Witness`` objects;
+* :class:`ColumnarProvenance` is the packed result: provenance is the set of
+  per-atom ``tid`` columns (witness ``w`` used tuple ``ref_columns[a][w]`` of
+  atom ``a``), factorized per output via ``witness_outputs``.
+
+``repro.engine.evaluate`` wraps a :class:`ColumnarProvenance` in the familiar
+``QueryResult``/``Witness`` API, materializing row-style views only when a
+caller actually asks for them; the solver hot paths (greedy, singleton,
+brute force, set cover, semi-join reduction) consume the packed columns
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation, Row, TupleRef
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+class RelationIndex:
+    """Dense integer interning of one relation's tuples.
+
+    ``rows[tid]`` is the stored row for tuple ID ``tid``; ``ids`` maps a row
+    back to its ID.  IDs follow the relation's iteration order at build time,
+    which keeps the columnar join's witness order identical to the row
+    engine's (both walk the same hash-table buckets).
+    """
+
+    __slots__ = ("name", "attributes", "rows", "ids")
+
+    def __init__(self, relation: Relation):
+        self.name = relation.name
+        self.attributes: Tuple[str, ...] = relation.attributes
+        self.rows: List[Row] = list(relation)
+        self.ids: Dict[Row, int] = {row: tid for tid, row in enumerate(self.rows)}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ColumnarProvenance:
+    """Packed witness provenance of one evaluation.
+
+    Attributes
+    ----------
+    atom_names:
+        Relation names of the non-vacuum atoms in join order.
+    indexes:
+        One :class:`RelationIndex` per entry of ``atom_names``.
+    ref_columns:
+        One ``tid`` column per entry of ``atom_names``; all columns have
+        length ``witness_count()`` and ``ref_columns[a][w]`` is the input
+        tuple of atom ``a`` used by witness ``w``.
+    witness_outputs:
+        ``witness_outputs[w]`` is the index (into ``output_rows``) of the
+        output tuple witness ``w`` produces.
+    output_rows, output_index:
+        The distinct output tuples and their reverse index.
+    vacuum_refs:
+        References to the (empty) tuples of non-empty vacuum relations; by
+        convention they participate in *every* witness.
+    """
+
+    __slots__ = (
+        "query",
+        "atom_names",
+        "indexes",
+        "ref_columns",
+        "witness_outputs",
+        "output_rows",
+        "output_index",
+        "vacuum_refs",
+        "_atom_position",
+        "_ref_views",
+    )
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        atom_names: Tuple[str, ...],
+        indexes: Sequence[RelationIndex],
+        ref_columns: Sequence[List[int]],
+        witness_outputs: List[int],
+        output_rows: List[Row],
+        output_index: Dict[Row, int],
+        vacuum_refs: Tuple[TupleRef, ...] = (),
+    ):
+        self.query = query
+        self.atom_names = atom_names
+        self.indexes: List[RelationIndex] = list(indexes)
+        self.ref_columns: List[List[int]] = list(ref_columns)
+        self.witness_outputs = witness_outputs
+        self.output_rows = output_rows
+        self.output_index = output_index
+        self.vacuum_refs = vacuum_refs
+        self._atom_position: Dict[str, int] = {
+            name: position for position, name in enumerate(atom_names)
+        }
+        self._ref_views: List[Optional[List[TupleRef]]] = [None] * len(atom_names)
+
+    # ------------------------------------------------------------------ #
+    # Counting
+    # ------------------------------------------------------------------ #
+    def witness_count(self) -> int:
+        """The number of full-join rows."""
+        return len(self.witness_outputs)
+
+    def output_count(self) -> int:
+        """``|Q(D)|``: the number of distinct output tuples."""
+        return len(self.output_rows)
+
+    def atom_count(self) -> int:
+        """The number of non-vacuum atoms (= packed provenance columns)."""
+        return len(self.atom_names)
+
+    # ------------------------------------------------------------------ #
+    # ID <-> TupleRef translation
+    # ------------------------------------------------------------------ #
+    def atom_position(self, relation_name: str) -> Optional[int]:
+        """The column position of a relation (``None`` for vacuum/unknown)."""
+        return self._atom_position.get(relation_name)
+
+    def refs_for_atom(self, position: int) -> List[TupleRef]:
+        """``tid -> TupleRef`` view for one atom, built lazily and cached."""
+        view = self._ref_views[position]
+        if view is None:
+            index = self.indexes[position]
+            name = index.name
+            view = [TupleRef(name, row) for row in index.rows]
+            self._ref_views[position] = view
+        return view
+
+    def ref(self, position: int, tid: int) -> TupleRef:
+        """The :class:`TupleRef` for one (atom position, tuple ID) pair."""
+        return self.refs_for_atom(position)[tid]
+
+    def locate(self, ref: TupleRef) -> Optional[Tuple[int, int]]:
+        """``(atom position, tid)`` of a reference, or ``None``.
+
+        ``None`` means the reference points at a vacuum relation, an unknown
+        relation, or a row not stored at evaluation time.
+        """
+        position = self._atom_position.get(ref.relation)
+        if position is None:
+            return None
+        tid = self.indexes[position].ids.get(ref.values)
+        if tid is None:
+            return None
+        return (position, tid)
+
+    # ------------------------------------------------------------------ #
+    # Provenance queries over the packed columns
+    # ------------------------------------------------------------------ #
+    def participating_refs(self) -> Set[TupleRef]:
+        """Input tuples participating in at least one witness.
+
+        Includes the vacuum references (they participate in every witness),
+        matching the row engine's notion of "non-dangling".
+        """
+        refs: Set[TupleRef] = set(self.vacuum_refs) if self.witness_outputs else set()
+        for position, column in enumerate(self.ref_columns):
+            view = self.refs_for_atom(position)
+            refs.update(view[tid] for tid in set(column))
+        return refs
+
+    def outputs_removed_by(self, removed: Iterable[TupleRef]) -> int:
+        """How many output tuples disappear when ``removed`` is deleted.
+
+        An output dies when every one of its witnesses uses at least one
+        removed tuple.  Runs over the packed ``tid`` columns: per witness one
+        set-membership probe per relation that actually lost tuples.
+        """
+        per_atom: List[Set[int]] = [set() for _ in self.atom_names]
+        vacuum = set(self.vacuum_refs)
+        for ref in removed:
+            if ref in vacuum:
+                # A removed vacuum tuple hits every witness: all outputs die.
+                return self.output_count()
+            located = self.locate(ref)
+            if located is not None:
+                per_atom[located[0]].add(located[1])
+
+        active = [
+            (column, tids)
+            for column, tids in zip(self.ref_columns, per_atom)
+            if tids
+        ]
+        if not active:
+            return 0
+        alive = [0] * self.output_count()
+        witness_outputs = self.witness_outputs
+        for w in range(len(witness_outputs)):
+            for column, tids in active:
+                if column[w] in tids:
+                    break
+            else:
+                alive[witness_outputs[w]] += 1
+        return sum(1 for count in alive if count == 0)
+
+    def witness_masks_for(self, refs: Sequence[TupleRef]) -> List[int]:
+        """Per reference, the witnesses containing it as an arbitrary-precision
+        bitmask (bit ``w`` set iff witness ``w`` uses the reference).
+
+        Unknown / dangling references get mask ``0``; vacuum references get
+        the all-witnesses mask.  The brute-force solver unions these masks to
+        evaluate deletion subsets with word-level parallelism instead of
+        per-witness set intersections.
+        """
+        count = self.witness_count()
+        full_mask = (1 << count) - 1
+        vacuum = set(self.vacuum_refs)
+
+        wanted: List[Dict[int, int]] = [{} for _ in self.atom_names]
+        for ref in refs:
+            if ref in vacuum:
+                continue
+            located = self.locate(ref)
+            if located is not None:
+                wanted[located[0]][located[1]] = 0
+        for position, masks in enumerate(wanted):
+            if not masks:
+                continue
+            column = self.ref_columns[position]
+            for w, tid in enumerate(column):
+                if tid in masks:
+                    masks[tid] |= 1 << w
+
+        result: List[int] = []
+        for ref in refs:
+            if ref in vacuum:
+                result.append(full_mask)
+                continue
+            located = self.locate(ref)
+            if located is None:
+                result.append(0)
+            else:
+                result.append(wanted[located[0]].get(located[1], 0))
+        return result
+
+    def output_masks(self) -> List[int]:
+        """Per output, the bitmask of its witnesses (companion of
+        :meth:`witness_masks_for`)."""
+        masks = [0] * self.output_count()
+        for w, out in enumerate(self.witness_outputs):
+            masks[out] |= 1 << w
+        return masks
+
+
+def empty_provenance(
+    query: ConjunctiveQuery,
+    atoms: Sequence[Atom],
+    database: Database,
+) -> ColumnarProvenance:
+    """A provenance payload with no witnesses (empty query result)."""
+    indexes = [RelationIndex(database.relation(atom.name)) for atom in atoms]
+    return ColumnarProvenance(
+        query,
+        tuple(atom.name for atom in atoms),
+        indexes,
+        [[] for _ in atoms],
+        [],
+        [],
+        {},
+    )
+
+
+def join_columns(
+    ordered_atoms: Sequence[Atom],
+    database: Database,
+    keep_attributes: Iterable[str],
+    max_witnesses: Optional[int] = None,
+    query_name: str = "Q",
+) -> Tuple[Dict[str, List[object]], List[List[int]], List[RelationIndex]]:
+    """Left-deep hash join over interned ID columns.
+
+    Parameters
+    ----------
+    ordered_atoms:
+        Non-vacuum atoms in join order (see ``_join_order``).
+    database:
+        The instance; every atom's relation must exist.
+    keep_attributes:
+        Attributes whose value columns must survive to the end (the head);
+        all other bound attributes are dropped as soon as no later atom needs
+        them, which keeps the per-step gather cost proportional to the number
+        of *live* columns.
+    max_witnesses:
+        Optional guard: raise ``RuntimeError`` when an intermediate result
+        exceeds this many rows.
+    query_name:
+        Used in the ``max_witnesses`` error message.
+
+    Returns
+    -------
+    (bound, ref_columns, indexes)
+        ``bound[attr]`` is the value column of each kept attribute,
+        ``ref_columns[a]`` the ``tid`` column of atom ``a`` and ``indexes``
+        the per-atom interners.  All columns share the same length (the
+        number of witnesses).
+    """
+    indexes = [RelationIndex(database.relation(atom.name)) for atom in ordered_atoms]
+
+    # needed_after[i]: attributes still required by atoms i+1.. or the head.
+    needed_after: List[Set[str]] = []
+    running: Set[str] = set(keep_attributes)
+    for atom in reversed(ordered_atoms):
+        needed_after.append(set(running))
+        running |= atom.attribute_set
+    needed_after.reverse()
+
+    bound: Dict[str, List[object]] = {}
+    ref_columns: List[List[int]] = []
+    count: Optional[int] = None  # None = the single empty partial row
+
+    for step, (atom, rindex) in enumerate(zip(ordered_atoms, indexes)):
+        rel_position = {a: rindex.attributes.index(a) for a in atom.attributes}
+        shared = [a for a in atom.attributes if a in bound]
+        rows = rindex.rows
+        needed = needed_after[step]
+
+        if shared:
+            # Build: hash the relation on the shared attributes.
+            shared_positions = [rel_position[a] for a in shared]
+            table: Dict[object, List[int]] = {}
+            if len(shared_positions) == 1:
+                p = shared_positions[0]
+                for tid, row in enumerate(rows):
+                    table.setdefault(row[p], []).append(tid)
+                probe_keys: Sequence[object] = bound[shared[0]]
+            else:
+                for tid, row in enumerate(rows):
+                    table.setdefault(
+                        tuple(row[p] for p in shared_positions), []
+                    ).append(tid)
+                probe_keys = list(zip(*(bound[a] for a in shared)))
+
+            # Probe: selection vector over the existing partials plus the
+            # matching tid per produced row.
+            selection: List[int] = []
+            tids: List[int] = []
+            get = table.get
+            for i, key in enumerate(probe_keys):
+                matches = get(key)
+                if matches:
+                    for tid in matches:
+                        selection.append(i)
+                        tids.append(tid)
+
+            bound = {
+                a: [column[i] for i in selection]
+                for a, column in bound.items()
+                if a in needed
+            }
+            ref_columns = [[column[i] for i in selection] for column in ref_columns]
+        elif count is None:
+            # First atom (or first of the whole join): every tuple starts a
+            # partial row.
+            tids = list(range(len(rows)))
+        else:
+            # Disconnected component: cross product with the partials so far,
+            # partial-major to match the row engine's witness order.
+            tid_range = range(len(rows))
+            selection = [i for i in range(count) for _ in tid_range]
+            tids = [tid for _ in range(count) for tid in tid_range]
+            bound = {
+                a: [column[i] for i in selection]
+                for a, column in bound.items()
+                if a in needed
+            }
+            ref_columns = [[column[i] for i in selection] for column in ref_columns]
+
+        # Materialize the value columns of newly bound attributes that some
+        # later atom (or the head) still needs.
+        for a in atom.attributes:
+            if a not in shared and a in needed:
+                p = rel_position[a]
+                bound[a] = [rows[tid][p] for tid in tids]
+        ref_columns.append(tids)
+        count = len(tids)
+
+        if max_witnesses is not None and count > max_witnesses:
+            raise RuntimeError(
+                f"join of {query_name} exceeded max_witnesses={max_witnesses}"
+            )
+        if count == 0:
+            # Empty intermediate result: short-circuit with all-empty columns.
+            bound = {a: [] for a in bound}
+            ref_columns = [[] for _ in ordered_atoms]
+            break
+
+    if len(ref_columns) < len(ordered_atoms):  # pragma: no cover - break above
+        ref_columns.extend([] for _ in range(len(ordered_atoms) - len(ref_columns)))
+    return bound, ref_columns, indexes

@@ -11,31 +11,63 @@ Witness-level provenance is exactly what the greedy heuristics, the Singleton
 base case, the brute-force baseline, and solution verification consume, so
 :func:`evaluate` produces both in one pass.
 
-The join itself is a straightforward left-deep hash join.  Atoms are ordered
-so that each new atom shares attributes with the part already joined whenever
-the query is connected; within a disconnected query the components are joined
-by cross product, matching the semantics used in the paper (Lemma 3).
+Engine internals (columnar since the witness-engine rewrite)
+------------------------------------------------------------
+The join is a left-deep hash join, but it no longer materializes one
+assignment dict and one :class:`Witness` object per full-join row.  Instead
+:mod:`repro.engine.columnar` interns each relation's tuples into dense
+integer IDs and runs the join over whole ID columns; provenance is stored as
+one packed ``tid`` column per atom, factorized per output through
+``witness_outputs``.  :class:`QueryResult` and :class:`Witness` remain the
+public API as thin views: ``result.witnesses`` materializes row-style
+objects lazily, while the solver hot paths read the packed columns directly
+through ``result.provenance``.
+
+Atoms are ordered so that each new atom shares attributes with the part
+already joined whenever the query is connected; within a disconnected query
+the components are joined by cross product, matching the semantics used in
+the paper (Lemma 3).
+
+Results are memoized in :class:`repro.engine.cache.EvaluationCache`, keyed by
+the query's canonical form and the database's version token, so the repeated
+evaluations issued by ``ComputeADP`` (sizing, base case, verification) and by
+the Universe/Decompose recursions cost one join instead of several.  Cached
+``QueryResult`` objects are shared -- treat them as immutable.
+
+The original row-at-a-time evaluator is kept, bit-for-bit, as
+:func:`evaluate_rows`; the parity test-suite and the benchmark documentation
+use it as the reference implementation, and ``set_engine_mode("row")``
+routes :func:`evaluate` through it globally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Row, TupleRef
+from repro.engine.cache import EvaluationCache
+from repro.engine.columnar import (
+    ColumnarProvenance,
+    empty_provenance,
+    join_columns,
+)
 from repro.query.cq import ConjunctiveQuery
 
 
-@dataclass(frozen=True)
 class Witness:
     """One full-join row: one input tuple per non-vacuum atom of the query.
 
     ``refs`` is ordered consistently with the join order chosen by the
-    engine; use :meth:`as_dict` for name-based access.
+    engine; use :meth:`as_dict` for name-based access.  Witnesses are plain
+    views: the engine keeps provenance packed as integer columns and only
+    builds these objects when a caller iterates ``QueryResult.witnesses``.
     """
 
-    refs: Tuple[TupleRef, ...]
+    __slots__ = ("refs",)
+
+    def __init__(self, refs: Tuple[TupleRef, ...]):
+        self.refs = refs
 
     def as_dict(self) -> Dict[str, TupleRef]:
         """The witness as ``{relation name: tuple reference}``."""
@@ -48,21 +80,82 @@ class Witness:
     def __iter__(self):
         return iter(self.refs)
 
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Witness) and self.refs == other.refs
 
-@dataclass
+    def __hash__(self) -> int:
+        return hash(self.refs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Witness(refs={self.refs!r})"
+
+
 class QueryResult:
-    """The result of evaluating a CQ: answers plus witness provenance."""
+    """The result of evaluating a CQ: answers plus witness provenance.
 
-    query: ConjunctiveQuery
-    output_rows: List[Row]
-    witnesses: List[Witness]
-    witness_outputs: List[int] = field(default_factory=list)
-    #: index of each output row in ``output_rows`` keyed by the row itself
-    output_index: Dict[Row, int] = field(default_factory=dict)
+    ``output_rows``/``witness_outputs``/``output_index`` are materialized
+    eagerly (the solvers need them immediately); the row-style ``witnesses``
+    list is a lazy view over the packed columns in ``provenance`` and is only
+    built on first access.  When ``provenance`` is ``None`` (a result built
+    by the row engine or assembled by hand) the witness list is authoritative
+    and all provenance lookups fall back to iterating it.
+    """
 
-    def __post_init__(self) -> None:
-        if not self.output_index:
-            self.output_index = {row: i for i, row in enumerate(self.output_rows)}
+    __slots__ = (
+        "query",
+        "output_rows",
+        "witness_outputs",
+        "output_index",
+        "provenance",
+        "_witnesses",
+    )
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        output_rows: List[Row],
+        witnesses: Optional[List[Witness]] = None,
+        witness_outputs: Optional[List[int]] = None,
+        output_index: Optional[Dict[Row, int]] = None,
+        provenance: Optional[ColumnarProvenance] = None,
+    ):
+        self.query = query
+        self.output_rows = output_rows
+        self.witness_outputs: List[int] = (
+            witness_outputs if witness_outputs is not None else []
+        )
+        self.output_index: Dict[Row, int] = (
+            output_index
+            if output_index
+            else {row: i for i, row in enumerate(output_rows)}
+        )
+        self.provenance = provenance
+        self._witnesses = witnesses
+
+    # ------------------------------------------------------------------ #
+    # Lazy row-style view
+    # ------------------------------------------------------------------ #
+    @property
+    def witnesses(self) -> List[Witness]:
+        """One :class:`Witness` per full-join row (materialized on demand)."""
+        if self._witnesses is None:
+            self._witnesses = self._materialize_witnesses()
+        return self._witnesses
+
+    def _materialize_witnesses(self) -> List[Witness]:
+        prov = self.provenance
+        assert prov is not None, "QueryResult has neither witnesses nor provenance"
+        vacuum = prov.vacuum_refs
+        count = prov.witness_count()
+        if prov.atom_count() == 0:
+            return [Witness(vacuum) for _ in range(count)]
+        views = [prov.refs_for_atom(a) for a in range(prov.atom_count())]
+        columns = prov.ref_columns
+        pairs = list(zip(views, columns))
+        return [
+            Witness(tuple(view[column[w]] for view, column in pairs) + vacuum)
+            for w in range(count)
+        ]
 
     # ------------------------------------------------------------------ #
     # Counting
@@ -73,7 +166,7 @@ class QueryResult:
 
     def witness_count(self) -> int:
         """The number of full-join rows."""
-        return len(self.witnesses)
+        return len(self.witness_outputs)
 
     # ------------------------------------------------------------------ #
     # Provenance lookups
@@ -89,6 +182,8 @@ class QueryResult:
 
     def participating_refs(self) -> Set[TupleRef]:
         """Input tuples that participate in at least one witness (non-dangling)."""
+        if self.provenance is not None:
+            return self.provenance.participating_refs()
         refs: Set[TupleRef] = set()
         for witness in self.witnesses:
             refs.update(witness.refs)
@@ -98,8 +193,11 @@ class QueryResult:
         """How many output tuples disappear when ``removed`` is deleted.
 
         An output tuple disappears when *every* one of its witnesses uses at
-        least one removed tuple.
+        least one removed tuple.  Runs over the packed provenance columns
+        when available.
         """
+        if self.provenance is not None:
+            return self.provenance.outputs_removed_by(removed)
         removed_set = set(removed)
         alive = [0] * len(self.output_rows)
         for witness, out in zip(self.witnesses, self.witness_outputs):
@@ -135,10 +233,48 @@ def _join_order(query: ConjunctiveQuery) -> List[int]:
     return order
 
 
+#: Global evaluation cache (see :mod:`repro.engine.cache`).
+_CACHE = EvaluationCache()
+
+#: Which engine :func:`evaluate` routes through: "columnar" (default) or
+#: "row" (the uncached reference implementation, for parity testing and
+#: before/after benchmarking).
+_ENGINE_MODE = "columnar"
+
+
+def set_engine_mode(mode: str) -> None:
+    """Route :func:`evaluate` through the ``"columnar"`` or ``"row"`` engine.
+
+    Switching clears the evaluation cache so the two engines can be compared
+    back to back.  The row engine never caches.
+    """
+    global _ENGINE_MODE
+    if mode not in ("columnar", "row"):
+        raise ValueError(f"unknown engine mode {mode!r}")
+    _ENGINE_MODE = mode
+    _CACHE.clear()
+
+
+def engine_mode() -> str:
+    """The engine :func:`evaluate` currently routes through."""
+    return _ENGINE_MODE
+
+
+def clear_evaluation_cache() -> None:
+    """Drop every memoized evaluation result."""
+    _CACHE.clear()
+
+
+def evaluation_cache_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` of the global evaluation cache."""
+    return _CACHE.stats()
+
+
 def evaluate(
     query: ConjunctiveQuery,
     database: Database,
     max_witnesses: Optional[int] = None,
+    use_cache: bool = True,
 ) -> QueryResult:
     """Evaluate ``query`` over ``database`` with witness provenance.
 
@@ -153,20 +289,130 @@ def evaluate(
     max_witnesses:
         Optional safety valve: raise ``RuntimeError`` if the number of
         full-join rows exceeds this bound (protects interactive callers from
-        accidental cross-product blow-ups).
+        accidental cross-product blow-ups).  Bounded evaluations bypass the
+        cache.
+    use_cache:
+        Memoize the result keyed by (query canonical form, database version);
+        see :mod:`repro.engine.cache`.  Cached results are shared -- treat
+        them as immutable.
 
     Returns
     -------
     QueryResult
-        Output rows (distinct, ordered deterministically) plus one
-        :class:`Witness` per full-join row, with ``witness_outputs[i]`` giving
-        the output row index produced by witness ``i``.
+        Output rows (distinct, ordered deterministically) plus packed witness
+        provenance, with ``witness_outputs[i]`` giving the output row index
+        produced by witness ``i`` and ``result.witnesses`` available as a
+        lazy row-style view.
     """
+    if _ENGINE_MODE == "row":
+        return evaluate_rows(query, database, max_witnesses)
+    cacheable = use_cache and max_witnesses is None
+    if cacheable:
+        cached = _CACHE.lookup(query, database)
+        if cached is not None:
+            return cached
+    result = _evaluate_columnar(query, database, max_witnesses)
+    if cacheable:
+        _CACHE.store(query, database, result)
+    return result
+
+
+def _evaluate_columnar(
+    query: ConjunctiveQuery,
+    database: Database,
+    max_witnesses: Optional[int],
+) -> QueryResult:
+    """The columnar engine behind :func:`evaluate`."""
     database.validate_against(query)
 
     # Vacuum relations participate as a boolean guard: an empty vacuum
     # relation kills the whole result; a non-empty one contributes the empty
     # tuple to every witness.
+    non_vacuum = [a for a in query.atoms if not a.is_vacuum]
+    vacuum_refs: List[TupleRef] = []
+    for atom in query.atoms:
+        if atom.is_vacuum:
+            if len(database.relation(atom.name)) == 0:
+                return QueryResult(
+                    query, [], None, [], None,
+                    provenance=empty_provenance(query, non_vacuum, database),
+                )
+            vacuum_refs.append(TupleRef(atom.name, ()))
+
+    if not non_vacuum:
+        # Purely boolean query over vacuum relations: single empty answer.
+        provenance = ColumnarProvenance(
+            query, (), [], [], [0], [()], {(): 0}, tuple(vacuum_refs)
+        )
+        return QueryResult(query, [()], None, [0], {(): 0}, provenance=provenance)
+
+    order = _join_order(
+        ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name)
+    )
+    ordered_atoms = [non_vacuum[i] for i in order]
+
+    bound, ref_columns, indexes = join_columns(
+        ordered_atoms, database, query.head, max_witnesses, query.name
+    )
+    atom_names = tuple(atom.name for atom in ordered_atoms)
+    count = len(ref_columns[0]) if ref_columns else 0
+
+    if count == 0:
+        provenance = ColumnarProvenance(
+            query, atom_names, indexes, ref_columns, [], [], {},
+            tuple(vacuum_refs),
+        )
+        return QueryResult(query, [], None, [], None, provenance=provenance)
+
+    head = query.head
+    output_rows: List[Row] = []
+    output_index: Dict[Row, int] = {}
+    witness_outputs: List[int] = []
+    if head:
+        out_columns = [bound[a] for a in head]
+        get = output_index.get
+        for row in zip(*out_columns):
+            index = get(row)
+            if index is None:
+                index = len(output_rows)
+                output_index[row] = index
+                output_rows.append(row)
+            witness_outputs.append(index)
+    else:
+        output_rows = [()]
+        output_index = {(): 0}
+        witness_outputs = [0] * count
+
+    provenance = ColumnarProvenance(
+        query,
+        atom_names,
+        indexes,
+        ref_columns,
+        witness_outputs,
+        output_rows,
+        output_index,
+        tuple(vacuum_refs),
+    )
+    return QueryResult(
+        query, output_rows, None, witness_outputs, output_index,
+        provenance=provenance,
+    )
+
+
+def evaluate_rows(
+    query: ConjunctiveQuery,
+    database: Database,
+    max_witnesses: Optional[int] = None,
+) -> QueryResult:
+    """The original row-at-a-time evaluator, kept as the reference engine.
+
+    Materializes one assignment dict per full-join row and eager
+    :class:`Witness` objects (``provenance`` stays ``None``).  Never cached.
+    The parity test-suite asserts that :func:`evaluate` returns identical
+    answers, witness sets and ADP costs.
+    """
+    database.validate_against(query)
+
     vacuum_refs: List[TupleRef] = []
     for atom in query.atoms:
         if atom.is_vacuum:
@@ -177,7 +423,6 @@ def evaluate(
 
     non_vacuum = [a for a in query.atoms if not a.is_vacuum]
     if not non_vacuum:
-        # Purely boolean query over vacuum relations: single empty answer.
         witness = Witness(tuple(vacuum_refs))
         return QueryResult(query, [()], [witness], [0])
 
@@ -243,5 +488,5 @@ def evaluate(
 
 
 def output_size(query: ConjunctiveQuery, database: Database) -> int:
-    """``|Q(D)|`` without keeping the witnesses (convenience wrapper)."""
+    """``|Q(D)|`` without materializing row-style witnesses (wrapper)."""
     return evaluate(query, database).output_count()

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 INFINITY = math.inf
 
@@ -85,6 +85,19 @@ class FlowNetwork:
         backward = _Edge(u, 0.0, 0.0, len(self._adjacency[u]), label, False)
         self._adjacency[u].append(forward)
         self._adjacency[v].append(backward)
+
+    def add_edges(
+        self,
+        edges: Iterable[Tuple[Hashable, Hashable, float, Optional[Hashable]]],
+    ) -> None:
+        """Add ``(source, target, capacity, label)`` edges from an iterable.
+
+        A convenience wrapper over :meth:`add_edge` so callers that generate
+        one edge per input tuple (the boolean min-cut construction) can hand
+        over a generator instead of looping themselves.
+        """
+        for source, target, capacity, label in edges:
+            self.add_edge(source, target, capacity, label)
 
     # ------------------------------------------------------------------ #
     # Introspection

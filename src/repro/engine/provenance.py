@@ -16,13 +16,24 @@ provenance produced by :func:`repro.engine.evaluate.evaluate` incrementally:
   outputs would die if ``t`` were deleted (i.e. outputs all of whose alive
   witnesses contain ``t``).
 
+Since the columnar-engine rewrite the index works on dense integers: every
+participating input tuple gets a *ref ID* (``rid``), witnesses are numbered
+``0..W-1``, and all bookkeeping lives in parallel ``int`` lists built
+straight from the packed provenance columns -- no ``Witness`` objects, no
+``TupleRef`` hashing on the hot path.  The classic ``TupleRef``-keyed API is
+preserved as a thin translation layer; the greedy loops use the ``*_id``
+methods directly.  Per-tuple *witness gains* (alive witnesses containing the
+tuple) are additionally maintained incrementally, which both makes
+``witness_gain`` O(1) and gives the greedy scan a sound upper bound on
+profit (``profit(t) <= witness_gain(t)``).
+
 The index is also the basis of solution verification
 (:meth:`ProvenanceIndex.outputs_removed_by`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from repro.data.relation import TupleRef
 from repro.engine.evaluate import QueryResult
@@ -33,22 +44,82 @@ class ProvenanceIndex:
 
     def __init__(self, result: QueryResult):
         self.result = result
-        self._witness_refs: List[Tuple[TupleRef, ...]] = [
-            w.refs for w in result.witnesses
-        ]
-        self._witness_output: List[int] = list(result.witness_outputs)
-        self._hits: List[int] = [0] * len(self._witness_refs)
+        #: dense rid -> TupleRef (participating tuples only, vacuum included)
+        self._refs: List[TupleRef] = []
+        #: rid -> witness IDs containing the tuple
+        self._ref_witnesses: List[List[int]] = []
+        #: witness ID -> rids it contains (for incremental gain updates)
+        self._witness_rids: List[List[int]] = []
+        if result.provenance is not None:
+            self._build_from_columnar(result)
+        else:
+            self._build_from_witnesses(result)
+        self._ref_ids: Dict[TupleRef, int] = {
+            ref: rid for rid, ref in enumerate(self._refs)
+        }
+        self._hits: List[int] = [0] * len(self._witness_rids)
         self._alive_witnesses: List[int] = [0] * result.output_count()
         for out in self._witness_output:
             self._alive_witnesses[out] += 1
-        self._ref_to_witnesses: Dict[TupleRef, List[int]] = {}
-        for wid, refs in enumerate(self._witness_refs):
-            for ref in refs:
-                self._ref_to_witnesses.setdefault(ref, []).append(wid)
-        self._removed: Set[TupleRef] = set()
+        #: rid -> number of still-alive witnesses containing the tuple
+        self._gain: List[int] = [len(wids) for wids in self._ref_witnesses]
+        self._removed_flags: List[bool] = [False] * len(self._refs)
+        self._removed_refs: Set[TupleRef] = set()
         self._dead_outputs: int = 0
         # Outputs with no witnesses at all never existed; by construction the
         # evaluate() result only lists outputs with >= 1 witness.
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_from_columnar(self, result: QueryResult) -> None:
+        """Build the dense arrays straight from the packed ID columns."""
+        prov = result.provenance
+        assert prov is not None
+        witness_count = prov.witness_count()
+        self._witness_output = list(prov.witness_outputs)
+        self._witness_rids = [[] for _ in range(witness_count)]
+        refs = self._refs
+        ref_witnesses = self._ref_witnesses
+        witness_rids = self._witness_rids
+        for position in range(prov.atom_count()):
+            column = prov.ref_columns[position]
+            view = prov.refs_for_atom(position)
+            local: Dict[int, int] = {}
+            get = local.get
+            for w, tid in enumerate(column):
+                rid = get(tid)
+                if rid is None:
+                    rid = len(refs)
+                    local[tid] = rid
+                    refs.append(view[tid])
+                    ref_witnesses.append([])
+                ref_witnesses[rid].append(w)
+                witness_rids[w].append(rid)
+        if witness_count:
+            for vacuum_ref in prov.vacuum_refs:
+                rid = len(refs)
+                refs.append(vacuum_ref)
+                ref_witnesses.append(list(range(witness_count)))
+                for wids in witness_rids:
+                    wids.append(rid)
+
+    def _build_from_witnesses(self, result: QueryResult) -> None:
+        """Fallback for hand-built results without a columnar payload."""
+        self._witness_output = list(result.witness_outputs)
+        ids: Dict[TupleRef, int] = {}
+        for w, witness in enumerate(result.witnesses):
+            rids: List[int] = []
+            for ref in witness.refs:
+                rid = ids.get(ref)
+                if rid is None:
+                    rid = len(self._refs)
+                    ids[ref] = rid
+                    self._refs.append(ref)
+                    self._ref_witnesses.append([])
+                self._ref_witnesses[rid].append(w)
+                rids.append(rid)
+            self._witness_rids.append(rids)
 
     # ------------------------------------------------------------------ #
     # State
@@ -56,7 +127,11 @@ class ProvenanceIndex:
     @property
     def removed(self) -> Set[TupleRef]:
         """The tuples deleted so far (a copy)."""
-        return set(self._removed)
+        return set(self._removed_refs)
+
+    def is_removed(self, ref: TupleRef) -> bool:
+        """Whether ``ref`` has been deleted (no copy, unlike :attr:`removed`)."""
+        return ref in self._removed_refs
 
     def total_outputs(self) -> int:
         """``|Q(D)|`` of the original (un-deleted) instance."""
@@ -76,14 +151,109 @@ class ProvenanceIndex:
 
     def participating_refs(self) -> List[TupleRef]:
         """All input tuples that participate in at least one witness."""
-        return list(self._ref_to_witnesses)
+        return list(self._refs)
 
     def refs_of_relation(self, relation: str) -> List[TupleRef]:
         """Participating input tuples belonging to one relation."""
-        return [ref for ref in self._ref_to_witnesses if ref.relation == relation]
+        return [ref for ref in self._refs if ref.relation == relation]
 
     # ------------------------------------------------------------------ #
-    # Queries
+    # Dense-ID API (the hot path of the greedy heuristics)
+    # ------------------------------------------------------------------ #
+    def ref_count(self) -> int:
+        """How many distinct participating tuples the index tracks."""
+        return len(self._refs)
+
+    def ref_at(self, rid: int) -> TupleRef:
+        """The :class:`TupleRef` for a dense ref ID."""
+        return self._refs[rid]
+
+    def profit_id(self, rid: int) -> int:
+        """:meth:`profit` over a dense ref ID."""
+        if self._removed_flags[rid]:
+            return 0
+        per_output: Dict[int, int] = {}
+        get = per_output.get
+        hits = self._hits
+        witness_output = self._witness_output
+        for wid in self._ref_witnesses[rid]:  # alive witnesses only
+            if hits[wid] == 0:
+                out = witness_output[wid]
+                per_output[out] = get(out, 0) + 1
+        alive = self._alive_witnesses
+        return sum(1 for out, count in per_output.items() if count == alive[out])
+
+    def witness_gain_id(self, rid: int) -> int:
+        """:meth:`witness_gain` over a dense ref ID -- O(1)."""
+        if self._removed_flags[rid]:
+            return 0
+        return self._gain[rid]
+
+    def touched_outputs_id(self, rid: int) -> int:
+        """:meth:`touched_outputs` over a dense ref ID."""
+        if self._removed_flags[rid]:
+            return 0
+        outputs = set()
+        hits = self._hits
+        witness_output = self._witness_output
+        alive = self._alive_witnesses
+        for wid in self._ref_witnesses[rid]:
+            if hits[wid] == 0:
+                out = witness_output[wid]
+                if alive[out] > 0:
+                    outputs.add(out)
+        return len(outputs)
+
+    def remove_id(self, rid: int) -> int:
+        """:meth:`remove` over a dense ref ID."""
+        if self._removed_flags[rid]:
+            return 0
+        self._removed_flags[rid] = True
+        self._removed_refs.add(self._refs[rid])
+        killed = 0
+        hits = self._hits
+        gain = self._gain
+        alive = self._alive_witnesses
+        witness_output = self._witness_output
+        witness_rids = self._witness_rids
+        for wid in self._ref_witnesses[rid]:
+            hits[wid] += 1
+            if hits[wid] == 1:
+                for other in witness_rids[wid]:
+                    gain[other] -= 1
+                out = witness_output[wid]
+                alive[out] -= 1
+                if alive[out] == 0:
+                    killed += 1
+        self._dead_outputs += killed
+        return killed
+
+    def restore_id(self, rid: int) -> int:
+        """:meth:`restore` over a dense ref ID."""
+        if not self._removed_flags[rid]:
+            return 0
+        self._removed_flags[rid] = False
+        self._removed_refs.discard(self._refs[rid])
+        revived = 0
+        hits = self._hits
+        gain = self._gain
+        alive = self._alive_witnesses
+        witness_output = self._witness_output
+        witness_rids = self._witness_rids
+        for wid in self._ref_witnesses[rid]:
+            hits[wid] -= 1
+            if hits[wid] == 0:
+                for other in witness_rids[wid]:
+                    gain[other] += 1
+                out = witness_output[wid]
+                if alive[out] == 0:
+                    revived += 1
+                alive[out] += 1
+        self._dead_outputs -= revived
+        return revived
+
+    # ------------------------------------------------------------------ #
+    # Queries (TupleRef API, preserved)
     # ------------------------------------------------------------------ #
     def profit(self, ref: TupleRef) -> int:
         """How many *additional* outputs die if ``ref`` is deleted now.
@@ -91,18 +261,8 @@ class ProvenanceIndex:
         This is the quantity ``p(t) = |Q(D - S)| - |Q(D - S - t)|`` of
         Algorithm 6, computed against the current deletion state ``S``.
         """
-        if ref in self._removed:
-            return 0
-        per_output: Dict[int, int] = {}
-        for wid in self._ref_to_witnesses.get(ref, ()):  # alive witnesses only
-            if self._hits[wid] == 0:
-                out = self._witness_output[wid]
-                per_output[out] = per_output.get(out, 0) + 1
-        return sum(
-            1
-            for out, count in per_output.items()
-            if count == self._alive_witnesses[out]
-        )
+        rid = self._ref_ids.get(ref)
+        return 0 if rid is None else self.profit_id(rid)
 
     def witness_gain(self, ref: TupleRef) -> int:
         """How many still-alive witnesses die if ``ref`` is deleted now.
@@ -112,13 +272,8 @@ class ProvenanceIndex:
         queries), making progress on witnesses is the sensible secondary
         objective.
         """
-        if ref in self._removed:
-            return 0
-        return sum(
-            1
-            for wid in self._ref_to_witnesses.get(ref, ())
-            if self._hits[wid] == 0
-        )
+        rid = self._ref_ids.get(ref)
+        return 0 if rid is None else self.witness_gain_id(rid)
 
     def touched_outputs(self, ref: TupleRef) -> int:
         """How many still-alive outputs have an alive witness containing ``ref``.
@@ -128,15 +283,8 @@ class ProvenanceIndex:
         is sub-additive across tuples, which makes it an admissible pruning
         bound for the branch-and-bound exact solver.
         """
-        if ref in self._removed:
-            return 0
-        outputs = set()
-        for wid in self._ref_to_witnesses.get(ref, ()):
-            if self._hits[wid] == 0:
-                out = self._witness_output[wid]
-                if self._alive_witnesses[out] > 0:
-                    outputs.add(out)
-        return len(outputs)
+        rid = self._ref_ids.get(ref)
+        return 0 if rid is None else self.touched_outputs_id(rid)
 
     def initial_profit(self, ref: TupleRef) -> int:
         """Profit of ``ref`` against the *original* instance (no deletions).
@@ -145,8 +293,11 @@ class ProvenanceIndex:
         ``ref`` (each witness is a distinct output tuple); used by
         ``DrasticGreedyForFullCQ`` (Algorithm 7).
         """
+        rid = self._ref_ids.get(ref)
+        if rid is None:
+            return 0
         per_output: Dict[int, int] = {}
-        for wid in self._ref_to_witnesses.get(ref, ()):
+        for wid in self._ref_witnesses[rid]:
             out = self._witness_output[wid]
             per_output[out] = per_output.get(out, 0) + 1
         total_per_output = self._total_witnesses_per_output()
@@ -170,23 +321,18 @@ class ProvenanceIndex:
         return self.result.outputs_removed_by(removed)
 
     # ------------------------------------------------------------------ #
-    # Mutation
+    # Mutation (TupleRef API, preserved)
     # ------------------------------------------------------------------ #
     def remove(self, ref: TupleRef) -> int:
         """Delete one input tuple; returns how many outputs died as a result."""
-        if ref in self._removed:
+        rid = self._ref_ids.get(ref)
+        if rid is None:
+            # Dangling/unknown tuples participate in no witness: deleting
+            # them never changes the output, but record them so restore() and
+            # the removed set stay consistent with the old behaviour.
+            self._removed_refs.add(ref)
             return 0
-        self._removed.add(ref)
-        killed = 0
-        for wid in self._ref_to_witnesses.get(ref, ()):
-            self._hits[wid] += 1
-            if self._hits[wid] == 1:
-                out = self._witness_output[wid]
-                self._alive_witnesses[out] -= 1
-                if self._alive_witnesses[out] == 0:
-                    killed += 1
-        self._dead_outputs += killed
-        return killed
+        return self.remove_id(rid)
 
     def remove_many(self, refs: Iterable[TupleRef]) -> int:
         """Delete several tuples; returns the total number of outputs killed."""
@@ -194,21 +340,13 @@ class ProvenanceIndex:
 
     def restore(self, ref: TupleRef) -> int:
         """Undo the deletion of ``ref``; returns how many outputs came back."""
-        if ref not in self._removed:
+        rid = self._ref_ids.get(ref)
+        if rid is None:
+            self._removed_refs.discard(ref)
             return 0
-        self._removed.remove(ref)
-        revived = 0
-        for wid in self._ref_to_witnesses.get(ref, ()):
-            self._hits[wid] -= 1
-            if self._hits[wid] == 0:
-                out = self._witness_output[wid]
-                if self._alive_witnesses[out] == 0:
-                    revived += 1
-                self._alive_witnesses[out] += 1
-        self._dead_outputs -= revived
-        return revived
+        return self.restore_id(rid)
 
     def reset(self) -> None:
         """Undo every deletion."""
-        for ref in list(self._removed):
+        for ref in list(self._removed_refs):
             self.restore(ref)

@@ -84,9 +84,21 @@ def remove_dangling_tuples(
     """
     result = evaluate(query, database)
     participating: Dict[str, Set[tuple]] = {name: set() for name in query.relation_names}
-    for witness in result.witnesses:
-        for ref in witness.refs:
-            participating.setdefault(ref.relation, set()).add(ref.values)
+    prov = result.provenance
+    if prov is not None:
+        # Packed path: project each atom's tid column through its interner.
+        for position, name in enumerate(prov.atom_names):
+            rows = prov.indexes[position].rows
+            participating[name] = {
+                rows[tid] for tid in set(prov.ref_columns[position])
+            }
+        if prov.witness_count():
+            for vacuum_ref in prov.vacuum_refs:
+                participating.setdefault(vacuum_ref.relation, set()).add(())
+    else:
+        for witness in result.witnesses:
+            for ref in witness.refs:
+                participating.setdefault(ref.relation, set()).add(ref.values)
 
     removed = 0
     relations = []

@@ -171,3 +171,26 @@ def sets_from_witnesses(
         for ref in refs:
             sets.setdefault(ref, set()).add(index)
     return {key: frozenset(value) for key, value in sets.items()}
+
+
+def sets_from_packed_provenance(provenance) -> Dict[Hashable, FrozenSet[Hashable]]:
+    """Build the Theorem 5 PSC sets straight from packed provenance columns.
+
+    Equivalent to :func:`sets_from_witnesses` over the materialized witness
+    list, but walks one integer column per atom of a
+    :class:`~repro.engine.columnar.ColumnarProvenance` instead -- no
+    ``Witness`` objects, one ``TupleRef`` per *distinct* participating tuple.
+    """
+    sets: Dict[Hashable, FrozenSet[Hashable]] = {}
+    for position in range(provenance.atom_count()):
+        per_tid: Dict[int, Set[int]] = {}
+        for index, tid in enumerate(provenance.ref_columns[position]):
+            per_tid.setdefault(tid, set()).add(index)
+        view = provenance.refs_for_atom(position)
+        for tid, elements in per_tid.items():
+            sets[view[tid]] = frozenset(elements)
+    if provenance.vacuum_refs and provenance.witness_count():
+        every = frozenset(range(provenance.witness_count()))
+        for vacuum_ref in provenance.vacuum_refs:
+            sets[vacuum_ref] = every
+    return sets

@@ -102,6 +102,9 @@ def generate_tpch(
 
     n_parts = max(1, int(n_partsupp * cfg.part_ratio))
     part_keys = [SELECTED_PART_KEY + i for i in range(n_parts)]
+    # The sampling loop below inserts into a *set*; cap the target by the
+    # number of distinct (SK, PK) pairs or tiny instances never terminate.
+    n_partsupp = min(n_partsupp, len(supplier_keys) * len(part_keys))
     while len(partsupp) < n_partsupp:
         sk = supplier_keys[_skewed_choice(rng, len(supplier_keys), cfg.part_skew)]
         pk = part_keys[_skewed_choice(rng, len(part_keys), cfg.part_skew)]
