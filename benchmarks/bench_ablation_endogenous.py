@@ -9,7 +9,7 @@ iteration (slower) without improving quality.
 import pytest
 
 from repro.core.greedy import greedy_curve
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q1
 from repro.workloads.tpch import generate_tpch
 

@@ -7,7 +7,7 @@ solutions of the same size (Figure 9 reads the quality off the same runs).
 
 import pytest
 
-from benchmarks.conftest import RATIOS, solve_once
+from benchmarks.conftest import RATIOS
 from repro.core.adp import ADPSolver
 from repro.core.selection import solve_with_selection
 from repro.workloads.queries import Q1
@@ -27,7 +27,7 @@ def test_fig08_selected_q1_methods(benchmark, tpch_selected, ratio, method):
         )
     else:
         solver = ADPSolver(heuristic=method)
-        solution = benchmark(lambda: solver.solve(Q1, prepared["filtered"], k))
+        solution = benchmark(lambda: solver.solve_in_context(Q1, prepared["filtered"], k))
 
     benchmark.extra_info.update(
         {

@@ -9,7 +9,7 @@ import pytest
 
 from benchmarks.conftest import RATIOS, TPCH_SIZES, solve_once
 from repro.core.adp import ADPSolver
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q1
 
 

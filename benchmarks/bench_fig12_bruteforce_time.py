@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.adp import ADPSolver
 from repro.core.bruteforce import bruteforce_solve
-from repro.engine.evaluate import evaluate
 from repro.experiments.harness import target_from_ratio
 from repro.workloads.queries import Q1
 from repro.workloads.tpch import generate_tpch
@@ -35,7 +34,7 @@ def test_fig12_bruteforce_vs_heuristics(benchmark, small_instance, method):
         )
     else:
         solver = ADPSolver(heuristic=method)
-        solution = benchmark(lambda: solver.solve(Q1, database, k))
+        solution = benchmark(lambda: solver.solve_in_context(Q1, database, k))
 
     benchmark.extra_info.update(
         {

@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks.conftest import solve_once
 from repro.core.adp import ADPSolver
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q2, Q3, Q4, Q5
 
 RATIO = 0.25

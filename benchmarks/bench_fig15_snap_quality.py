@@ -9,7 +9,7 @@ output size suggests.
 import pytest
 
 from repro.core.adp import ADPSolver
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q2, Q4
 
 
@@ -22,8 +22,8 @@ def test_fig15_quality_grows_with_ratio(benchmark, ego_network, query):
     solver = ADPSolver(heuristic="greedy")
 
     def run_two_ratios():
-        low = solver.solve(query, database, max(1, int(0.1 * total)))
-        high = solver.solve(query, database, max(1, int(0.5 * total)))
+        low = solver.solve_in_context(query, database, max(1, int(0.1 * total)))
+        high = solver.solve_in_context(query, database, max(1, int(0.5 * total)))
         return low, high
 
     low, high = benchmark(run_two_ratios)

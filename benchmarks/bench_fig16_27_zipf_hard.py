@@ -13,7 +13,7 @@ import pytest
 
 from benchmarks.conftest import solve_once
 from repro.core.adp import ADPSolver
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import QPATH_EXP
 
 ALPHAS = (0.0, 0.25, 0.5, 1.0)
@@ -44,7 +44,7 @@ def test_fig16_27_skew_reduces_solution_size(benchmark, zipf_instances):
         for alpha, database in zipf_instances.items():
             total = evaluate(QPATH_EXP, database).output_count()
             k = max(1, int(RATIO * total))
-            sizes[alpha] = solver.solve(QPATH_EXP, database, k).size
+            sizes[alpha] = solver.solve_in_context(QPATH_EXP, database, k).size
         return sizes
 
     sizes = benchmark(sweep)

@@ -9,7 +9,7 @@ import pytest
 
 from benchmarks.conftest import solve_once
 from repro.core.adp import ADPSolver
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q6
 
 ALPHAS = (0.0, 1.0)
@@ -39,7 +39,7 @@ def test_fig21_23_quality_decreases_with_skew(benchmark, zipf_instances):
         for alpha in ALPHAS:
             database = zipf_instances[alpha].restricted_to(("R1", "R2"))
             total = evaluate(Q6, database).output_count()
-            sizes[alpha] = solver.solve(Q6, database, max(1, int(0.5 * total))).size
+            sizes[alpha] = solver.solve_in_context(Q6, database, max(1, int(0.5 * total))).size
         return sizes
 
     sizes = benchmark(sweep)

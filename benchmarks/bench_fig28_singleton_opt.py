@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.adp import ADPSolver
 from repro.core.universe import UniverseStrategy
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q7
 from repro.workloads.synthetic import generate_q7_instance
 
@@ -35,7 +35,7 @@ def test_fig28_universal_attribute_strategies(benchmark, q7_instance, strategy):
     database, k = q7_instance
     solver = ADPSolver(**STRATEGIES[strategy])
 
-    solution = benchmark(lambda: solver.solve(Q7, database, k))
+    solution = benchmark(lambda: solver.solve_in_context(Q7, database, k))
     benchmark.extra_info.update(
         {"figure": "28", "strategy": strategy, "k": k, "solution_size": solution.size}
     )

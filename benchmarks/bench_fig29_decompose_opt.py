@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.adp import ADPSolver
 from repro.core.decompose import DecomposeStrategy
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q8
 from repro.workloads.synthetic import generate_q8_instance
 
@@ -34,7 +34,7 @@ def test_fig29_decompose_strategies(benchmark, q8_instance, strategy):
     database, k = q8_instance
     solver = ADPSolver(decompose_strategy=STRATEGIES[strategy])
 
-    solution = benchmark(lambda: solver.solve(Q8, database, k))
+    solution = benchmark(lambda: solver.solve_in_context(Q8, database, k))
     benchmark.extra_info.update(
         {"figure": "29", "strategy": strategy, "k": k, "solution_size": solution.size}
     )

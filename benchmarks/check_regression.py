@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Benchmark smoke guard: fail if the Figure 12 solve regresses > 2x.
+
+Runs the ``bench_fig12`` workload (TPC-H-like, 60 tuples, Q1, k from
+ρ = 0.1; methods bruteforce / greedy / drastic) plus the session what-if
+probe, and compares wall time against the committed baseline
+``benchmarks/baseline_fig12.json``.
+
+Machines differ, so raw seconds are not comparable across hardware: every
+run first times a fixed pure-Python *calibration* workload, and the
+thresholds scale by ``calibration_now / calibration_baseline``.  A method
+fails when::
+
+    now > THRESHOLD * baseline * (calibration_now / calibration_baseline)
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py          # check
+    PYTHONPATH=src python benchmarks/check_regression.py --update # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_fig12.json"
+
+#: Allowed slowdown vs (calibration-scaled) baseline before the check fails.
+THRESHOLD = 2.0
+
+SMALL_SIZE = 60
+RATIO = 0.1
+
+
+def calibrate() -> float:
+    """Seconds for a fixed pure-Python workload (integer + dict churn).
+
+    Shaped like the engine's hot paths (arithmetic, tuple keys, dict
+    probes), so the scale factor tracks interpreter/hardware speed for the
+    code under test reasonably well.
+    """
+    start = time.perf_counter()
+    total = 0
+    for i in range(200_000):
+        total += i % 7
+    table = {}
+    for i in range(60_000):
+        table[(i % 997, i % 31)] = i
+    for i in range(60_000):
+        total += table.get((i % 991, i % 29), 0)
+    assert total >= 0
+    return time.perf_counter() - start
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Fastest of ``repeats`` single runs (solves are not micro-benchmarks)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    """One timing per guarded workload, in seconds."""
+    from repro.core.bruteforce import bruteforce_solve
+    from repro.experiments.harness import target_from_ratio
+    from repro.session import Session
+    from repro.workloads.queries import Q1
+    from repro.workloads.tpch import generate_tpch
+
+    database = generate_tpch(total_tuples=SMALL_SIZE, seed=7)
+    session = Session(database)
+    prepared = session.prepare(Q1)
+    with session.activate():
+        k = target_from_ratio(Q1, database, RATIO)
+
+    timings = {}
+    timings["greedy"] = best_of(
+        lambda: session.solve(prepared, k, heuristic="greedy")
+    )
+    timings["drastic"] = best_of(
+        lambda: session.solve(prepared, k, heuristic="drastic")
+    )
+
+    def run_bruteforce():
+        with session.activate():
+            bruteforce_solve(Q1, database, k, max_candidates=2000)
+
+    timings["bruteforce"] = best_of(run_bruteforce)
+
+    solution = session.solve(prepared, k, heuristic="greedy")
+    refs = frozenset(solution.removed)
+    session.what_if(refs, prepared)  # warm the postings index
+
+    def what_if_probe():
+        for _ in range(200):
+            session.what_if(refs, prepared).single.outputs_removed
+
+    timings["what_if_x200"] = best_of(what_if_probe)
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline JSON"
+    )
+    args = parser.parse_args(argv)
+
+    calibration = calibrate()
+    timings = measure()
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "calibration_seconds": round(calibration, 6),
+                    "threshold": THRESHOLD,
+                    "workload": f"tpch[{SMALL_SIZE}] Q1 ratio={RATIO} (Figure 12)",
+                    "methods": {k: round(v, 6) for k, v in timings.items()},
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    scale = calibration / baseline["calibration_seconds"]
+    print(f"calibration: {calibration:.4f}s (baseline scale x{scale:.2f})")
+
+    failed = []
+    for method, now in timings.items():
+        base = baseline["methods"].get(method)
+        if base is None:
+            print(f"  {method}: {now * 1e3:8.2f}ms (no baseline entry, skipped)")
+            continue
+        budget = THRESHOLD * base * scale
+        status = "ok" if now <= budget else "REGRESSION"
+        print(
+            f"  {method}: {now * 1e3:8.2f}ms  budget {budget * 1e3:8.2f}ms "
+            f"(baseline {base * 1e3:.2f}ms)  {status}"
+        )
+        if now > budget:
+            failed.append(method)
+
+    if failed:
+        print(f"FAILED: {', '.join(failed)} regressed more than {THRESHOLD}x")
+        return 1
+    print("benchmark smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ import pytest
 
 from repro.core.adp import ADPSolver
 from repro.core.selection import Selection
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.workloads.queries import Q1
 from repro.workloads.snap import EgoNetworkConfig, generate_ego_network
 from repro.workloads.tpch import SELECTED_PART_KEY, generate_tpch
@@ -75,7 +75,7 @@ def zipf_instances():
 
 def solve_once(benchmark, solver: ADPSolver, query, database, k, **extra_info):
     """Benchmark one solver call and record quality metadata."""
-    solution = benchmark(lambda: solver.solve(query, database, k))
+    solution = benchmark(lambda: solver.solve_in_context(query, database, k))
     benchmark.extra_info.update(
         {
             "k": k,

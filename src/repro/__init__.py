@@ -12,25 +12,34 @@ at least ``k`` tuples disappear from ``Q(D)``.
 
 Quick start
 -----------
->>> from repro import parse_query, Database, ADPSolver, is_poly_time
->>> q = parse_query("Qwl(S, C) :- Major(S, M), Req(M, C), NoSeat(C)")
->>> is_poly_time(q)
-False
+>>> from repro import Database, Session
 >>> d = Database.from_dict(
 ...     {"Major": ["S", "M"], "Req": ["M", "C"], "NoSeat": ["C"]},
 ...     {"Major": [("alice", "cs"), ("bob", "cs")],
 ...      "Req": [("cs", "db"), ("cs", "os")],
 ...      "NoSeat": [("db",), ("os",)]})
->>> solution = ADPSolver().solve(q, d, k=2)
->>> solution.size
+>>> session = Session(d)
+>>> q = session.prepare("Qwl(S, C) :- Major(S, M), Req(M, C), NoSeat(C)")
+>>> q.is_poly_time
+False
+>>> session.solve(q, k=2).size
 1
+
+A :class:`Session` binds one database and owns its evaluation cache, engine
+mode and interning tables; a :class:`PreparedQuery` carries the parse, the
+dichotomy classification and the join plan, reusable across databases and
+targets.  The pre-session free functions (``evaluate``, ``compute_adp``,
+``ADPSolver.solve(query, database, k)``) keep working as deprecated shims
+over an implicit per-database default session -- see ``docs/MIGRATION.md``.
 
 Package layout
 --------------
+``repro.session``    the public entry point: ``Session`` / ``PreparedQuery``
+                     (bind once, solve many, mutate incrementally)
 ``repro.query``      conjunctive-query model (atoms, parser, graph, rewrites)
 ``repro.data``       in-memory relations / databases / CSV I/O
-``repro.engine``     join evaluation with provenance, semi-joins, max-flow,
-                     partial set cover
+``repro.engine``     join evaluation with provenance, delta semijoins,
+                     semi-joins, max-flow, partial set cover
 ``repro.core``       the paper's contribution: dichotomies, hard structures,
                      query mappings, ``ComputeADP``, heuristics,
                      approximations, resilience, selections
@@ -57,11 +66,20 @@ from repro.core import (
     robustness_profile,
     solve_with_selection,
 )
+from repro.core.curves import CostCurve
 from repro.data import Database, Relation, TupleRef
 from repro.engine import evaluate
 from repro.query import Atom, ConjunctiveQuery, parse_query
+from repro.session import (
+    PreparedQuery,
+    Session,
+    SessionStats,
+    WhatIfResult,
+    default_session,
+    prepare,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -73,7 +91,15 @@ __all__ = [
     "Database",
     "Relation",
     "TupleRef",
-    # evaluation
+    # sessions (the primary API)
+    "Session",
+    "PreparedQuery",
+    "SessionStats",
+    "WhatIfResult",
+    "default_session",
+    "prepare",
+    "CostCurve",
+    # evaluation (deprecated shim; prefer Session.evaluate)
     "evaluate",
     # dichotomies
     "is_poly_time",

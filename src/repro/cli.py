@@ -11,6 +11,12 @@ without writing any Python:
 * ``experiments`` -- regenerate one or all of the paper's figures and print
   the tidy tables.
 
+``solve`` runs through a :class:`repro.session.Session` bound to the loaded
+database: ``--engine`` picks the columnar or the row reference engine, and
+``--json`` emits a machine-readable summary for scripting.  An empty query
+result is a successful (empty) answer, not an error: the summary is printed
+and the exit code is 0.
+
 Examples
 --------
 ::
@@ -18,12 +24,14 @@ Examples
     python -m repro classify "QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)"
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --ratio 0.5 --method drastic
+    python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3 --json
     python -m repro experiments --only fig28
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -33,10 +41,10 @@ from repro.core.mapping import hardness_certificate
 from repro.core.structures import diagnose
 from repro.core.solution import summarize_removed
 from repro.data.csvio import load_database_csv
-from repro.engine.evaluate import evaluate
 from repro.experiments import figures
-from repro.experiments.report import format_table, render_results
+from repro.experiments.report import render_results
 from repro.query.parser import parse_query
+from repro.session import Session
 
 
 def _add_classify_parser(subparsers) -> None:
@@ -65,6 +73,17 @@ def _add_solve_parser(subparsers) -> None:
         "--counting-only",
         action="store_true",
         help="report only the objective value (faster, no tuple list)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["columnar", "row"],
+        default="columnar",
+        help="evaluation engine: columnar (default) or the row reference engine",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON summary instead of text",
     )
 
 
@@ -98,21 +117,47 @@ def _run_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _solution_payload(session, prepared, total, solution) -> dict:
+    return {
+        "query": str(prepared.query),
+        "classification": prepared.classification,
+        "engine": session.engine,
+        "output_size": total,
+        "k": solution.k if solution else 0,
+        "objective": solution.size if solution else 0,
+        "optimal": solution.optimal if solution else True,
+        "method": solution.method if solution else "empty-result",
+        "removed": (
+            sorted(str(ref) for ref in solution.removed) if solution else []
+        ),
+    }
+
+
 def _run_solve(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     database = load_database_csv(args.database)
     heuristic = "greedy" if args.method == "auto" else args.method
     solver = ADPSolver(heuristic=heuristic, counting_only=args.counting_only)
 
-    total = evaluate(query, database).output_count()
+    session = Session(database, engine=args.engine)
+    prepared = session.prepare(query)
+    total = session.output_size(prepared)
     if total == 0:
-        print("the query result is empty; nothing to remove")
-        return 1
+        # An empty result is a legitimate (empty) answer: nothing to remove.
+        if args.json:
+            print(json.dumps(_solution_payload(session, prepared, 0, None), indent=2))
+        else:
+            print("|Q(D)| = 0, target k = 0")
+            print("objective = 0 input tuple(s); the query result is already empty")
+        return 0
     if args.k is not None:
-        solution = solver.solve(query, database, args.k)
+        solution = session.solve(prepared, args.k, solver=solver)
     else:
-        solution = solver.solve_ratio(query, database, args.ratio)
+        solution = session.solve_ratio(prepared, args.ratio, solver=solver)
 
+    if args.json:
+        print(json.dumps(_solution_payload(session, prepared, total, solution), indent=2))
+        return 0
     print(f"|Q(D)| = {total}, target k = {solution.k}")
     print(
         f"objective = {solution.size} input tuple(s) "

@@ -24,16 +24,24 @@ Internally every step produces a :class:`~repro.core.curves.CostCurve`
 dynamic programs need the costs of sub-problems for many targets at once.
 
 All evaluation goes through the columnar witness engine
-(:mod:`repro.engine.evaluate`): the repeated ``evaluate`` calls this module
-issues per solve -- sizing the target, the base-case algorithm, verifying
-the returned deletion set -- and the re-evaluations of identical
+(:mod:`repro.engine.evaluate`) in the *ambient engine context*: under
+``Session.solve`` that is the session's own cache/engine/interners, outside
+any session the per-database default context.  One :class:`QueryResult` is
+threaded through sizing, feasibility and verification
+(:meth:`ADPSolver.solve_in_context`), and the re-evaluations of identical
 sub-instances inside the Universe/Decompose recursions are served from the
 memoizing evaluation cache rather than re-joining.
+
+The ``(query, database, k)`` call forms -- :meth:`ADPSolver.solve`,
+:meth:`ADPSolver.solve_ratio`, :func:`compute_adp` -- are deprecated shims
+over the implicit default session; prefer
+:meth:`repro.session.Session.solve`.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -47,13 +55,28 @@ from repro.core.solution import ADPSolution
 from repro.core.structures import find_triad_like
 from repro.core.universe import UniverseStrategy, universe_curve
 from repro.data.database import Database
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import QueryResult, evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 from repro.query.graph import QueryGraph
 
 #: Heuristic used at NP-hard leaves ("Greedy" and "Drastic" in the paper's plots).
 GREEDY = "greedy"
 DRASTIC = "drastic"
+
+
+def ratio_target(total: int, ratio: float) -> int:
+    """``k = max(1, ceil(ratio * total))`` -- the paper's ρ parameter.
+
+    The single home of the ρ-to-``k`` rule (``Session.solve_ratio``, the
+    robustness profile and the experiment harness all delegate here).
+    Raises ``ValueError`` for ``ratio`` outside ``(0, 1]`` or an empty
+    result.
+    """
+    if not 0 < ratio <= 1:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    if total == 0:
+        raise ValueError("the query result is empty; nothing to remove")
+    return max(1, math.ceil(ratio * total))
 
 
 @dataclass
@@ -110,27 +133,61 @@ class ADPSolver:
     def solve(self, query: ConjunctiveQuery, database: Database, k: int) -> ADPSolution:
         """Solve ``ADP(query, database, k)``.
 
+        .. deprecated::
+            Prefer ``Session(database).solve(query, k, solver=...)``; this
+            form remains as a shim over the implicit default session of
+            ``database`` (see ``docs/MIGRATION.md``).
+
         Raises ``ValueError`` when ``k`` is outside ``1 <= k <= |Q(D)|``.
+        """
+        warnings.warn(
+            "ADPSolver.solve(query, database, k) is deprecated; use "
+            "Session(database).solve(query, k) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.session import default_session
+
+        return default_session(database).solve(query, k, solver=self)
+
+    def solve_in_context(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        k: int,
+        *,
+        result: Optional[QueryResult] = None,
+        curve: Optional[CostCurve] = None,
+    ) -> ADPSolution:
+        """Solve within the ambient engine context (the session entry point).
+
+        ``result`` threads one evaluation through sizing, feasibility and
+        verification (instead of three ``evaluate`` calls leaning on the
+        cache); ``curve`` lets batched callers reuse a cost curve computed
+        once at the batch's largest target.
         """
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
-        total = evaluate(query, database).output_count()
+        if result is None:
+            result = evaluate(query, database)
+        total = result.output_count()
         if k > total:
             raise ValueError(f"k={k} exceeds the number of output tuples |Q(D)|={total}")
-        self._fallbacks = 0
-        curve = self._curve(query, database, k)
+        if curve is None:
+            self._fallbacks = 0
+            curve = self._curve(query, database, k)
         cost = curve.cost(k)
         if cost == INFEASIBLE:
             # Heuristic curves can, in pathological cases, fall short of k
             # even though removing everything would reach it; removing every
             # participating tuple is always a feasible (terrible) solution.
-            return self._remove_everything(query, database, k, total)
+            return self._remove_everything(query, k, total, result)
         if self.config.counting_only:
             removed = frozenset()
             removed_outputs = k
         else:
             removed = curve.solution(k)
-            removed_outputs = evaluate(query, database).outputs_removed_by(removed)
+            removed_outputs = result.outputs_removed_by(removed)
         return ADPSolution(
             query=query,
             k=k,
@@ -146,17 +203,38 @@ class ADPSolver:
             objective=int(cost),
         )
 
+    def curve(
+        self, query: ConjunctiveQuery, database: Database, kmax: int
+    ) -> CostCurve:
+        """The cost curve for all targets up to ``kmax`` (Algorithm 2's spine).
+
+        Every dispatch case of ``ComputeADP`` internally produces solutions
+        for *all* targets at once; this publishes that curve.  Runs in the
+        ambient engine context -- call through :meth:`repro.session.Session.curve`
+        to bind a session's cache.
+        """
+        if kmax < 0:
+            raise ValueError(f"kmax must be non-negative, got {kmax}")
+        self._fallbacks = 0
+        return self._curve(query, database, kmax)
+
     def solve_ratio(
         self, query: ConjunctiveQuery, database: Database, ratio: float
     ) -> ADPSolution:
-        """Solve with ``k = ceil(ratio * |Q(D)|)`` (the paper's ρ parameter)."""
-        if not 0 < ratio <= 1:
-            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
-        total = evaluate(query, database).output_count()
-        if total == 0:
-            raise ValueError("the query result is empty; nothing to remove")
-        k = max(1, math.ceil(ratio * total))
-        return self.solve(query, database, k)
+        """Solve with ``k = ceil(ratio * |Q(D)|)`` (the paper's ρ parameter).
+
+        .. deprecated::
+            Prefer ``Session(database).solve_ratio(query, ratio, solver=...)``.
+        """
+        warnings.warn(
+            "ADPSolver.solve_ratio(query, database, ratio) is deprecated; "
+            "use Session(database).solve_ratio(query, ratio) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.session import default_session
+
+        return default_session(database).solve_ratio(query, ratio, solver=self)
 
     def is_exact_for(self, query: ConjunctiveQuery) -> bool:
         """Whether this solver returns optimal solutions for ``query``.
@@ -222,9 +300,8 @@ class ADPSolver:
     # Last-resort feasible solution
     # ------------------------------------------------------------------ #
     def _remove_everything(
-        self, query: ConjunctiveQuery, database: Database, k: int, total: int
+        self, query: ConjunctiveQuery, k: int, total: int, result: QueryResult
     ) -> ADPSolution:
-        result = evaluate(query, database)
         removed = frozenset(result.participating_refs())
         return ADPSolution(
             query=query,
@@ -246,14 +323,27 @@ def compute_adp(
 ) -> ADPSolution:
     """Functional convenience wrapper around :class:`ADPSolver`.
 
+    .. deprecated::
+        Prefer the session API -- ``Session(database).solve(query, k)`` --
+        which binds the database once and reuses its caches across solves.
+        This wrapper remains as a shim over the implicit default session.
+
     Example
     -------
-    >>> from repro import parse_query, Database, compute_adp
+    >>> from repro import parse_query, Database, Session
     >>> q = parse_query("Q(A, B) :- R1(A), R2(A, B)")
     >>> d = Database.from_dict(
     ...     {"R1": ["A"], "R2": ["A", "B"]},
     ...     {"R1": [(1,), (2,)], "R2": [(1, 10), (1, 11), (2, 20)]})
-    >>> compute_adp(q, d, k=2).size
+    >>> Session(d).solve(q, k=2).size
     1
     """
-    return ADPSolver(**config_overrides).solve(query, database, k)
+    warnings.warn(
+        "compute_adp(query, database, k) is deprecated; use "
+        "Session(database).solve(query, k) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import default_session
+
+    return default_session(database).solve(query, k, **config_overrides)

@@ -16,12 +16,12 @@ approximations for full CQs and raises otherwise.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.solution import ADPSolution
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.engine.setcover import (
     PartialSetCoverInstance,
     greedy_partial_cover,

@@ -29,13 +29,13 @@ guaranteed optimal.  See DESIGN.md, "Substitutions".
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.curves import PrefixCurve, constant_zero_curve
 from repro.core.structures import endogenous_relations
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.engine.flow import INFINITY, FlowNetwork
 from repro.engine.semijoin import remove_dangling_tuples
 from repro.query.cq import ConjunctiveQuery

@@ -18,13 +18,13 @@ Two safe prunings are applied (both preserve optimality):
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.core.solution import ADPSolution
 from repro.core.structures import endogenous_relations
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 
 

@@ -20,7 +20,7 @@ documentation examples use to explain *why* a query is easy or hard.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.core.structures import find_triad_like
 from repro.query.cq import ConjunctiveQuery

@@ -32,7 +32,7 @@ from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 from repro.core.curves import INFEASIBLE, CostCurve, TableCurve, constant_zero_curve
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 from repro.query.transforms import connected_components
 

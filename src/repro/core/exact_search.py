@@ -24,13 +24,13 @@ hard instances.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.core.solution import ADPSolution
 from repro.core.structures import endogenous_relations
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.engine.provenance import ProvenanceIndex
 from repro.query.cq import ConjunctiveQuery
 

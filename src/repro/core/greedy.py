@@ -43,7 +43,7 @@ from repro.core.curves import MinCurve, PrefixCurve
 from repro.core.structures import endogenous_relations
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.engine.provenance import ProvenanceIndex
 from repro.query.cq import ConjunctiveQuery
 

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.adp import ADPSolver
+from repro.core.adp import ADPSolver, ratio_target
 from repro.core.solution import ADPSolution
 from repro.core.structures import find_triad_like
 from repro.data.database import Database
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -54,7 +54,7 @@ def resilience(
             stats={"output_size": 0},
             objective=0,
         )
-    return solver.solve(boolean, database, k=1)
+    return solver.solve_in_context(boolean, database, 1)
 
 
 def robustness_profile(
@@ -72,8 +72,10 @@ def robustness_profile(
     Returns a list of ``(ratio, k, solution)`` triples.
     """
     solver = solver or ADPSolver()
+    total = evaluate(query, database).output_count()
     profile = []
     for ratio in ratios:
-        solution = solver.solve_ratio(query, database, ratio)
+        k = ratio_target(total, ratio)
+        solution = solver.solve_in_context(query, database, k)
         profile.append((ratio, solution.k, solution))
     return profile

@@ -125,7 +125,7 @@ def solve_with_selection(
         relations.append(Relation(atom.name, kept_attrs, rows))
     residual_database = Database(relations)
 
-    residual_solution = solver.solve(residual_query, residual_database, k)
+    residual_solution = solver.solve_in_context(residual_query, residual_database, k)
     removed = frozenset(
         back_map[(ref.relation, ref.values)] for ref in residual_solution.removed
     )
@@ -145,7 +145,7 @@ def selected_output_size(
     query: ConjunctiveQuery, selection: Selection, database: Database
 ) -> int:
     """``|σ_θ Q(D)|``: output size after applying the selection."""
-    from repro.engine.evaluate import evaluate
+    from repro.engine.evaluate import evaluate_in_context
 
     filtered = selection.apply(query, database)
-    return evaluate(query, filtered).output_count()
+    return evaluate_in_context(query, filtered).output_count()

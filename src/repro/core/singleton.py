@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.curves import PrefixCurve
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 
 

@@ -17,7 +17,7 @@ from typing import Dict, FrozenSet, Iterable, Optional
 
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 
 

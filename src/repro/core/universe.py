@@ -21,7 +21,6 @@ Two strategies are provided, matching the ablation of Figure 28:
 
 from __future__ import annotations
 
-import math
 from enum import Enum
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 

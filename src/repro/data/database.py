@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
-from repro.data.relation import Relation, Row, TupleRef, Value
+from repro.data.relation import Relation, TupleRef, Value
 from repro.query.cq import ConjunctiveQuery
 
 

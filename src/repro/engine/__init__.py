@@ -12,7 +12,12 @@ substrate built from scratch:
   tuple interning, a batch left-deep hash join over integer ID columns, and
   packed per-atom provenance columns;
 * :mod:`repro.engine.cache` -- memoization of evaluation results keyed by
-  (query canonical form, database version);
+  (query canonical form, database version); owned per
+  :class:`~repro.engine.evaluate.EngineContext` (i.e. per session) since the
+  Session redesign;
+* :mod:`repro.engine.delta` -- delta semijoins: derive the post-deletion
+  result from cached packed provenance in one column scan (the engine behind
+  ``Session.what_if`` / ``Session.apply_deletions``);
 * :mod:`repro.engine.provenance` -- an incremental provenance index (dense
   integer arrays) used by the greedy heuristics and by solution verification;
 * :mod:`repro.engine.semijoin` -- semi-join reduction (dangling-tuple
@@ -25,15 +30,22 @@ substrate built from scratch:
 
 from repro.engine.cache import EvaluationCache
 from repro.engine.columnar import ColumnarProvenance, RelationIndex
+from repro.engine.delta import delta_filter_provenance, delta_filter_result
 from repro.engine.evaluate import (
+    EngineContext,
     QueryResult,
     Witness,
     clear_evaluation_cache,
+    default_context,
     engine_mode,
     evaluate,
+    evaluate_columnar,
+    evaluate_in_context,
     evaluate_rows,
     evaluation_cache_stats,
+    join_order_plan,
     set_engine_mode,
+    use_context,
 )
 from repro.engine.provenance import ProvenanceIndex
 from repro.engine.semijoin import remove_dangling_tuples, semijoin_reduce
@@ -49,7 +61,13 @@ __all__ = [
     "QueryResult",
     "Witness",
     "evaluate",
+    "evaluate_in_context",
+    "evaluate_columnar",
     "evaluate_rows",
+    "join_order_plan",
+    "EngineContext",
+    "use_context",
+    "default_context",
     "set_engine_mode",
     "engine_mode",
     "clear_evaluation_cache",
@@ -57,6 +75,8 @@ __all__ = [
     "EvaluationCache",
     "ColumnarProvenance",
     "RelationIndex",
+    "delta_filter_provenance",
+    "delta_filter_result",
     "ProvenanceIndex",
     "remove_dangling_tuples",
     "semijoin_reduce",

@@ -64,13 +64,20 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, query: ConjunctiveQuery, database: Database):
-        """The cached result for ``(query, database)`` or ``None``."""
+    def lookup(self, query: ConjunctiveQuery, database: Database, query_key=None):
+        """The cached result for ``(query, database)`` or ``None``.
+
+        ``query_key`` optionally supplies the precomputed canonical key (a
+        :class:`~repro.session.PreparedQuery` carries one), skipping the
+        per-call canonicalization.
+        """
         entries = self._per_database.get(database)
         if entries is None:
             self.misses += 1
             return None
-        key = (canonical_query_key(query), database.version_token())
+        if query_key is None:
+            query_key = canonical_query_key(query)
+        key = (query_key, database.version_token())
         result = entries.get(key)
         if result is None:
             self.misses += 1
@@ -81,7 +88,9 @@ class EvaluationCache:
         self.hits += 1
         return result
 
-    def store(self, query: ConjunctiveQuery, database: Database, result) -> None:
+    def store(
+        self, query: ConjunctiveQuery, database: Database, result, query_key=None
+    ) -> None:
         """Cache one evaluation result."""
         try:
             entries = self._per_database.setdefault(database, {})
@@ -94,9 +103,39 @@ class EvaluationCache:
         stale = [key for key in entries if key[1] != token]
         for key in stale:
             entries.pop(key)
-        entries[(canonical_query_key(query), token)] = result
+        if query_key is None:
+            query_key = canonical_query_key(query)
+        entries[(query_key, token)] = result
         while len(entries) > self._max_entries:
             entries.pop(next(iter(entries)))
+
+    def store_raw(
+        self, database: Database, query_key: Hashable, token: Hashable, result
+    ) -> None:
+        """Cache one result under a precomputed ``(query key, version token)``.
+
+        Used by :meth:`repro.session.Session.apply_deletions` to re-home
+        delta-filtered results under the database's post-mutation token
+        without re-evaluating.  Unlike :meth:`store` it does not drop entries
+        with other tokens (the caller migrates a whole snapshot at once).
+        """
+        try:
+            entries = self._per_database.setdefault(database, {})
+        except TypeError:  # pragma: no cover - non-weakref-able database stub
+            return
+        entries[(query_key, token)] = result
+        while len(entries) > self._max_entries:
+            entries.pop(next(iter(entries)))
+
+    def take_entries(self, database: Database):
+        """Remove and return ``{(query key, token): result}`` for one database.
+
+        The entries are popped (the cache forgets them); callers that migrate
+        results across a version bump re-insert the transformed payloads via
+        :meth:`store_raw`.
+        """
+        entries = self._per_database.pop(database, None)
+        return dict(entries) if entries else {}
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""

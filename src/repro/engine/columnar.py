@@ -26,7 +26,7 @@ directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation, Row, TupleRef
@@ -41,15 +41,35 @@ class RelationIndex:
     back to its ID.  IDs follow the relation's iteration order at build time,
     which keeps the columnar join's witness order identical to the row
     engine's (both walk the same hash-table buckets).
+
+    Indexes are immutable snapshots: a :class:`~repro.session.Session` (via
+    its :class:`~repro.engine.evaluate.EngineContext`) caches them per
+    relation version, so repeated evaluations over the same relation share
+    one interning table instead of re-interning per query.
     """
 
-    __slots__ = ("name", "attributes", "rows", "ids")
+    __slots__ = ("name", "attributes", "rows", "ids", "_ref_view")
 
     def __init__(self, relation: Relation):
         self.name = relation.name
         self.attributes: Tuple[str, ...] = relation.attributes
         self.rows: List[Row] = list(relation)
         self.ids: Dict[Row, int] = {row: tid for tid, row in enumerate(self.rows)}
+        self._ref_view: Optional[List[TupleRef]] = None
+
+    def ref_view(self) -> List[TupleRef]:
+        """``tid -> TupleRef`` view, built lazily and cached on the index.
+
+        Caching here (rather than per :class:`ColumnarProvenance`) lets every
+        evaluation sharing this interning table reuse one materialized view.
+        Treat the returned list as read-only.
+        """
+        view = self._ref_view
+        if view is None:
+            name = self.name
+            view = [TupleRef(name, row) for row in self.rows]
+            self._ref_view = view
+        return view
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -72,7 +92,8 @@ class ColumnarProvenance:
         ``witness_outputs[w]`` is the index (into ``output_rows``) of the
         output tuple witness ``w`` produces.
     output_rows, output_index:
-        The distinct output tuples and their reverse index.
+        The distinct output tuples and their reverse index (the index is
+        derived lazily from ``output_rows`` when not supplied).
     vacuum_refs:
         References to the (empty) tuples of non-empty vacuum relations; by
         convention they participate in *every* witness.
@@ -85,10 +106,10 @@ class ColumnarProvenance:
         "ref_columns",
         "witness_outputs",
         "output_rows",
-        "output_index",
         "vacuum_refs",
+        "_output_index",
         "_atom_position",
-        "_ref_views",
+        "_postings",
     )
 
     def __init__(
@@ -99,7 +120,7 @@ class ColumnarProvenance:
         ref_columns: Sequence[List[int]],
         witness_outputs: List[int],
         output_rows: List[Row],
-        output_index: Dict[Row, int],
+        output_index: Optional[Dict[Row, int]] = None,
         vacuum_refs: Tuple[TupleRef, ...] = (),
     ):
         self.query = query
@@ -108,12 +129,21 @@ class ColumnarProvenance:
         self.ref_columns: List[List[int]] = list(ref_columns)
         self.witness_outputs = witness_outputs
         self.output_rows = output_rows
-        self.output_index = output_index
+        self._output_index = output_index if output_index else None
         self.vacuum_refs = vacuum_refs
         self._atom_position: Dict[str, int] = {
             name: position for position, name in enumerate(atom_names)
         }
-        self._ref_views: List[Optional[List[TupleRef]]] = [None] * len(atom_names)
+        self._postings: List[Optional[Dict[int, List[int]]]] = [None] * len(atom_names)
+
+    @property
+    def output_index(self) -> Dict[Row, int]:
+        """``output row -> position`` reverse index (built lazily)."""
+        index = self._output_index
+        if index is None:
+            index = {row: i for i, row in enumerate(self.output_rows)}
+            self._output_index = index
+        return index
 
     # ------------------------------------------------------------------ #
     # Counting
@@ -138,18 +168,30 @@ class ColumnarProvenance:
         return self._atom_position.get(relation_name)
 
     def refs_for_atom(self, position: int) -> List[TupleRef]:
-        """``tid -> TupleRef`` view for one atom, built lazily and cached."""
-        view = self._ref_views[position]
-        if view is None:
-            index = self.indexes[position]
-            name = index.name
-            view = [TupleRef(name, row) for row in index.rows]
-            self._ref_views[position] = view
-        return view
+        """``tid -> TupleRef`` view for one atom (cached on the interner)."""
+        return self.indexes[position].ref_view()
 
     def ref(self, position: int, tid: int) -> TupleRef:
         """The :class:`TupleRef` for one (atom position, tuple ID) pair."""
         return self.refs_for_atom(position)[tid]
+
+    def postings_for_atom(self, position: int) -> Dict[int, List[int]]:
+        """``tid -> sorted witness positions`` for one atom (lazy, cached).
+
+        The inverted form of ``ref_columns[position]``: which witnesses use
+        each input tuple.  Built on first use and kept for the lifetime of
+        the provenance, so repeated incremental-deletion queries
+        (``Session.what_if``) pay for the scan once -- the role indexes play
+        on the paper's PostgreSQL connection.
+        """
+        postings = self._postings[position]
+        if postings is None:
+            postings = {}
+            setdefault = postings.setdefault
+            for w, tid in enumerate(self.ref_columns[position]):
+                setdefault(tid, []).append(w)
+            self._postings[position] = postings
+        return postings
 
     def locate(self, ref: TupleRef) -> Optional[Tuple[int, int]]:
         """``(atom position, tid)`` of a reference, or ``None``.
@@ -263,13 +305,21 @@ class ColumnarProvenance:
         return masks
 
 
+#: ``index_for(relation)`` hook: lets an :class:`EngineContext` serve a cached
+#: :class:`RelationIndex` for the relation's current version instead of
+#: re-interning.  ``None`` means "build a fresh index".
+IndexSupplier = Callable[[Relation], RelationIndex]
+
+
 def empty_provenance(
     query: ConjunctiveQuery,
     atoms: Sequence[Atom],
     database: Database,
+    index_for: Optional[IndexSupplier] = None,
 ) -> ColumnarProvenance:
     """A provenance payload with no witnesses (empty query result)."""
-    indexes = [RelationIndex(database.relation(atom.name)) for atom in atoms]
+    build = index_for or RelationIndex
+    indexes = [build(database.relation(atom.name)) for atom in atoms]
     return ColumnarProvenance(
         query,
         tuple(atom.name for atom in atoms),
@@ -287,6 +337,7 @@ def join_columns(
     keep_attributes: Iterable[str],
     max_witnesses: Optional[int] = None,
     query_name: str = "Q",
+    index_for: Optional[IndexSupplier] = None,
 ) -> Tuple[Dict[str, List[object]], List[List[int]], List[RelationIndex]]:
     """Left-deep hash join over interned ID columns.
 
@@ -306,6 +357,9 @@ def join_columns(
         exceeds this many rows.
     query_name:
         Used in the ``max_witnesses`` error message.
+    index_for:
+        Optional supplier of (cached) :class:`RelationIndex` objects; when
+        omitted every call re-interns each relation.
 
     Returns
     -------
@@ -315,7 +369,8 @@ def join_columns(
         the per-atom interners.  All columns share the same length (the
         number of witnesses).
     """
-    indexes = [RelationIndex(database.relation(atom.name)) for atom in ordered_atoms]
+    build = index_for or RelationIndex
+    indexes = [build(database.relation(atom.name)) for atom in ordered_atoms]
 
     # needed_after[i]: attributes still required by atoms i+1.. or the head.
     needed_after: List[Set[str]] = []

@@ -34,21 +34,41 @@ evaluations issued by ``ComputeADP`` (sizing, base case, verification) and by
 the Universe/Decompose recursions cost one join instead of several.  Cached
 ``QueryResult`` objects are shared -- treat them as immutable.
 
+Engine contexts (session-owned state)
+-------------------------------------
+Since the Session/PreparedQuery redesign the cache, the engine mode and the
+interning tables are no longer module globals: they live on an
+:class:`EngineContext`, which every :class:`repro.session.Session` owns.
+Library internals evaluate through :func:`evaluate_in_context`, which routes
+to the *active* context (set by ``Session`` methods via :func:`use_context`)
+or, outside any session, to an implicit per-database default context.
+
+The legacy free functions -- :func:`evaluate`, :func:`set_engine_mode`,
+:func:`clear_evaluation_cache`, :func:`evaluation_cache_stats` -- remain as
+deprecated shims over those default contexts, so pre-session code keeps
+working unchanged (module-global semantics included).
+
 The original row-at-a-time evaluator is kept, bit-for-bit, as
 :func:`evaluate_rows`; the parity test-suite and the benchmark documentation
 use it as the reference implementation, and ``set_engine_mode("row")``
-routes :func:`evaluate` through it globally.
+(deprecated; prefer ``Session(db, engine="row")``) routes :func:`evaluate`
+through it globally.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+import warnings
+import weakref
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.data.database import Database
-from repro.data.relation import Row, TupleRef
+from repro.data.relation import Relation, Row, TupleRef
 from repro.engine.cache import EvaluationCache
 from repro.engine.columnar import (
     ColumnarProvenance,
+    RelationIndex,
     empty_provenance,
     join_columns,
 )
@@ -93,20 +113,22 @@ class Witness:
 class QueryResult:
     """The result of evaluating a CQ: answers plus witness provenance.
 
-    ``output_rows``/``witness_outputs``/``output_index`` are materialized
-    eagerly (the solvers need them immediately); the row-style ``witnesses``
-    list is a lazy view over the packed columns in ``provenance`` and is only
-    built on first access.  When ``provenance`` is ``None`` (a result built
-    by the row engine or assembled by hand) the witness list is authoritative
-    and all provenance lookups fall back to iterating it.
+    ``output_rows``/``witness_outputs`` are materialized eagerly (the solvers
+    need them immediately); the row-style ``witnesses`` list is a lazy view
+    over the packed columns in ``provenance`` and is only built on first
+    access, and ``output_index`` is derived from ``output_rows`` on first use
+    when not supplied (the delta-semijoin path skips building it).  When
+    ``provenance`` is ``None`` (a result built by the row engine or assembled
+    by hand) the witness list is authoritative and all provenance lookups
+    fall back to iterating it.
     """
 
     __slots__ = (
         "query",
         "output_rows",
         "witness_outputs",
-        "output_index",
         "provenance",
+        "_output_index",
         "_witnesses",
     )
 
@@ -124,13 +146,20 @@ class QueryResult:
         self.witness_outputs: List[int] = (
             witness_outputs if witness_outputs is not None else []
         )
-        self.output_index: Dict[Row, int] = (
-            output_index
-            if output_index
-            else {row: i for i, row in enumerate(output_rows)}
+        self._output_index: Optional[Dict[Row, int]] = (
+            output_index if output_index else None
         )
         self.provenance = provenance
         self._witnesses = witnesses
+
+    @property
+    def output_index(self) -> Dict[Row, int]:
+        """``output row -> position`` reverse index (built lazily)."""
+        index = self._output_index
+        if index is None:
+            index = {row: i for i, row in enumerate(self.output_rows)}
+            self._output_index = index
+        return index
 
     # ------------------------------------------------------------------ #
     # Lazy row-style view
@@ -233,41 +262,252 @@ def _join_order(query: ConjunctiveQuery) -> List[int]:
     return order
 
 
-#: Global evaluation cache (see :mod:`repro.engine.cache`).
-_CACHE = EvaluationCache()
+def join_order_plan(query: ConjunctiveQuery) -> Tuple[int, ...]:
+    """The engine's join order over the *non-vacuum* atoms of ``query``.
 
-#: Which engine :func:`evaluate` routes through: "columnar" (default) or
-#: "row" (the uncached reference implementation, for parity testing and
-#: before/after benchmarking).
-_ENGINE_MODE = "columnar"
+    This is exactly the plan both engines execute; computing it once is part
+    of what :class:`repro.session.PreparedQuery` amortizes.  The returned
+    indices address ``[a for a in query.atoms if not a.is_vacuum]`` and can be
+    passed back to :func:`evaluate_columnar` via ``order=``.
+    """
+    non_vacuum = [a for a in query.atoms if not a.is_vacuum]
+    if not non_vacuum:
+        return ()
+    return tuple(
+        _join_order(ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name))
+    )
+
+
+class EngineContext:
+    """Evaluation state owned by one session: cache, engine mode, interners.
+
+    Before the Session redesign this state lived in module globals
+    (``_CACHE`` / ``_ENGINE_MODE``); multi-tenant callers could not isolate
+    their caches or run two engine modes side by side.  An ``EngineContext``
+    bundles
+
+    * the **engine mode** (``"columnar"`` or ``"row"``),
+    * an :class:`~repro.engine.cache.EvaluationCache` (per-context, so one
+      tenant's evictions never touch another's), and
+    * the **interning tables**: one :class:`RelationIndex` per
+      ``(relation, version)``, shared across every columnar evaluation this
+      context runs, so repeated queries over the same relation do not
+      re-intern its tuples.
+
+    :class:`repro.session.Session` owns one context per session; the
+    module-level shims below keep one implicit default context per
+    ``Database`` for legacy callers.
+    """
+
+    __slots__ = ("mode", "cache", "_interners", "evaluations")
+
+    def __init__(self, mode: str = "columnar", cache: Optional[EvaluationCache] = None):
+        if mode not in ("columnar", "row"):
+            raise ValueError(f"unknown engine mode {mode!r}")
+        self.mode = mode
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._interners: "weakref.WeakKeyDictionary[Relation, Tuple[int, RelationIndex]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: How many joins this context actually ran (cache hits excluded).
+        self.evaluations = 0
+
+    def set_mode(self, mode: str) -> None:
+        """Switch engine mode, clearing the cache so A/B runs stay honest."""
+        if mode not in ("columnar", "row"):
+            raise ValueError(f"unknown engine mode {mode!r}")
+        self.mode = mode
+        self.cache.clear()
+
+    def release(self) -> None:
+        """Drop the cache *and* the interning tables (session close)."""
+        self.cache.clear()
+        self._interners = weakref.WeakKeyDictionary()
+
+    def interned(self, relation: Relation) -> RelationIndex:
+        """A :class:`RelationIndex` for the relation's *current* version.
+
+        Cached per relation object; an in-place mutation bumps the relation's
+        version and transparently invalidates the stored index.
+        """
+        entry = self._interners.get(relation)
+        if entry is not None and entry[0] == relation.version:
+            return entry[1]
+        index = RelationIndex(relation)
+        try:
+            self._interners[relation] = (relation.version, index)
+        except TypeError:  # pragma: no cover - non-weakref-able relation stub
+            pass
+        return index
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        max_witnesses: Optional[int] = None,
+        use_cache: bool = True,
+        order: Optional[Sequence[int]] = None,
+        query_key=None,
+    ) -> QueryResult:
+        """Evaluate within this context (see :func:`evaluate` for semantics).
+
+        ``order`` and ``query_key`` let a :class:`~repro.session.PreparedQuery`
+        supply its precomputed join plan and canonical cache key.
+        """
+        if self.mode == "row":
+            self.evaluations += 1
+            return evaluate_rows(query, database, max_witnesses)
+        cacheable = use_cache and max_witnesses is None
+        if cacheable:
+            cached = self.cache.lookup(query, database, query_key=query_key)
+            if cached is not None:
+                return cached
+        result = evaluate_columnar(
+            query, database, max_witnesses, order=order, index_for=self.interned
+        )
+        self.evaluations += 1
+        if cacheable:
+            self.cache.store(query, database, result, query_key=query_key)
+        return result
+
+
+#: The context evaluations route through when a session is active.  Session
+#: methods install their context here (contextvars make this safe under
+#: threads and asyncio, the substrate later sharding/async PRs build on).
+_ACTIVE_CONTEXT: "ContextVar[Optional[EngineContext]]" = ContextVar(
+    "repro_engine_context", default=None
+)
+
+
+@contextmanager
+def use_context(context: EngineContext):
+    """Make ``context`` the ambient engine context within the ``with`` block."""
+    token = _ACTIVE_CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE_CONTEXT.reset(token)
+
+
+def active_context() -> Optional[EngineContext]:
+    """The ambient engine context, or ``None`` outside any session scope."""
+    return _ACTIVE_CONTEXT.get()
+
+
+#: Engine mode given to *newly created* default contexts, and applied to all
+#: live ones by the deprecated :func:`set_engine_mode`.
+_DEFAULT_MODE = "columnar"
+
+#: One implicit context per database for legacy (pre-session) callers, so the
+#: old module-global cache behaviour survives unchanged: same database object
+#: => same cache, discarded database => cache released.
+_DEFAULT_CONTEXTS: "weakref.WeakKeyDictionary[Database, EngineContext]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def default_context(database: Database) -> EngineContext:
+    """The implicit :class:`EngineContext` for ``database`` (created lazily)."""
+    context = _DEFAULT_CONTEXTS.get(database)
+    if context is None:
+        context = EngineContext(mode=_DEFAULT_MODE)
+        try:
+            _DEFAULT_CONTEXTS[database] = context
+        except TypeError:  # pragma: no cover - non-weakref-able database stub
+            pass
+    return context
+
+
+def evaluate_in_context(
+    query: ConjunctiveQuery,
+    database: Database,
+    max_witnesses: Optional[int] = None,
+    use_cache: bool = True,
+) -> QueryResult:
+    """Evaluate through the ambient context (the library-internal entry point).
+
+    Inside ``Session.solve`` / ``Session.evaluate`` this is the session's own
+    context (its cache, its engine mode, its interners) -- including for the
+    sub-instances the Universe/Decompose recursions build.  Outside any
+    session it falls back to the per-database default context, preserving the
+    legacy module-global behaviour.
+    """
+    context = _ACTIVE_CONTEXT.get()
+    if context is None:
+        context = default_context(database)
+    return context.evaluate(query, database, max_witnesses, use_cache)
 
 
 def set_engine_mode(mode: str) -> None:
     """Route :func:`evaluate` through the ``"columnar"`` or ``"row"`` engine.
 
-    Switching clears the evaluation cache so the two engines can be compared
-    back to back.  The row engine never caches.
+    .. deprecated::
+        Use ``Session(database, engine=...)`` for per-session engine
+        selection.  This global switch only affects the implicit default
+        contexts used by legacy free functions.
+
+    Switching clears the default evaluation caches so the two engines can be
+    compared back to back.  The row engine never caches.
     """
-    global _ENGINE_MODE
+    global _DEFAULT_MODE
     if mode not in ("columnar", "row"):
         raise ValueError(f"unknown engine mode {mode!r}")
-    _ENGINE_MODE = mode
-    _CACHE.clear()
+    warnings.warn(
+        "set_engine_mode() is deprecated; create a Session(database, "
+        "engine='row'|'columnar') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _DEFAULT_MODE = mode
+    for context in list(_DEFAULT_CONTEXTS.values()):
+        context.set_mode(mode)
 
 
 def engine_mode() -> str:
-    """The engine :func:`evaluate` currently routes through."""
-    return _ENGINE_MODE
+    """The engine :func:`evaluate` currently routes through (deprecated).
+
+    .. deprecated:: Read ``session.engine`` on a :class:`repro.session.Session`.
+    """
+    warnings.warn(
+        "engine_mode() is deprecated; read Session.engine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _DEFAULT_MODE
 
 
 def clear_evaluation_cache() -> None:
-    """Drop every memoized evaluation result."""
-    _CACHE.clear()
+    """Drop every memoized evaluation result of the default contexts.
+
+    .. deprecated:: Use ``Session.clear_cache()``; session caches are not
+       touched by this global shim.
+    """
+    warnings.warn(
+        "clear_evaluation_cache() is deprecated; use Session.clear_cache()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    for context in list(_DEFAULT_CONTEXTS.values()):
+        context.cache.clear()
 
 
 def evaluation_cache_stats() -> Tuple[int, int]:
-    """``(hits, misses)`` of the global evaluation cache."""
-    return _CACHE.stats()
+    """``(hits, misses)`` summed over the default contexts (deprecated).
+
+    .. deprecated:: Read ``Session.stats`` on a :class:`repro.session.Session`.
+    """
+    warnings.warn(
+        "evaluation_cache_stats() is deprecated; read Session.stats instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    hits = 0
+    misses = 0
+    for context in list(_DEFAULT_CONTEXTS.values()):
+        h, m = context.cache.stats()
+        hits += h
+        misses += m
+    return (hits, misses)
 
 
 def evaluate(
@@ -277,6 +517,12 @@ def evaluate(
     use_cache: bool = True,
 ) -> QueryResult:
     """Evaluate ``query`` over ``database`` with witness provenance.
+
+    .. deprecated::
+        Prefer the session API: ``Session(database).evaluate(query)`` binds
+        the database once and owns its own cache, engine mode and interning
+        tables.  This free function remains as a shim over the implicit
+        default session of ``database``.
 
     Parameters
     ----------
@@ -304,25 +550,28 @@ def evaluate(
         produced by witness ``i`` and ``result.witnesses`` available as a
         lazy row-style view.
     """
-    if _ENGINE_MODE == "row":
-        return evaluate_rows(query, database, max_witnesses)
-    cacheable = use_cache and max_witnesses is None
-    if cacheable:
-        cached = _CACHE.lookup(query, database)
-        if cached is not None:
-            return cached
-    result = _evaluate_columnar(query, database, max_witnesses)
-    if cacheable:
-        _CACHE.store(query, database, result)
-    return result
+    warnings.warn(
+        "evaluate(query, database) is deprecated; use "
+        "Session(database).evaluate(query) (see docs/MIGRATION.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return evaluate_in_context(query, database, max_witnesses, use_cache)
 
 
-def _evaluate_columnar(
+def evaluate_columnar(
     query: ConjunctiveQuery,
     database: Database,
-    max_witnesses: Optional[int],
+    max_witnesses: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+    index_for=None,
 ) -> QueryResult:
-    """The columnar engine behind :func:`evaluate`."""
+    """The columnar engine: one uncached evaluation.
+
+    ``order`` is an optional precomputed join order over the non-vacuum atoms
+    (what :class:`repro.session.PreparedQuery` stores); ``index_for`` lets a
+    context supply cached interning tables.
+    """
     database.validate_against(query)
 
     # Vacuum relations participate as a boolean guard: an empty vacuum
@@ -335,7 +584,9 @@ def _evaluate_columnar(
             if len(database.relation(atom.name)) == 0:
                 return QueryResult(
                     query, [], None, [], None,
-                    provenance=empty_provenance(query, non_vacuum, database),
+                    provenance=empty_provenance(
+                        query, non_vacuum, database, index_for=index_for
+                    ),
                 )
             vacuum_refs.append(TupleRef(atom.name, ()))
 
@@ -346,13 +597,15 @@ def _evaluate_columnar(
         )
         return QueryResult(query, [()], None, [0], {(): 0}, provenance=provenance)
 
-    order = _join_order(
-        ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name)
-    )
+    if order is None:
+        order = _join_order(
+            ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name)
+        )
     ordered_atoms = [non_vacuum[i] for i in order]
 
     bound, ref_columns, indexes = join_columns(
-        ordered_atoms, database, query.head, max_witnesses, query.name
+        ordered_atoms, database, query.head, max_witnesses, query.name,
+        index_for=index_for,
     )
     atom_names = tuple(atom.name for atom in ordered_atoms)
     count = len(ref_columns[0]) if ref_columns else 0
@@ -489,4 +742,4 @@ def evaluate_rows(
 
 def output_size(query: ConjunctiveQuery, database: Database) -> int:
     """``|Q(D)|`` without materializing row-style witnesses (wrapper)."""
-    return evaluate(query, database).output_count()
+    return evaluate_in_context(query, database).output_count()

@@ -26,7 +26,7 @@ from typing import Dict, Set, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 
 

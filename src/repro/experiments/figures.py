@@ -11,20 +11,19 @@ not the absolute Java+PostgreSQL numbers (see DESIGN.md and EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.adp import ADPSolver
 from repro.core.decompose import DecomposeStrategy
 from repro.core.selection import Selection, solve_with_selection
 from repro.core.universe import UniverseStrategy
-from repro.engine.evaluate import evaluate
 from repro.experiments.harness import (
     ExperimentResult,
     run_method,
     target_from_ratio,
     timed,
 )
+from repro.session import Session
 from repro.workloads.queries import Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, QPATH_EXP
 from repro.workloads.snap import EgoNetworkConfig, generate_ego_network
 from repro.workloads.synthetic import generate_q7_instance, generate_q8_instance
@@ -59,16 +58,20 @@ def figure_07_easy_exact(
     )
     for size in sizes:
         database, selection, filtered = _selected_instance(size)
-        output = evaluate(Q1, filtered).output_count()
+        base_session = Session(database)
+        output = Session(filtered).output_size(Q1)
         for ratio in ratios:
             k = max(1, int(ratio * output)) if output else 0
             if k == 0:
                 continue
             for mode, counting in (("reporting", False), ("counting", True)):
                 solver = ADPSolver(counting_only=counting)
-                solution, seconds = timed(
-                    lambda s=solver, k=k: solve_with_selection(Q1, selection, database, k, solver=s)
-                )
+
+                def run(s=solver, k=k):
+                    with base_session.activate():
+                        return solve_with_selection(Q1, selection, database, k, solver=s)
+
+                solution, seconds = timed(run)
                 result.add(
                     {
                         "input_size": database.total_tuples(),
@@ -95,18 +98,23 @@ def figure_08_easy_heuristics(
     )
     for size in sizes:
         database, selection, filtered = _selected_instance(size)
-        output = evaluate(Q1, filtered).output_count()
+        base_session = Session(database)
+        filtered_session = Session(filtered)
+        output = filtered_session.output_size(Q1)
         for ratio in ratios:
             k = max(1, int(ratio * output)) if output else 0
             if k == 0:
                 continue
             exact_solver = ADPSolver()
-            exact, exact_seconds = timed(
-                lambda: solve_with_selection(Q1, selection, database, k, solver=exact_solver)
-            )
+
+            def run_exact(k=k):
+                with base_session.activate():
+                    return solve_with_selection(Q1, selection, database, k, solver=exact_solver)
+
+            exact, exact_seconds = timed(run_exact)
             rows = [("exact", exact, exact_seconds)]
             for method in ("greedy", "drastic"):
-                run = run_method(Q1, filtered, k, method)
+                run = run_method(Q1, filtered, k, method, session=filtered_session)
                 rows.append((method, run, run.seconds))
             for method, solved, seconds in rows:
                 size_value = solved.size if hasattr(solved, "size") else solved.solution_size
@@ -153,11 +161,12 @@ def figure_10_hard_heuristics(
     )
     for size in sizes:
         database = generate_tpch(total_tuples=size)
-        output = evaluate(Q1, database).output_count()
+        session = Session(database)
+        output = session.output_size(Q1)
         for ratio in ratios:
             k = max(1, int(ratio * output))
             for method in methods:
-                run = run_method(Q1, database, k, method)
+                run = run_method(Q1, database, k, method, session=session)
                 result.add(
                     run.as_row(input_size=database.total_tuples(), ratio=ratio, query="Q1")
                 )
@@ -189,9 +198,13 @@ def figure_12_13_bruteforce(
         description="BruteForce vs heuristics on Q1 (hard), small input",
     )
     database = generate_tpch(total_tuples=size)
-    k = target_from_ratio(Q1, database, ratio)
+    session = Session(database)
+    with session.activate():
+        k = target_from_ratio(Q1, database, ratio)
     for method in methods:
-        run = run_method(Q1, database, k, method, bruteforce_max_candidates=2000)
+        run = run_method(
+            Q1, database, k, method, bruteforce_max_candidates=2000, session=session
+        )
         result.add(run.as_row(input_size=database.total_tuples(), ratio=ratio, query="Q1"))
     return result
 
@@ -225,13 +238,14 @@ def figure_14_15_snap(
         # The edge relations are stored as Ri(A, B); each query names its
         # variables differently, so align columns positionally first.
         database = edges.aligned_to(query)
-        output = evaluate(query, database).output_count()
+        session = Session(database)
+        output = session.output_size(query)
         if output == 0:
             continue
         for ratio in ratios:
             k = max(1, int(ratio * output))
             for method in methods:
-                run = run_method(query, database, k, method)
+                run = run_method(query, database, k, method, session=session)
                 result.add(run.as_row(query=query.name, ratio=ratio, nodes=nodes))
     return result
 
@@ -252,11 +266,12 @@ def figure_zipf_hard(
     for alpha in alphas:
         for size in sizes:
             database = generate_zipf_path(r2_tuples=size, alpha=alpha)
-            output = evaluate(QPATH_EXP, database).output_count()
+            session = Session(database)
+            output = session.output_size(QPATH_EXP)
             for ratio in ratios:
                 k = max(1, int(ratio * output))
                 for method in ("greedy", "drastic"):
-                    run = run_method(QPATH_EXP, database, k, method)
+                    run = run_method(QPATH_EXP, database, k, method, session=session)
                     result.add(
                         run.as_row(
                             alpha=alpha,
@@ -283,10 +298,11 @@ def figure_zipf_easy(
         for size in sizes:
             database = generate_zipf_path(r2_tuples=size, alpha=alpha)
             q6_database = database.restricted_to(("R1", "R2"))
-            output = evaluate(Q6, q6_database).output_count()
+            session = Session(q6_database)
+            output = session.output_size(Q6)
             for ratio in ratios:
                 k = max(1, int(ratio * output))
-                run = run_method(Q6, q6_database, k, "exact")
+                run = run_method(Q6, q6_database, k, "exact", session=session)
                 result.add(
                     run.as_row(
                         alpha=alpha,
@@ -318,7 +334,8 @@ def figure_28_singleton_optimisation(
         description="Q7: universal-attribute strategies (one-by-one, combined, singleton)",
     )
     database = generate_q7_instance(tuples_per_relation, domain=domain, seed=seed)
-    output = evaluate(Q7, database).output_count()
+    session = Session(database)
+    output = session.output_size(Q7)
     strategies = (
         ("one-by-one", ADPSolver(use_singleton=False, universe_strategy=UniverseStrategy.ONE_BY_ONE)),
         ("combined", ADPSolver(use_singleton=False, universe_strategy=UniverseStrategy.COMBINED)),
@@ -327,7 +344,9 @@ def figure_28_singleton_optimisation(
     for ratio in ratios:
         k = max(1, int(ratio * output))
         for name, solver in strategies:
-            solution, seconds = timed(lambda s=solver, k=k: s.solve(Q7, database, k))
+            solution, seconds = timed(
+                lambda s=solver, k=k: session.solve(Q7, k, solver=s)
+            )
             result.add(
                 {
                     "strategy": name,
@@ -357,7 +376,8 @@ def figure_29_decompose_optimisation(
         description="Q8: decomposition strategies (full enumeration, pairwise, improved DP)",
     )
     database = generate_q8_instance(unary_tuples, binary_tuples, seed=seed)
-    output = evaluate(Q8, database).output_count()
+    session = Session(database)
+    output = session.output_size(Q8)
     strategies = (
         ("full-enumeration", DecomposeStrategy.FULL_ENUMERATION),
         ("pairwise", DecomposeStrategy.PAIRWISE),
@@ -367,7 +387,9 @@ def figure_29_decompose_optimisation(
         k = max(1, int(ratio * output))
         for name, strategy in strategies:
             solver = ADPSolver(decompose_strategy=strategy)
-            solution, seconds = timed(lambda s=solver, k=k: s.solve(Q8, database, k))
+            solution, seconds = timed(
+                lambda s=solver, k=k: session.solve(Q8, k, solver=s)
+            )
             result.add(
                 {
                     "strategy": name,
@@ -397,13 +419,15 @@ def ablation_endogenous_restriction(
         description="GreedyForCQ candidates: endogenous-only (Lemma 13) vs all relations",
     )
     database = generate_tpch(total_tuples=size)
-    output = evaluate(Q1, database).output_count()
+    session = Session(database)
+    output = session.output_size(Q1)
     for ratio in ratios:
         k = max(1, int(ratio * output))
         for restricted in (True, False):
             def run():
-                curve = greedy_curve(Q1, database, kmax=k, endogenous_only=restricted)
-                return curve.cost(k)
+                with session.activate():
+                    curve = greedy_curve(Q1, database, kmax=k, endogenous_only=restricted)
+                    return curve.cost(k)
 
             cost, seconds = timed(run)
             result.add(

@@ -12,17 +12,17 @@ Every figure of the paper ultimately reports, for a grid of parameters
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.adp import ADPSolver, SolverConfig
+from repro.core.adp import ratio_target
 from repro.core.bruteforce import bruteforce_solve
 from repro.core.solution import ADPSolution
 from repro.data.database import Database
-from repro.engine.evaluate import evaluate
+from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
+from repro.session import Session, default_session
 
 #: Method names accepted by :func:`run_method` (the names used in the plots).
 METHODS = ("exact", "exact-counting", "greedy", "drastic", "bruteforce")
@@ -68,7 +68,7 @@ def target_from_ratio(query: ConjunctiveQuery, database: Database, ratio: float)
     total = evaluate(query, database).output_count()
     if total == 0:
         raise ValueError(f"{query.name} has an empty result; cannot pick k from a ratio")
-    return max(1, math.ceil(ratio * total))
+    return ratio_target(total, ratio)
 
 
 def run_method(
@@ -77,8 +77,13 @@ def run_method(
     k: int,
     method: str,
     bruteforce_max_candidates: int = 40,
+    session: Optional[Session] = None,
 ) -> MethodRun:
     """Run one method on one instance and record time + quality.
+
+    Runs through a :class:`~repro.session.Session`: pass one explicitly to
+    share caches across a whole grid, otherwise the database's implicit
+    default session is used (matching the old global-cache behaviour).
 
     ``method`` is one of :data:`METHODS`:
 
@@ -88,21 +93,24 @@ def run_method(
     * ``"drastic"``          -- ComputeADP with DrasticGreedyForFullCQ;
     * ``"bruteforce"``       -- subset enumeration (small instances only).
     """
-    output_size = evaluate(query, database).output_count()
+    run_session = session if session is not None else default_session(database)
+    prepared = run_session.prepare(query)
+    output_size = run_session.output_size(prepared)
 
     def solve() -> ADPSolution:
         if method == "bruteforce":
-            return bruteforce_solve(
-                query, database, k, max_candidates=bruteforce_max_candidates
-            )
+            with run_session.activate():
+                return bruteforce_solve(
+                    query, database, k, max_candidates=bruteforce_max_candidates
+                )
         if method == "exact":
-            return ADPSolver().solve(query, database, k)
+            return run_session.solve(prepared, k)
         if method == "exact-counting":
-            return ADPSolver(counting_only=True).solve(query, database, k)
+            return run_session.solve(prepared, k, counting_only=True)
         if method == "greedy":
-            return ADPSolver(heuristic="greedy").solve(query, database, k)
+            return run_session.solve(prepared, k, heuristic="greedy")
         if method == "drastic":
-            return ADPSolver(heuristic="drastic").solve(query, database, k)
+            return run_session.solve(prepared, k, heuristic="drastic")
         raise ValueError(f"unknown method {method!r} (expected one of {METHODS})")
 
     solution, seconds = timed(solve)

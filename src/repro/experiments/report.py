@@ -8,7 +8,7 @@ time and the solution size.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from repro.experiments.harness import ExperimentResult
 

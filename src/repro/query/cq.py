@@ -19,8 +19,8 @@ self-joins).  Following Section 3.1 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.query.atoms import Atom
 

@@ -1,0 +1,714 @@
+"""Sessions and prepared queries: bind once, solve many, mutate incrementally.
+
+The paper's system amortizes work across repeated ADP solves by delegating
+evaluation to PostgreSQL, where a *connection* holds indexes and prepared
+statements across queries.  This module is the reproduction's equivalent
+connection object:
+
+* :class:`PreparedQuery` -- parse + dichotomy classification + join-order
+  plan, computed **once** and reusable across databases and targets ``k``;
+* :class:`Session` -- binds one :class:`~repro.data.database.Database` and
+  owns everything that used to be module-global state: the evaluation cache,
+  the engine mode (columnar vs row), the relation interning tables and the
+  usage statistics.  On top it exposes the batched and incremental
+  capabilities that were previously internal-only:
+
+  - :meth:`Session.solve` / :meth:`Session.solve_many` -- one or many ADP
+    solves over the bound database, sharing one evaluation and one cost
+    curve per distinct query;
+  - :meth:`Session.curve` -- the full :class:`~repro.core.curves.CostCurve`
+    (solutions for every target up to ``kmax``) that ``ComputeADP`` builds
+    internally;
+  - :meth:`Session.what_if` / :meth:`Session.apply_deletions` -- incremental
+    deletion propagation: the post-deletion result is derived from cached
+    packed provenance by a delta semijoin (:mod:`repro.engine.delta`), one
+    column scan instead of a re-intern + re-join of the whole database.
+
+The legacy free functions (``evaluate``, ``compute_adp``,
+``ADPSolver.solve(query, database, k)``, ``set_engine_mode`` and the global
+cache helpers) remain available as deprecated shims over the implicit
+:func:`default_session` of each database; see ``docs/MIGRATION.md``.
+
+Example
+-------
+>>> from repro import Database, Session
+>>> db = Database.from_dict(
+...     {"R1": ["A"], "R2": ["A", "B"]},
+...     {"R1": [(1,), (2,)], "R2": [(1, 10), (1, 11), (2, 20)]})
+>>> session = Session(db)
+>>> prepared = session.prepare("Q(A, B) :- R1(A), R2(A, B)")
+>>> prepared.is_poly_time
+True
+>>> session.solve(prepared, k=2).size
+1
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.adp import ADPSolver, SolverConfig, ratio_target
+from repro.core.curves import CostCurve
+from repro.core.decidability import is_poly_time
+from repro.core.singleton import is_singleton
+from repro.core.solution import ADPSolution
+from repro.data.database import Database
+from repro.data.relation import TupleRef
+from repro.engine.cache import canonical_query_key
+from repro.engine.delta import delta_counts, delta_filter_result
+from repro.engine.evaluate import (
+    EngineContext,
+    QueryResult,
+    default_context,
+    join_order_plan,
+    use_context,
+)
+from repro.query.cq import ConjunctiveQuery
+from repro.query.graph import QueryGraph
+from repro.query.parser import parse_query
+
+#: Anything the session methods accept where a query is expected.
+QueryLike = Union[str, ConjunctiveQuery, "PreparedQuery"]
+
+
+class PreparedQuery:
+    """A query with all per-query (database-independent) work done once.
+
+    Mirrors a prepared statement: parsing, the dichotomy classification that
+    drives ``ComputeADP``'s dispatch, and the engine's join-order plan are
+    computed at construction and reused for every solve, on any database and
+    for any target ``k``.
+
+    Attributes
+    ----------
+    query:
+        The underlying :class:`~repro.query.cq.ConjunctiveQuery`.
+    canonical_key:
+        Hashable canonical form (head order kept, body order ignored); two
+        queries with equal keys are interchangeable for evaluation caching.
+    join_order:
+        The engine's join order over the non-vacuum atoms (passed back to the
+        columnar engine so it is never recomputed).
+    is_poly_time:
+        ``IsPtime(Q)`` -- whether ``ComputeADP`` returns exact optima.
+    is_singleton:
+        Whether the Singleton base case (Definition 10) applies directly.
+    universal_attributes:
+        Output attributes appearing in every atom (Universe step triggers).
+    is_connected:
+        Whether the query graph is connected (Decompose step triggers on
+        ``False``).
+    """
+
+    __slots__ = (
+        "query",
+        "canonical_key",
+        "join_order",
+        "is_poly_time",
+        "is_singleton",
+        "universal_attributes",
+        "is_connected",
+    )
+
+    def __init__(self, query: Union[str, ConjunctiveQuery]):
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, PreparedQuery):  # pragma: no cover - defensive
+            query = query.query
+        self.query: ConjunctiveQuery = query
+        self.canonical_key = canonical_query_key(query)
+        self.join_order: Tuple[int, ...] = join_order_plan(query)
+        self.is_poly_time: bool = is_poly_time(query)
+        self.is_singleton: bool = is_singleton(query)
+        self.universal_attributes: FrozenSet[str] = query.universal_attributes()
+        self.is_connected: bool = QueryGraph(query).is_connected()
+
+    # Convenience views ------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        """The query's display name."""
+        return self.query.name
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query is boolean (resilience base case)."""
+        return self.query.is_boolean
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the query is full (Drastic applies)."""
+        return self.query.is_full
+
+    @property
+    def classification(self) -> str:
+        """``"poly-time"`` or ``"np-hard"`` -- the side of the dichotomy."""
+        return "poly-time" if self.is_poly_time else "np-hard"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedQuery({self.query!s}, {self.classification})"
+
+
+def prepare(query: Union[str, ConjunctiveQuery]) -> PreparedQuery:
+    """Module-level convenience: ``PreparedQuery(query)``."""
+    return PreparedQuery(query)
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """A snapshot of one session's usage counters.
+
+    ``cache_hits`` / ``cache_misses`` / ``joins`` come from the session's
+    engine context at snapshot time; the remaining counters are incremented
+    by the session methods themselves.
+    """
+
+    prepares: int = 0
+    evaluations: int = 0
+    solves: int = 0
+    batches: int = 0
+    curves: int = 0
+    what_if_calls: int = 0
+    deletions_applied: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    joins: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The snapshot as a plain dict (stable keys, for reports/JSON)."""
+        return dataclasses.asdict(self)
+
+
+class WhatIfEntry:
+    """Effect of a hypothetical deletion on one prepared query.
+
+    The counting answers -- :attr:`outputs_removed` /
+    :attr:`witnesses_removed`, the paper's *counting version* of deletion
+    propagation -- are computed eagerly through the provenance's postings
+    index in time proportional to the dead witnesses.  The full
+    post-deletion result (:attr:`after`) is a lazy view, materialized by the
+    delta semijoin on first access.
+    """
+
+    __slots__ = (
+        "prepared",
+        "before",
+        "refs",
+        "witnesses_removed",
+        "outputs_removed",
+        "_after",
+    )
+
+    def __init__(
+        self,
+        prepared: PreparedQuery,
+        before: QueryResult,
+        refs: FrozenSet[TupleRef],
+    ):
+        self.prepared = prepared
+        self.before = before
+        self.refs = refs
+        self.witnesses_removed, self.outputs_removed = delta_counts(before, refs)
+        self._after: Optional[QueryResult] = None
+
+    @property
+    def after(self) -> QueryResult:
+        """The post-deletion :class:`QueryResult` (materialized on demand)."""
+        result = self._after
+        if result is None:
+            result = delta_filter_result(self.before, self.refs)
+            self._after = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WhatIfEntry({self.prepared.name}, -{self.outputs_removed} outputs, "
+            f"-{self.witnesses_removed} witnesses)"
+        )
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Result of :meth:`Session.what_if`: per-query post-deletion views.
+
+    The ``after`` results are full :class:`QueryResult` objects (answers +
+    witness provenance), derived by delta semijoins -- the bound database is
+    **not** modified.
+    """
+
+    refs: FrozenSet[TupleRef]
+    entries: Mapping[PreparedQuery, WhatIfEntry]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries.values())
+
+    def entry(self, query: QueryLike) -> WhatIfEntry:
+        """The entry for one query (matched by canonical form)."""
+        key = _canonical_key_of(query)
+        for prepared, entry in self.entries.items():
+            if prepared.canonical_key == key:
+                return entry
+        raise KeyError(f"no what-if entry for {query!r}")
+
+    @property
+    def single(self) -> WhatIfEntry:
+        """The only entry (raises ``ValueError`` unless exactly one)."""
+        if len(self.entries) != 1:
+            raise ValueError(
+                f"what-if result holds {len(self.entries)} entries, not 1"
+            )
+        return next(iter(self.entries.values()))
+
+    @property
+    def total_outputs_removed(self) -> int:
+        """Outputs removed summed over every tracked query."""
+        return sum(entry.outputs_removed for entry in self.entries.values())
+
+
+def _canonical_key_of(query: QueryLike):
+    if isinstance(query, PreparedQuery):
+        return query.canonical_key
+    if isinstance(query, str):
+        return canonical_query_key(parse_query(query))
+    return canonical_query_key(query)
+
+
+class Session:
+    """A connection-like handle binding one database to its solver state.
+
+    Parameters
+    ----------
+    database:
+        The instance every session method operates on.  The session assumes
+        co-operative ownership: external in-place mutations are detected via
+        relation versions (stale cache entries are never served), but only
+        :meth:`apply_deletions` migrates cached results incrementally.
+    engine:
+        ``"columnar"`` (default) or ``"row"`` -- per-session engine mode,
+        replacing the deprecated global ``set_engine_mode``.
+    config:
+        Default :class:`~repro.core.adp.SolverConfig` for :meth:`solve` /
+        :meth:`solve_many` / :meth:`curve`; per-call overrides win.
+
+    Sessions are context managers (``with Session(db) as s: ...``);
+    :meth:`close` drops the cache and interning tables.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        engine: str = "columnar",
+        config: Optional[SolverConfig] = None,
+        _context: Optional[EngineContext] = None,
+    ):
+        self.database = database
+        self._context = _context if _context is not None else EngineContext(mode=engine)
+        self._config = config or SolverConfig()
+        self._prepared: Dict[object, PreparedQuery] = {}
+        self._counters = {
+            "prepares": 0,
+            "evaluations": 0,
+            "solves": 0,
+            "batches": 0,
+            "curves": 0,
+            "what_if_calls": 0,
+            "deletions_applied": 0,
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the session's cache and interning tables."""
+        self._context.release()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def activate(self):
+        """Make this session's engine context ambient (``with`` block).
+
+        Library internals that still take ``(query, database)`` pairs --
+        e.g. :func:`repro.core.bruteforce.bruteforce_solve` or
+        :func:`repro.core.selection.solve_with_selection` -- run against this
+        session's cache/engine when called inside ``with session.activate():``.
+        """
+        self._check_open()
+        return use_context(self._context)
+
+    # ------------------------------------------------------------------ #
+    # Engine mode
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> str:
+        """The engine this session evaluates with (``columnar`` or ``row``)."""
+        return self._context.mode
+
+    def set_engine(self, mode: str) -> None:
+        """Switch this session's engine, clearing its cache (A/B runs)."""
+        self._check_open()
+        self._context.set_mode(mode)
+
+    # ------------------------------------------------------------------ #
+    # Preparing and evaluating
+    # ------------------------------------------------------------------ #
+    def prepare(self, query: QueryLike) -> PreparedQuery:
+        """Parse + classify + plan ``query`` once (memoized per session)."""
+        self._check_open()
+        if isinstance(query, PreparedQuery):
+            # Adopt foreign prepared queries so what_if() tracks them too.
+            if query.canonical_key not in self._prepared:
+                self._prepared[query.canonical_key] = query
+                self._counters["prepares"] += 1
+            return self._prepared[query.canonical_key]
+        if isinstance(query, str):
+            query = parse_query(query)
+        key = canonical_query_key(query)
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = PreparedQuery(query)
+            self._prepared[key] = prepared
+            self._counters["prepares"] += 1
+        return prepared
+
+    @property
+    def prepared_queries(self) -> List[PreparedQuery]:
+        """Every query prepared on this session (insertion order)."""
+        return list(self._prepared.values())
+
+    def evaluate(
+        self,
+        query: QueryLike,
+        max_witnesses: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        """Evaluate a query over the bound database with witness provenance.
+
+        Served from the session cache when the database version matches;
+        joins reuse the session's interning tables and the prepared join
+        plan.  Returned results are shared -- treat them as immutable.
+        """
+        self._check_open()
+        prepared = self.prepare(query)
+        self._counters["evaluations"] += 1
+        with self.activate():
+            return self._context.evaluate(
+                prepared.query,
+                self.database,
+                max_witnesses,
+                use_cache,
+                order=prepared.join_order,
+                query_key=prepared.canonical_key,
+            )
+
+    def output_size(self, query: QueryLike) -> int:
+        """``|Q(D)|`` over the bound database."""
+        return self.evaluate(query).output_count()
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def _solver(
+        self, solver: Optional[ADPSolver], config: Optional[SolverConfig], overrides
+    ) -> ADPSolver:
+        if solver is not None:
+            if config is not None or overrides:
+                raise ValueError("pass either a solver or config/overrides")
+            return solver
+        if config is not None:
+            if overrides:
+                raise ValueError("pass either a config object or keyword overrides")
+            return ADPSolver(config)
+        if overrides:
+            return ADPSolver(**overrides)
+        return ADPSolver(self._config)
+
+    def solve(
+        self,
+        query: QueryLike,
+        k: int,
+        *,
+        solver: Optional[ADPSolver] = None,
+        config: Optional[SolverConfig] = None,
+        **overrides,
+    ) -> ADPSolution:
+        """Solve ``ADP(query, D, k)`` over the bound database.
+
+        ``solver`` / ``config`` / keyword overrides (e.g.
+        ``heuristic="drastic"``) select the algorithm configuration; the
+        session default config applies otherwise.
+        """
+        self._check_open()
+        prepared = self.prepare(query)
+        chosen = self._solver(solver, config, overrides)
+        self._counters["solves"] += 1
+        with self.activate():
+            result = self._context.evaluate(
+                prepared.query,
+                self.database,
+                order=prepared.join_order,
+                query_key=prepared.canonical_key,
+            )
+            return chosen.solve_in_context(
+                prepared.query, self.database, k, result=result
+            )
+
+    def solve_ratio(
+        self,
+        query: QueryLike,
+        ratio: float,
+        *,
+        solver: Optional[ADPSolver] = None,
+        config: Optional[SolverConfig] = None,
+        **overrides,
+    ) -> ADPSolution:
+        """Solve with ``k = ceil(ratio * |Q(D)|)`` (the paper's ρ)."""
+        self._check_open()
+        if not 0 < ratio <= 1:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        return self.solve(
+            query,
+            ratio_target(self.output_size(query), ratio),
+            solver=solver,
+            config=config,
+            **overrides,
+        )
+
+    def solve_many(
+        self,
+        requests: Iterable[Tuple[QueryLike, int]],
+        *,
+        solver: Optional[ADPSolver] = None,
+        config: Optional[SolverConfig] = None,
+        **overrides,
+    ) -> List[ADPSolution]:
+        """Solve a batch of ``(query, k)`` requests, amortizing shared work.
+
+        Requests are grouped by canonical query: each distinct query is
+        evaluated once and its :class:`CostCurve` computed once at the
+        group's largest ``k``; every smaller target is then read off that
+        curve.  Results come back in request order.
+        """
+        self._check_open()
+        request_list = [(self.prepare(query), int(k)) for query, k in requests]
+        if not request_list:
+            return []
+        chosen = self._solver(solver, config, overrides)
+        self._counters["batches"] += 1
+        self._counters["solves"] += len(request_list)
+
+        groups: Dict[object, List[int]] = {}
+        for position, (prepared, _k) in enumerate(request_list):
+            groups.setdefault(prepared.canonical_key, []).append(position)
+
+        solutions: List[Optional[ADPSolution]] = [None] * len(request_list)
+        with self.activate():
+            for positions in groups.values():
+                prepared = request_list[positions[0]][0]
+                targets = [request_list[p][1] for p in positions]
+                kmax = max(targets)
+                result = self._context.evaluate(
+                    prepared.query,
+                    self.database,
+                    order=prepared.join_order,
+                    query_key=prepared.canonical_key,
+                )
+                curve = chosen.curve(prepared.query, self.database, kmax)
+                for position, k in zip(positions, targets):
+                    solutions[position] = chosen.solve_in_context(
+                        prepared.query,
+                        self.database,
+                        k,
+                        result=result,
+                        curve=curve,
+                    )
+        return [solution for solution in solutions if solution is not None]
+
+    def curve(
+        self,
+        query: QueryLike,
+        kmax: int,
+        *,
+        solver: Optional[ADPSolver] = None,
+        config: Optional[SolverConfig] = None,
+        **overrides,
+    ) -> CostCurve:
+        """The cost curve ``k -> (cost, solution)`` for all ``k <= kmax``.
+
+        Publishes what ``ComputeADP`` computes internally anyway: the
+        Universe/Decompose dynamic programs need sub-problem costs for many
+        targets, and every base case produces its whole profile in one pass.
+        """
+        self._check_open()
+        prepared = self.prepare(query)
+        chosen = self._solver(solver, config, overrides)
+        self._counters["curves"] += 1
+        with self.activate():
+            # Warm the cache so curve-internal evaluations share the join.
+            self._context.evaluate(
+                prepared.query,
+                self.database,
+                order=prepared.join_order,
+                query_key=prepared.canonical_key,
+            )
+            return chosen.curve(prepared.query, self.database, kmax)
+
+    # ------------------------------------------------------------------ #
+    # Incremental deletions
+    # ------------------------------------------------------------------ #
+    def what_if(
+        self,
+        refs: Iterable[TupleRef],
+        query: Optional[QueryLike] = None,
+    ) -> WhatIfResult:
+        """Hypothetically delete ``refs``: post-deletion results, no mutation.
+
+        For ``query`` (or, when omitted, every query prepared on this
+        session) the effect is derived from the cached packed provenance by a
+        delta semijoin instead of re-interning and re-joining the database:
+        the counting answers (``entry.outputs_removed`` /
+        ``entry.witnesses_removed``) are computed immediately through the
+        postings index in time proportional to the dead witnesses, and the
+        full post-deletion :class:`QueryResult` (``entry.after``) is a lazy
+        view materialized on first access.  The bound database is left
+        untouched.
+        """
+        self._check_open()
+        frozen = frozenset(refs)
+        if query is not None:
+            targets = [self.prepare(query)]
+        else:
+            targets = list(self._prepared.values())
+            if not targets:
+                raise ValueError(
+                    "what_if() without a query needs at least one prepared "
+                    "query on the session; call session.prepare(...) first"
+                )
+        self._counters["what_if_calls"] += 1
+        entries: Dict[PreparedQuery, WhatIfEntry] = {}
+        with self.activate():
+            for prepared in targets:
+                before = self._context.evaluate(
+                    prepared.query,
+                    self.database,
+                    order=prepared.join_order,
+                    query_key=prepared.canonical_key,
+                )
+                entries[prepared] = WhatIfEntry(prepared, before, frozen)
+        return WhatIfResult(frozen, entries)
+
+    def apply_deletions(self, refs: Iterable[TupleRef]) -> int:
+        """Delete ``refs`` from the bound database, migrating caches.
+
+        The deletion happens in place (relation versions bump, so *every*
+        consumer sees the new state); cached evaluation results for the old
+        version are not discarded but **delta-filtered** to the new version,
+        so the next :meth:`evaluate`/:meth:`solve` per cached query is a
+        cache hit instead of a join.  Returns how many referenced tuples
+        were actually present.
+        """
+        self._check_open()
+        ref_list = list(refs)
+        cache = self._context.cache
+        snapshot = cache.take_entries(self.database)
+        old_token = self.database.version_token()
+        removed = self.database.remove_tuples(ref_list)
+        new_token = self.database.version_token()
+        for (query_key, token), result in snapshot.items():
+            if token != old_token:
+                continue  # already stale before the deletion
+            migrated = (
+                result if removed == 0 else delta_filter_result(result, ref_list)
+            )
+            cache.store_raw(self.database, query_key, new_token, migrated)
+        self._counters["deletions_applied"] += removed
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> None:
+        """Drop this session's memoized evaluation results."""
+        self._check_open()
+        self._context.cache.clear()
+
+    @property
+    def stats(self) -> SessionStats:
+        """A snapshot of the session's usage counters."""
+        hits, misses = self._context.cache.stats()
+        return SessionStats(
+            cache_hits=hits,
+            cache_misses=misses,
+            joins=self._context.evaluations,
+            **self._counters,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else self._context.mode
+        return (
+            f"Session({self.database!s}, engine={state}, "
+            f"prepared={len(self._prepared)})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Implicit default sessions (the substrate of the deprecated free functions)
+# --------------------------------------------------------------------------- #
+_DEFAULT_SESSIONS: "weakref.WeakKeyDictionary[Database, Session]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def default_session(database: Database) -> Session:
+    """The implicit session of ``database`` (created lazily, kept weakly).
+
+    Shares its engine context with the legacy free functions' per-database
+    default context, so ``evaluate(q, db)`` and
+    ``default_session(db).evaluate(q)`` hit the same cache.  Prefer creating
+    explicit :class:`Session` objects in new code.
+    """
+    session = _DEFAULT_SESSIONS.get(database)
+    if session is None or session._closed:
+        # A closed implicit session is replaced transparently (the legacy
+        # free functions must keep working for the database's lifetime).
+        session = Session(database, _context=default_context(database))
+        try:
+            _DEFAULT_SESSIONS[database] = session
+        except TypeError:  # pragma: no cover - non-weakref-able database stub
+            pass
+    return session
+
+
+__all__ = [
+    "PreparedQuery",
+    "Session",
+    "SessionStats",
+    "WhatIfEntry",
+    "WhatIfResult",
+    "default_session",
+    "prepare",
+]

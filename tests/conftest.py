@@ -14,7 +14,7 @@ tests:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import List
 
 import pytest
 from hypothesis import strategies as st

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core.bruteforce import bruteforce_optimum, bruteforce_solve
-from repro.data.database import Database
-from repro.query.parser import parse_query
 
 
 class TestBruteForce:

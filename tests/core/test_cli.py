@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,11 +54,50 @@ class TestSolveCommand:
         out = capsys.readouterr().out
         assert "objective" in out
 
-    def test_solve_empty_result(self, capsys, tmp_path):
+    def test_solve_empty_result_is_success(self, capsys, tmp_path):
+        # An empty result is a legitimate empty answer: scripts piping the
+        # CLI must not see a failure exit code.
         empty = Database.from_dict({"R1": ["A"], "R2": ["A", "B"]}, {"R1": [], "R2": []})
         path = save_database_csv(empty, tmp_path / "empty")
         code = main(["solve", "Q(A, B) :- R1(A), R2(A, B)", str(path), "--k", "1"])
-        assert code == 1
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|Q(D)| = 0" in out
+        assert "objective = 0" in out
+
+    def test_solve_empty_result_json(self, capsys, tmp_path):
+        empty = Database.from_dict({"R1": ["A"], "R2": ["A", "B"]}, {"R1": [], "R2": []})
+        path = save_database_csv(empty, tmp_path / "empty")
+        code = main(
+            ["solve", "Q(A, B) :- R1(A), R2(A, B)", str(path), "--k", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["output_size"] == 0
+        assert payload["objective"] == 0
+        assert payload["method"] == "empty-result"
+
+    def test_solve_json_output(self, capsys, csv_database):
+        code = main(
+            ["solve", "Q(A, B) :- R1(A), R2(A, B)", str(csv_database), "--k", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 2
+        assert payload["objective"] == 1
+        assert payload["engine"] == "columnar"
+        assert payload["classification"] in ("poly-time", "np-hard")
+        assert isinstance(payload["removed"], list) and payload["removed"]
+
+    def test_solve_row_engine_matches_columnar(self, capsys, csv_database):
+        args = ["solve", "Q(A, B) :- R1(A), R2(A, B)", str(csv_database), "--k", "2", "--json"]
+        assert main(args) == 0
+        columnar = json.loads(capsys.readouterr().out)
+        assert main(args + ["--engine", "row"]) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["engine"] == "row"
+        assert row["objective"] == columnar["objective"]
+        assert row["k"] == columnar["k"]
 
     def test_k_and_ratio_are_mutually_exclusive(self, csv_database):
         with pytest.raises(SystemExit):

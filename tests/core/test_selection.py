@@ -1,6 +1,5 @@
 """Unit tests for the selection extension (Section 7.5 / Lemma 12)."""
 
-import pytest
 
 from repro.core.bruteforce import bruteforce_optimum
 from repro.core.selection import (

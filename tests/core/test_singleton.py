@@ -6,7 +6,6 @@ from repro.core.bruteforce import bruteforce_optimum
 from repro.core.singleton import is_singleton, singleton_curve, singleton_relation
 from repro.data.database import Database
 from repro.data.relation import TupleRef
-from repro.engine.evaluate import evaluate
 from repro.query.parser import parse_query
 
 

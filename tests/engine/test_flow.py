@@ -1,6 +1,5 @@
 """Unit tests for the Edmonds--Karp max-flow / min-cut substrate."""
 
-import math
 
 import pytest
 

@@ -11,7 +11,6 @@ Each test runs the corresponding experiment on a tiny grid and checks the
 * the Singleton and improved-DP optimisations are exact (Figs. 28-29).
 """
 
-import pytest
 
 from repro.experiments import figures
 from repro.experiments.report import format_table, render_results

@@ -5,8 +5,6 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.data.database import Database
-from repro.data.relation import Relation
 from repro.engine.evaluate import evaluate
 from repro.engine.flow import FlowNetwork
 from repro.engine.provenance import ProvenanceIndex

@@ -10,7 +10,6 @@ For random (query, small instance) pairs:
 * counting and reporting modes agree on the objective.
 """
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 

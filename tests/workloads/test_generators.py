@@ -1,6 +1,5 @@
 """Unit tests for the synthetic workload generators."""
 
-import pytest
 
 from repro.core.selection import Selection, selected_output_size
 from repro.engine.evaluate import evaluate
