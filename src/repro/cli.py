@@ -12,10 +12,13 @@ without writing any Python:
   the tidy tables.
 
 ``solve`` runs through a :class:`repro.session.Session` bound to the loaded
-database: ``--engine`` picks the columnar or the row reference engine, and
-``--json`` emits a machine-readable summary for scripting.  An empty query
-result is a successful (empty) answer, not an error: the summary is printed
-and the exit code is 0.
+database: ``--engine`` picks the columnar, row-reference or sharded parallel
+engine, ``--workers N`` sets the degree of parallelism (default 1, keeping
+single-core runs bit-stable), and ``--json`` emits a machine-readable
+summary for scripting.  An empty query result is a successful (empty)
+answer, not an error: the summary is printed and the exit code is 0.
+``experiments --workers N`` likewise runs the figure harness's sessions on
+a worker pool.
 
 Examples
 --------
@@ -76,9 +79,18 @@ def _add_solve_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["columnar", "row"],
+        choices=["columnar", "row", "parallel"],
         default="columnar",
-        help="evaluation engine: columnar (default) or the row reference engine",
+        help="evaluation engine: columnar (default), the row reference "
+        "engine, or the sharded parallel engine",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the parallel engine (default 1 = serial; "
+        "N > 1 implies --engine parallel)",
     )
     parser.add_argument(
         "--json",
@@ -101,6 +113,14 @@ def _add_experiments_parser(subparsers) -> None:
         action="store_true",
         help="use the figure functions' larger default grids",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the harness's sessions (default 1 = "
+        "serial, keeping the figure tables bit-stable)",
+    )
 
 
 def _run_classify(args: argparse.Namespace) -> int:
@@ -122,6 +142,7 @@ def _solution_payload(session, prepared, total, solution) -> dict:
         "query": str(prepared.query),
         "classification": prepared.classification,
         "engine": session.engine,
+        "workers": session.workers,
         "output_size": total,
         "k": solution.k if solution else 0,
         "objective": solution.size if solution else 0,
@@ -139,7 +160,14 @@ def _run_solve(args: argparse.Namespace) -> int:
     heuristic = "greedy" if args.method == "auto" else args.method
     solver = ADPSolver(heuristic=heuristic, counting_only=args.counting_only)
 
-    session = Session(database, engine=args.engine)
+    if args.engine == "row" and args.workers > 1:
+        print(
+            "error: --workers is incompatible with the row reference engine "
+            "(it is serial-only)",
+            file=sys.stderr,
+        )
+        return 2
+    session = Session(database, engine=args.engine, workers=args.workers)
     prepared = session.prepare(query)
     total = session.output_size(prepared)
     if total == 0:
@@ -171,10 +199,16 @@ def _run_solve(args: argparse.Namespace) -> int:
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
-    if args.only:
-        results = {args.only: figures.FIGURE_FUNCTIONS[args.only]()}
-    else:
-        results = figures.run_all(quick=not args.full)
+    from repro.experiments import harness
+
+    harness.set_default_workers(args.workers)
+    try:
+        if args.only:
+            results = {args.only: figures.FIGURE_FUNCTIONS[args.only]()}
+        else:
+            results = figures.run_all(quick=not args.full)
+    finally:
+        harness.set_default_workers(1)
     print(render_results(results))
     return 0
 

@@ -14,20 +14,33 @@ by
 
 * the query's **canonical form** -- the head in order plus the body as a
   sorted set of ``(relation, attribute set)`` pairs, ignoring display names
-  and atom order, and
+  and atom order,
 * the database's **version token** -- the per-relation mutation counters of
-  :meth:`repro.data.database.Database.version_token`.
+  :meth:`repro.data.database.Database.version_token`, and
+* a **shard layout** -- ``None`` for a canonical full result, or a
+  ``("shard", key, K, ordered atom names, i)`` tuple for one shard of a
+  hash-partitioned parallel evaluation (:mod:`repro.parallel`; the ordered
+  names pin the payload's column order, which canonically-equal queries
+  with different atom orders do not share).  Because the parallel
+  engine's merged results are byte-identical to serial ones, full results
+  always use the canonical ``None`` layout: serial and parallel executions
+  interoperate, each serving the other's cache lookups.  Only per-shard
+  payloads (cached by the inline parallel fallback) carry a non-``None``
+  layout, which keeps shard-grain and full-grain entries from colliding.
 
 In-place mutation bumps a relation's version, so stale entries can never be
 returned; they age out of the per-database LRU instead.
 
 Cached results are shared between callers and must be treated as immutable
 (every consumer in this library builds its own mutable state, e.g.
-``ProvenanceIndex``, on top of them).
+``ProvenanceIndex``, on top of them).  All cache operations take an internal
+lock, so sessions shared across threads (and the parallel executor's inline
+shard path) can use one cache concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Dict, Hashable, Tuple
 
@@ -61,56 +74,73 @@ class EvaluationCache:
             weakref.WeakKeyDictionary()
         )
         self._max_entries = max_entries_per_database
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, query: ConjunctiveQuery, database: Database, query_key=None):
-        """The cached result for ``(query, database)`` or ``None``.
+    def lookup(
+        self, query: ConjunctiveQuery, database: Database, query_key=None, layout=None
+    ):
+        """The cached result for ``(query, database, layout)`` or ``None``.
 
         ``query_key`` optionally supplies the precomputed canonical key (a
         :class:`~repro.session.PreparedQuery` carries one), skipping the
-        per-call canonicalization.
+        per-call canonicalization; ``layout`` is the shard-layout component
+        (``None`` = canonical full result, see the module docstring).
         """
-        entries = self._per_database.get(database)
-        if entries is None:
-            self.misses += 1
-            return None
         if query_key is None:
             query_key = canonical_query_key(query)
-        key = (query_key, database.version_token())
-        result = entries.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        # Refresh recency (dicts preserve insertion order).
-        entries.pop(key)
-        entries[key] = result
-        self.hits += 1
-        return result
+        with self._lock:
+            entries = self._per_database.get(database)
+            if entries is None:
+                self.misses += 1
+                return None
+            key = (query_key, database.version_token(), layout)
+            result = entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            # Refresh recency (dicts preserve insertion order).
+            entries.pop(key)
+            entries[key] = result
+            self.hits += 1
+            return result
 
     def store(
-        self, query: ConjunctiveQuery, database: Database, result, query_key=None
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        result,
+        query_key=None,
+        layout=None,
     ) -> None:
-        """Cache one evaluation result."""
-        try:
-            entries = self._per_database.setdefault(database, {})
-        except TypeError:  # pragma: no cover - non-weakref-able database stub
-            return
-        token = database.version_token()
-        # Relation versions are monotone and all entries of this dict belong
-        # to this database object, so an entry with a different token can
-        # never hit again: drop the stale payloads instead of pinning them.
-        stale = [key for key in entries if key[1] != token]
-        for key in stale:
-            entries.pop(key)
+        """Cache one evaluation result (or one shard payload)."""
         if query_key is None:
             query_key = canonical_query_key(query)
-        entries[(query_key, token)] = result
-        while len(entries) > self._max_entries:
-            entries.pop(next(iter(entries)))
+        with self._lock:
+            try:
+                entries = self._per_database.setdefault(database, {})
+            except TypeError:  # pragma: no cover - non-weakref-able database stub
+                return
+            token = database.version_token()
+            # Relation versions are monotone and all entries of this dict
+            # belong to this database object, so an entry with a different
+            # token can never hit again: drop the stale payloads instead of
+            # pinning them.
+            stale = [key for key in entries if key[1] != token]
+            for key in stale:
+                entries.pop(key)
+            entries[(query_key, token, layout)] = result
+            while len(entries) > self._max_entries:
+                entries.pop(next(iter(entries)))
 
     def store_raw(
-        self, database: Database, query_key: Hashable, token: Hashable, result
+        self,
+        database: Database,
+        query_key: Hashable,
+        token: Hashable,
+        result,
+        layout=None,
     ) -> None:
         """Cache one result under a precomputed ``(query key, version token)``.
 
@@ -119,29 +149,32 @@ class EvaluationCache:
         without re-evaluating.  Unlike :meth:`store` it does not drop entries
         with other tokens (the caller migrates a whole snapshot at once).
         """
-        try:
-            entries = self._per_database.setdefault(database, {})
-        except TypeError:  # pragma: no cover - non-weakref-able database stub
-            return
-        entries[(query_key, token)] = result
-        while len(entries) > self._max_entries:
-            entries.pop(next(iter(entries)))
+        with self._lock:
+            try:
+                entries = self._per_database.setdefault(database, {})
+            except TypeError:  # pragma: no cover - non-weakref-able database stub
+                return
+            entries[(query_key, token, layout)] = result
+            while len(entries) > self._max_entries:
+                entries.pop(next(iter(entries)))
 
     def take_entries(self, database: Database):
-        """Remove and return ``{(query key, token): result}`` for one database.
+        """Remove and return ``{(query key, token, layout): result}``.
 
         The entries are popped (the cache forgets them); callers that migrate
         results across a version bump re-insert the transformed payloads via
         :meth:`store_raw`.
         """
-        entries = self._per_database.pop(database, None)
-        return dict(entries) if entries else {}
+        with self._lock:
+            entries = self._per_database.pop(database, None)
+            return dict(entries) if entries else {}
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._per_database = weakref.WeakKeyDictionary()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._per_database = weakref.WeakKeyDictionary()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> Tuple[int, int]:
         """``(hits, misses)`` since the last :meth:`clear`."""

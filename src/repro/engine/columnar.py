@@ -26,6 +26,7 @@ directly.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.data.database import Database
@@ -110,6 +111,7 @@ class ColumnarProvenance:
         "_output_index",
         "_atom_position",
         "_postings",
+        "_postings_lock",
     )
 
     def __init__(
@@ -135,6 +137,10 @@ class ColumnarProvenance:
             name: position for position, name in enumerate(atom_names)
         }
         self._postings: List[Optional[Dict[int, List[int]]]] = [None] * len(atom_names)
+        #: Guards the lazy postings builds: concurrent ``what_if``/delta
+        #: callers sharing one (immutable) provenance must not duplicate the
+        #: O(witnesses) inversion scan or observe a half-built index.
+        self._postings_lock = threading.Lock()
 
     @property
     def output_index(self) -> Dict[Row, int]:
@@ -186,11 +192,14 @@ class ColumnarProvenance:
         """
         postings = self._postings[position]
         if postings is None:
-            postings = {}
-            setdefault = postings.setdefault
-            for w, tid in enumerate(self.ref_columns[position]):
-                setdefault(tid, []).append(w)
-            self._postings[position] = postings
+            with self._postings_lock:
+                postings = self._postings[position]
+                if postings is None:
+                    postings = {}
+                    setdefault = postings.setdefault
+                    for w, tid in enumerate(self.ref_columns[position]):
+                        setdefault(tid, []).append(w)
+                    self._postings[position] = postings
         return postings
 
     def locate(self, ref: TupleRef) -> Optional[Tuple[int, int]]:

@@ -57,6 +57,8 @@ through it globally.
 
 from __future__ import annotations
 
+import os
+import threading
 import warnings
 import weakref
 from contextlib import contextmanager
@@ -278,6 +280,10 @@ def join_order_plan(query: ConjunctiveQuery) -> Tuple[int, ...]:
     )
 
 
+#: Engine modes an :class:`EngineContext` can run in.
+ENGINE_MODES = ("columnar", "row", "parallel")
+
+
 class EngineContext:
     """Evaluation state owned by one session: cache, engine mode, interners.
 
@@ -286,23 +292,49 @@ class EngineContext:
     their caches or run two engine modes side by side.  An ``EngineContext``
     bundles
 
-    * the **engine mode** (``"columnar"`` or ``"row"``),
+    * the **engine mode** (``"columnar"``, ``"row"`` or ``"parallel"``),
     * an :class:`~repro.engine.cache.EvaluationCache` (per-context, so one
-      tenant's evictions never touch another's), and
+      tenant's evictions never touch another's),
     * the **interning tables**: one :class:`RelationIndex` per
       ``(relation, version)``, shared across every columnar evaluation this
       context runs, so repeated queries over the same relation do not
-      re-intern its tuples.
+      re-intern its tuples, and
+    * in ``"parallel"`` mode a lazily-started
+      :class:`~repro.parallel.executor.ParallelExecutor` (worker pool +
+      partition caches) that shards large joins across ``workers``
+      processes; the cost model routes small inputs to the serial columnar
+      path, and merged parallel results are byte-identical to serial ones,
+      so both engines share cache entries (canonical ``layout=None``).
 
     :class:`repro.session.Session` owns one context per session; the
     module-level shims below keep one implicit default context per
     ``Database`` for legacy callers.
+
+    Lazy builds (the interning tables here, the postings index on
+    :class:`~repro.engine.columnar.ColumnarProvenance`) are lock-guarded, so
+    concurrent threads sharing one context never duplicate an interning pass
+    or observe a half-built index.
     """
 
-    __slots__ = ("mode", "cache", "_interners", "evaluations")
+    __slots__ = (
+        "mode",
+        "cache",
+        "_interners",
+        "evaluations",
+        "workers",
+        "parallel_threshold",
+        "_executor",
+        "_lock",
+    )
 
-    def __init__(self, mode: str = "columnar", cache: Optional[EvaluationCache] = None):
-        if mode not in ("columnar", "row"):
+    def __init__(
+        self,
+        mode: str = "columnar",
+        cache: Optional[EvaluationCache] = None,
+        workers: int = 1,
+        parallel_threshold: Optional[int] = None,
+    ):
+        if mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {mode!r}")
         self.mode = mode
         self.cache = cache if cache is not None else EvaluationCache()
@@ -311,34 +343,65 @@ class EngineContext:
         )
         #: How many joins this context actually ran (cache hits excluded).
         self.evaluations = 0
+        if mode == "parallel" and workers <= 1:
+            workers = max(2, os.cpu_count() or 1)
+        self.workers = int(workers)
+        self.parallel_threshold = parallel_threshold
+        self._executor = None
+        self._lock = threading.RLock()
 
     def set_mode(self, mode: str) -> None:
         """Switch engine mode, clearing the cache so A/B runs stay honest."""
-        if mode not in ("columnar", "row"):
+        if mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {mode!r}")
-        self.mode = mode
+        with self._lock:
+            if self.mode == "parallel" and mode != "parallel" and self._executor:
+                self._executor.close()
+                self._executor = None
+            self.mode = mode
+            if mode == "parallel" and self.workers <= 1:
+                self.workers = max(2, os.cpu_count() or 1)
         self.cache.clear()
 
     def release(self) -> None:
-        """Drop the cache *and* the interning tables (session close)."""
+        """Drop cache, interning tables and worker pool (session close)."""
         self.cache.clear()
-        self._interners = weakref.WeakKeyDictionary()
+        with self._lock:
+            self._interners = weakref.WeakKeyDictionary()
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
+
+    def executor(self):
+        """The parallel executor (``None`` unless the mode is ``parallel``)."""
+        if self.mode != "parallel":
+            return None
+        with self._lock:
+            if self._executor is None:
+                from repro.parallel.executor import ParallelExecutor
+
+                self._executor = ParallelExecutor(
+                    self.workers, self.parallel_threshold
+                )
+            return self._executor
 
     def interned(self, relation: Relation) -> RelationIndex:
         """A :class:`RelationIndex` for the relation's *current* version.
 
         Cached per relation object; an in-place mutation bumps the relation's
-        version and transparently invalidates the stored index.
+        version and transparently invalidates the stored index.  Guarded by
+        the context lock: concurrent threads share one interning pass.
         """
-        entry = self._interners.get(relation)
-        if entry is not None and entry[0] == relation.version:
-            return entry[1]
-        index = RelationIndex(relation)
-        try:
-            self._interners[relation] = (relation.version, index)
-        except TypeError:  # pragma: no cover - non-weakref-able relation stub
-            pass
-        return index
+        with self._lock:
+            entry = self._interners.get(relation)
+            if entry is not None and entry[0] == relation.version:
+                return entry[1]
+            index = RelationIndex(relation)
+            try:
+                self._interners[relation] = (relation.version, index)
+            except TypeError:  # pragma: no cover - non-weakref-able relation stub
+                pass
+            return index
 
     def evaluate(
         self,
@@ -348,11 +411,18 @@ class EngineContext:
         use_cache: bool = True,
         order: Optional[Sequence[int]] = None,
         query_key=None,
+        partition_key: Optional[str] = None,
     ) -> QueryResult:
         """Evaluate within this context (see :func:`evaluate` for semantics).
 
-        ``order`` and ``query_key`` let a :class:`~repro.session.PreparedQuery`
-        supply its precomputed join plan and canonical cache key.
+        ``order``, ``query_key`` and ``partition_key`` let a
+        :class:`~repro.session.PreparedQuery` supply its precomputed join
+        plan, canonical cache key and recorded shard key.  In ``parallel``
+        mode large joins are sharded across the worker pool (bounded
+        ``max_witnesses`` runs always stay serial -- the guard is an
+        interactive safety valve, not a throughput path); the merged result
+        is byte-identical to the serial engine's, so it is cached under the
+        same canonical key.
         """
         if self.mode == "row":
             self.evaluations += 1
@@ -362,9 +432,21 @@ class EngineContext:
             cached = self.cache.lookup(query, database, query_key=query_key)
             if cached is not None:
                 return cached
-        result = evaluate_columnar(
-            query, database, max_witnesses, order=order, index_for=self.interned
-        )
+        result = None
+        if self.mode == "parallel" and max_witnesses is None:
+            result = self.executor().evaluate(
+                self,
+                query,
+                database,
+                order=order,
+                query_key=query_key,
+                partition_key=partition_key,
+                use_cache=use_cache,
+            )
+        if result is None:
+            result = evaluate_columnar(
+                query, database, max_witnesses, order=order, index_for=self.interned
+            )
         self.evaluations += 1
         if cacheable:
             self.cache.store(query, database, result, query_key=query_key)
@@ -451,7 +533,15 @@ def set_engine_mode(mode: str) -> None:
     """
     global _DEFAULT_MODE
     if mode not in ("columnar", "row"):
-        raise ValueError(f"unknown engine mode {mode!r}")
+        # The parallel engine needs an owner with an explicit close path for
+        # its worker pool; implicit default contexts (reclaimed only by GC)
+        # would leak processes.  Deliberately not supported by this shim:
+        # create Session(db, workers=N) instead.
+        raise ValueError(
+            f"unknown engine mode {mode!r} (the global shim supports "
+            "'columnar' and 'row'; use Session(db, workers=N) for the "
+            "parallel engine)"
+        )
     warnings.warn(
         "set_engine_mode() is deprecated; create a Session(database, "
         "engine='row'|'columnar') instead",

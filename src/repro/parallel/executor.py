@@ -1,0 +1,421 @@
+"""Orchestration of partitioned evaluation: partition, dispatch, merge.
+
+A :class:`ParallelExecutor` is owned by one
+:class:`~repro.engine.evaluate.EngineContext` whose mode is ``"parallel"``.
+On every evaluation it
+
+1. asks :mod:`repro.parallel.partition` for a plan and applies the cost
+   model (``None`` -> the context falls back to the serial columnar join);
+2. partitions the parent's interned columns (cached per relation version,
+   so repeated evaluations and ``solve_many`` batches partition once);
+3. dispatches one task per shard to the persistent
+   :class:`~repro.parallel.pool.WorkerPool` -- or, when no pool is
+   available (single worker, restricted sandbox, or a worker died), runs
+   the shards **inline** through the exact same shard functions;
+4. merges the per-shard packed provenance back into one byte-identical
+   :class:`~repro.engine.evaluate.QueryResult`.
+
+Inline shard runs are memoized in the context's evaluation cache under a
+**shard-layout key** (``("shard", key, K, ordered atom names, i)``), the
+layout
+component the cache grew for this subsystem; full merged results are stored
+under the canonical ``None`` layout so serial and parallel executions
+interoperate (they are byte-identical, so either may serve the other's
+lookups).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.engine.cache import canonical_query_key
+from repro.engine.columnar import RelationIndex
+from repro.parallel.merge import merge_shard_results
+from repro.parallel.partition import (
+    MIN_PARTITION_TUPLES,
+    ShardDatabase,
+    ShardRelation,
+    evaluate_shard,
+    partition_index,
+    partition_plan,
+)
+from repro.parallel.pool import (
+    PoolBrokenError,
+    WorkerPool,
+    WorkerStoreMiss,
+    WorkerTaskError,
+)
+from repro.query.cq import ConjunctiveQuery
+
+
+class ParallelExecutor:
+    """Partitioned evaluation for one engine context (see module docstring)."""
+
+    def __init__(self, workers: int, threshold: Optional[int] = None):
+        self.workers = max(2, int(workers))
+        self.threshold = MIN_PARTITION_TUPLES if threshold is None else int(threshold)
+        self._pool: Optional[WorkerPool] = None
+        self._pool_failed = False
+        self._lock = threading.RLock()
+        #: (db id, relation, version, key, K) -> [(rows, tid_map, skey)] per shard
+        self._partitions: Dict[tuple, list] = {}
+        self._db_ids: "weakref.WeakKeyDictionary[Database, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._next_db_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def pool(self) -> Optional[WorkerPool]:
+        """The shared worker pool, started lazily; ``None`` if unavailable."""
+        with self._lock:
+            if self._pool_failed:
+                return None
+            if self._pool is None:
+                try:
+                    pool = WorkerPool(self.workers)
+                    if not pool.ping():
+                        pool.close()
+                        raise RuntimeError("worker pool failed its start ping")
+                    self._pool = pool
+                except Exception:
+                    self._pool_failed = True
+                    return None
+            return self._pool
+
+    def mark_pool_failed(self) -> None:
+        """Stop dispatching to the pool (a worker errored or died)."""
+        with self._lock:
+            self._pool_failed = True
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def close(self) -> None:
+        """Shut the pool down and drop the partition caches."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            self._partitions.clear()
+
+    def clear_worker_caches(self) -> None:
+        """Drop memoized results held by live workers (keep their state).
+
+        A no-op when no pool is running -- clearing must never *start* one.
+        """
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return
+        try:
+            pool.clear_caches()
+        except PoolBrokenError:
+            self.mark_pool_failed()
+        except WorkerTaskError:  # pragma: no cover - clear cannot really fail
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def db_id(self, database: Database) -> Optional[int]:
+        """A stable small id for a database (shard keys must not collide)."""
+        with self._lock:
+            try:
+                did = self._db_ids.get(database)
+                if did is None:
+                    did = self._next_db_id
+                    self._db_ids[database] = did
+                    self._next_db_id += 1
+            except TypeError:  # pragma: no cover - non-weakref-able stub
+                return None
+            return did
+
+    def _shards_for_atom(
+        self,
+        did: int,
+        atom_name: str,
+        index: RelationIndex,
+        version: int,
+        key: str,
+        shards: int,
+        partitioned: bool,
+    ) -> List[Tuple[list, Optional[List[int]], tuple]]:
+        """``(rows, tid_map, skey)`` per shard for one join atom (cached)."""
+        if not partitioned:
+            skey = (did, atom_name, version, "*", 1, 0)
+            return [(index.rows, None, skey)] * shards
+        cache_key = (did, atom_name, version, key, shards)
+        with self._lock:
+            entries = self._partitions.get(cache_key)
+            if entries is None:
+                buckets = partition_index(index, key, shards)
+                entries = [
+                    (rows, tid_map, (did, atom_name, version, key, shards, s))
+                    for s, (rows, tid_map) in enumerate(buckets)
+                ]
+                self._partitions[cache_key] = entries
+                # Prune: older versions of this relation can never be used
+                # again, and neither can partitions of databases that have
+                # been garbage-collected (db ids are never reused, so a did
+                # absent from the live registry is dead for good -- without
+                # this, transient sub-databases of the Universe/Decompose
+                # recursions would pin their shard row lists forever).
+                live = set(self._db_ids.values())
+                stale = [
+                    k
+                    for k in self._partitions
+                    if (k[0] == did and k[1] == atom_name and k[2] != version)
+                    or k[0] not in live
+                ]
+                for k in stale:
+                    del self._partitions[k]
+            return entries
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        context,
+        query: ConjunctiveQuery,
+        database: Database,
+        order: Optional[Sequence[int]] = None,
+        query_key=None,
+        partition_key: Optional[str] = None,
+        use_cache: bool = True,
+    ):
+        """Partitioned evaluation, or ``None`` when the cost model says serial.
+
+        ``partition_key`` lets a prepared plan supply the recorded key (no
+        per-evaluate derivation); ``use_cache=False`` bypasses *all* result
+        memoization -- the inline shard-layout entries and the workers' own
+        evaluation caches included -- so forced re-evaluations really
+        re-join everywhere.  The returned
+        :class:`~repro.engine.evaluate.QueryResult` is byte-identical to
+        ``evaluate_columnar`` on the same context.
+        """
+        plan = partition_plan(query, database, self.workers, key=partition_key)
+        if plan is None or not plan.worthwhile(self.threshold):
+            return None
+        # Same schema check (and same clear error message) the serial engine
+        # performs inside evaluate_columnar; without it a mismatch would
+        # surface as an opaque index error from deep inside the partitioner.
+        database.validate_against(query)
+        did = self.db_id(database)
+        if did is None:
+            return None
+
+        from repro.engine.evaluate import join_order_plan
+
+        if order is None:
+            order = join_order_plan(query)
+        order = tuple(order)
+        atoms = list(query.atoms)
+        ordered_atoms = [atoms[i] for i in order]
+        indexes = [
+            context.interned(database.relation(atom.name)) for atom in ordered_atoms
+        ]
+        shards_per_atom = [
+            self._shards_for_atom(
+                did,
+                atom.name,
+                index,
+                database.relation(atom.name).version,
+                plan.key,
+                plan.shards,
+                plan.key in atom.attribute_set,
+            )
+            for atom, index in zip(ordered_atoms, indexes)
+        ]
+
+        if query_key is None:
+            query_key = canonical_query_key(query)
+        attributes_per_atom = [
+            database.relation(atom.name).attributes for atom in ordered_atoms
+        ]
+        # The cache identity of a shard payload: ``order`` alone is ambiguous
+        # (it indexes each query's *own* atom list, so canonically-equal
+        # queries with different atom orders share e.g. (0, 1)); the ordered
+        # relation names pin the actual column order.
+        ordered_names = tuple(atom.name for atom in ordered_atoms)
+        shard_results = None
+        pool = self.pool()
+        if pool is not None:
+            dispatch = lambda: self._run_pool(  # noqa: E731 - two-call retry
+                pool,
+                query,
+                order,
+                ordered_names,
+                query_key,
+                plan.shards,
+                shards_per_atom,
+                attributes_per_atom,
+                use_cache,
+            )
+            try:
+                try:
+                    shard_results = dispatch()
+                except WorkerStoreMiss as miss:
+                    # A worker evicted predicted state: drop the stale
+                    # predictions and retry once -- the rebuild ships full
+                    # payloads for the forgotten keys.
+                    for worker, namespace, key in miss.misses:
+                        pool.forget(worker, namespace, key)
+                    shard_results = dispatch()
+            except PoolBrokenError:
+                self.mark_pool_failed()
+                shard_results = None
+            except (WorkerTaskError, WorkerStoreMiss):
+                # The workers are healthy; run this evaluation inline (a
+                # deterministic task error will resurface with its real
+                # traceback there) and keep the pool for later calls.
+                shard_results = None
+        if shard_results is None:
+            shard_results = self._run_inline(
+                context,
+                query,
+                database,
+                ordered_atoms,
+                indexes,
+                ordered_names,
+                query_key,
+                plan,
+                shards_per_atom,
+                use_cache,
+            )
+        return merge_shard_results(
+            query, ordered_names, indexes, shard_results, ()
+        )
+
+    def _run_pool(
+        self,
+        pool: WorkerPool,
+        query: ConjunctiveQuery,
+        order: Tuple[int, ...],
+        ordered_names: Tuple[str, ...],
+        query_key,
+        shards: int,
+        shards_per_atom,
+        attributes_per_atom,
+        use_cache: bool = True,
+    ):
+        """One ``evaluate_shard`` task per shard, routed by ``shard % size``.
+
+        Shard batches (rows + tid map) ship only on a worker's first sight
+        of the shard key; afterwards the key alone suffices (the pool
+        mirrors the workers' store eviction, so it knows what they hold).
+        """
+        tasks = []
+        for s in range(shards):
+            worker = s % pool.size
+            specs = []
+            skeys = []
+            for atom_shards, attributes in zip(shards_per_atom, attributes_per_atom):
+                rows, tid_map, skey = atom_shards[s]
+                skeys.append(skey)
+                if pool.has_key(worker, "shard", skey):
+                    specs.append({"skey": skey})
+                else:
+                    specs.append(
+                        {
+                            "skey": skey,
+                            "name": skey[1],
+                            "attributes": attributes,
+                            "rows": rows,
+                            "tid_map": tid_map,
+                        }
+                    )
+                    pool.remember(worker, "shard", skey)
+            tasks.append(
+                (
+                    worker,
+                    {
+                        "kind": "evaluate_shard",
+                        "query": query,
+                        "order": order,
+                        "atoms": specs,
+                        "cache_key": (query_key, ordered_names, tuple(skeys)),
+                        "use_cache": use_cache,
+                    },
+                )
+            )
+        return pool.run(tasks)
+
+    def _run_inline(
+        self,
+        context,
+        query: ConjunctiveQuery,
+        database: Database,
+        ordered_atoms,
+        indexes,
+        ordered_names,
+        query_key,
+        plan,
+        shards_per_atom,
+        use_cache: bool = True,
+    ):
+        """Run every shard in-process (pool unavailable or failed).
+
+        Each shard's result is memoized in the context's evaluation cache
+        under the shard-layout key (unless ``use_cache`` is off), so
+        repeated parallel evaluations without a pool still amortize the
+        per-shard joins.  Broadcast atoms reuse the parent's interning
+        tables directly -- their "shard" is the whole relation, already
+        interned as ``indexes[a]``.
+        """
+        results = []
+        for s in range(plan.shards):
+            # The ordered relation names are part of the key:
+            # canonically-equal queries (same cache key, different atom
+            # order) produce shard payloads whose columns are in *their*
+            # join order -- they must not serve each other.  (The
+            # worker-side cache keys on the same names.)
+            layout = ("shard", plan.key, plan.shards, ordered_names, s)
+            if use_cache:
+                cached = context.cache.lookup(
+                    query, database, query_key=query_key, layout=layout
+                )
+                if cached is not None:
+                    results.append(cached)
+                    continue
+            relations = []
+            indexes_by_name = {}
+            tid_maps = []
+            for atom, atom_shards, parent_index in zip(
+                ordered_atoms, shards_per_atom, indexes
+            ):
+                rows, tid_map, _skey = atom_shards[s]
+                if tid_map is None:
+                    # Broadcast: the parent's index *is* this shard's index
+                    # (RelationIndex quacks as the relation view too: name,
+                    # attributes, rows).
+                    relations.append(parent_index)
+                    indexes_by_name[atom.name] = parent_index
+                else:
+                    relation = ShardRelation(
+                        atom.name, database.relation(atom.name).attributes, rows
+                    )
+                    relations.append(relation)
+                    indexes_by_name[atom.name] = RelationIndex(relation)
+                tid_maps.append(tid_map)
+            result = evaluate_shard(
+                query,
+                ordered_atoms,
+                ShardDatabase(relations),
+                tid_maps,
+                index_for=lambda relation: indexes_by_name[relation.name],
+            )
+            if use_cache:
+                context.cache.store(
+                    query, database, result, query_key=query_key, layout=layout
+                )
+            results.append(result)
+        return results
+
+
+__all__ = ["ParallelExecutor"]

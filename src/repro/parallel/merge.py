@@ -1,0 +1,106 @@
+"""Recombining per-shard packed provenance into one serial-identical result.
+
+The serial columnar join emits witnesses in **lexicographic order of the
+join-order tid tuple**: the first atom's tuples start partial rows in tid
+order, and every later build/probe (and every cross-product step) expands
+existing partials in order, appending matches in ascending tid order.  Each
+shard runs the same join over a subsequence of the parent's interned rows,
+and its tid maps are strictly increasing, so after translation to global
+tids every shard's witness stream is *sorted* under the same lexicographic
+key -- and the shards' key sets are disjoint (a witness lives in exactly one
+shard).
+
+Merging is therefore a sort of the concatenated streams by global tid tuple
+(Timsort exploits the pre-sorted runs), after which output rows are
+re-deduplicated in first-witness order -- exactly how the serial engine
+builds them.  The merged :class:`~repro.engine.evaluate.QueryResult` is
+byte-identical to the serial engine's: same output row order, same witness
+order, same packed ``tid`` columns over the same shared interning tables.
+Every downstream consumer (greedy, singleton, set cover, flow, the delta
+semijoins and the evaluation cache) is agnostic to how the result was
+produced.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.relation import Row, TupleRef
+from repro.engine.columnar import ColumnarProvenance, RelationIndex
+from repro.engine.evaluate import QueryResult
+from repro.parallel.partition import ShardResult
+from repro.query.cq import ConjunctiveQuery
+
+
+def merge_shard_results(
+    query: ConjunctiveQuery,
+    atom_names: Tuple[str, ...],
+    indexes: Sequence[RelationIndex],
+    shard_results: Sequence[ShardResult],
+    vacuum_refs: Tuple[TupleRef, ...] = (),
+) -> QueryResult:
+    """One serial-identical :class:`QueryResult` from per-shard results.
+
+    ``indexes`` are the parent's interning tables (one per entry of
+    ``atom_names``, in join order); every shard's ``ref_columns`` must
+    already be translated to those global tids.
+    """
+    items: List[Tuple[Tuple[int, ...], Row]] = []
+    for ref_columns, output_rows, witness_outputs in shard_results:
+        if not witness_outputs:
+            continue
+        rows = output_rows
+        for tids, out in zip(zip(*ref_columns), witness_outputs):
+            items.append((tids, rows[out]))
+    if not items:
+        provenance = ColumnarProvenance(
+            query,
+            atom_names,
+            indexes,
+            [[] for _ in atom_names],
+            [],
+            [],
+            {},
+            vacuum_refs,
+        )
+        return QueryResult(query, [], None, [], None, provenance=provenance)
+    items.sort(key=itemgetter(0))
+
+    ref_columns: List[List[int]] = [[] for _ in atom_names]
+    appends = [column.append for column in ref_columns]
+    output_rows: List[Row] = []
+    output_index: Dict[Row, int] = {}
+    witness_outputs: List[int] = []
+    get = output_index.get
+    for tids, row in items:
+        for position, tid in enumerate(tids):
+            appends[position](tid)
+        index = get(row)
+        if index is None:
+            index = len(output_rows)
+            output_index[row] = index
+            output_rows.append(row)
+        witness_outputs.append(index)
+
+    provenance = ColumnarProvenance(
+        query,
+        atom_names,
+        list(indexes),
+        ref_columns,
+        witness_outputs,
+        output_rows,
+        output_index,
+        vacuum_refs,
+    )
+    return QueryResult(
+        query,
+        output_rows,
+        None,
+        witness_outputs,
+        output_index,
+        provenance=provenance,
+    )
+
+
+__all__ = ["merge_shard_results"]

@@ -1,0 +1,282 @@
+"""Hash partitioning of interned relation columns.
+
+The join of a self-join-free CQ can be split into K independent joins by
+hash-partitioning on one attribute (the *partition key*): every relation
+whose atom contains the key is split by ``partition_hash(value) % K``, every
+other relation is broadcast (replicated) to all shards.  A witness binds the
+key to exactly one value, so it is produced by exactly one shard -- the
+shards' witness sets are disjoint and their union is the serial witness set.
+
+Key choice follows the dichotomy analysis: a *universal* attribute (one
+appearing in every atom -- what the Universe step of ``ComputeADP`` peels
+off) partitions everything with no broadcast at all; otherwise the attribute
+covering the most atoms is chosen, and the relations that miss it ride along
+broadcast.  :func:`partition_plan` applies the cost model: small inputs, or
+inputs where broadcasting would dominate, stay serial.
+
+Everything here works on *interned* columns: the parent process partitions
+the rows of a :class:`~repro.engine.columnar.RelationIndex` once and ships
+``(rows, tid map)`` batches to the workers, which rebuild local interning
+tables without ever touching the parent's (no re-interning in the parent,
+no shared mutable state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.relation import Row
+from repro.engine.columnar import RelationIndex, join_columns
+from repro.query.cq import ConjunctiveQuery
+
+#: Cost-model floor: a query whose partitioned relations hold fewer input
+#: tuples than this is evaluated serially (partition + IPC overhead would
+#: dominate).  Sessions can override it via ``parallel_threshold``.
+MIN_PARTITION_TUPLES = 512
+
+
+def partition_hash(value: object) -> int:
+    """The partition-routing hash: **equality-consistent** by construction.
+
+    The serial hash join matches key values by Python equality, so the
+    partitioner must respect the same equivalence classes: values that
+    compare equal across types (``1 == 1.0 == True``, ``0.0 == -0.0``)
+    must land in the same shard, or their join matches would silently
+    vanish.  Builtin ``hash`` guarantees exactly that (``x == y`` implies
+    ``hash(x) == hash(y)``); a repr/str-based hash does not.
+
+    Partitioning only ever runs in the parent process (workers receive
+    pre-routed batches), so per-process string-hash randomization cannot
+    desynchronize anything; it merely means string layouts differ between
+    interpreter runs, which affects which shard a tuple lands in but never
+    the merged result (byte-identical to serial by construction).
+    """
+    return hash(value) & 0x7FFFFFFF
+
+
+def shard_of(value: object, shards: int) -> int:
+    """The shard a key value routes to."""
+    return partition_hash(value) % shards
+
+
+def choose_partition_key(query: ConjunctiveQuery) -> Optional[str]:
+    """The attribute the parallel engine partitions ``query`` on.
+
+    Preference order (all deterministic, so prepared plans can record it):
+
+    1. a **universal** attribute -- present in every non-vacuum atom, so no
+       relation needs broadcasting; head attributes first (in head order),
+       then alphabetically -- this is exactly the attribute family the
+       dichotomy's Universe step keys on;
+    2. otherwise the attribute contained in the **most** atoms
+       (alphabetical tie-break); the remaining relations are broadcast.
+
+    Returns ``None`` when the query has no non-vacuum atom (nothing to
+    partition -- the vacuum guard logic is a constant-time parent-side
+    check anyway).
+    """
+    non_vacuum = [a for a in query.atoms if not a.is_vacuum]
+    if not non_vacuum:
+        return None
+    universal = set.intersection(*(set(a.attribute_set) for a in non_vacuum))
+    if universal:
+        for attribute in query.head:
+            if attribute in universal:
+                return attribute
+        return min(universal)
+    coverage: Dict[str, int] = {}
+    for atom in non_vacuum:
+        for attribute in atom.attribute_set:
+            coverage[attribute] = coverage.get(attribute, 0) + 1
+    return min(coverage, key=lambda a: (-coverage[a], a))
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How one query would be sharded over one database.
+
+    ``partitioned``/``broadcast`` list relation names; the tuple counts feed
+    the cost model (:meth:`worthwhile`).
+    """
+
+    key: str
+    shards: int
+    partitioned: Tuple[str, ...]
+    broadcast: Tuple[str, ...]
+    partitioned_tuples: int
+    broadcast_tuples: int
+
+    def worthwhile(self, threshold: int = MIN_PARTITION_TUPLES) -> bool:
+        """Whether sharding beats serial execution under the cost model.
+
+        Serial wins when the partitioned relations are small (fixed
+        partition + dispatch + merge overhead) or when more tuples would be
+        broadcast than partitioned (each shard would redo most of the join).
+        """
+        if self.shards < 2:
+            return False
+        if self.partitioned_tuples < threshold:
+            return False
+        return self.broadcast_tuples <= self.partitioned_tuples
+
+
+def partition_plan(
+    query: ConjunctiveQuery, database, shards: int, key: Optional[str] = None
+) -> Optional[PartitionPlan]:
+    """The :class:`PartitionPlan` for ``query`` over ``database``.
+
+    ``key`` lets a caller supply the precomputed partition key (what
+    :class:`repro.session.PreparedQuery` records), skipping the per-call
+    derivation.  ``None`` when the query has vacuum atoms (those stay on
+    the serial path -- the guards are constant-time) or no partition key
+    exists.
+    """
+    if any(atom.is_vacuum for atom in query.atoms):
+        return None
+    if key is None:
+        key = choose_partition_key(query)
+    if key is None:
+        return None
+    partitioned: List[str] = []
+    broadcast: List[str] = []
+    partitioned_tuples = 0
+    broadcast_tuples = 0
+    for atom in query.atoms:
+        size = len(database.relation(atom.name))
+        if key in atom.attribute_set:
+            partitioned.append(atom.name)
+            partitioned_tuples += size
+        else:
+            broadcast.append(atom.name)
+            broadcast_tuples += size
+    return PartitionPlan(
+        key=key,
+        shards=shards,
+        partitioned=tuple(partitioned),
+        broadcast=tuple(broadcast),
+        partitioned_tuples=partitioned_tuples,
+        broadcast_tuples=broadcast_tuples,
+    )
+
+
+def partition_index(
+    index: RelationIndex, key: str, shards: int
+) -> List[Tuple[List[Row], List[int]]]:
+    """Split an interned relation into ``shards`` disjoint row batches.
+
+    Returns one ``(rows, tid_map)`` pair per shard: ``rows[i]`` is the
+    stored row whose **global** tuple ID is ``tid_map[i]``.  Rows keep the
+    parent index's order, so each ``tid_map`` is strictly increasing -- the
+    property the byte-identical merge relies on (a strictly increasing tid
+    translation preserves the engine's lexicographic witness order).
+    """
+    position = index.attributes.index(key)
+    buckets: List[Tuple[List[Row], List[int]]] = [([], []) for _ in range(shards)]
+    for tid, row in enumerate(index.rows):
+        rows, tid_map = buckets[partition_hash(row[position]) % shards]
+        rows.append(row)
+        tid_map.append(tid)
+    return buckets
+
+
+class ShardRelation:
+    """A minimal relation view over an explicit, ordered row batch.
+
+    Quacks enough like :class:`~repro.data.relation.Relation` for
+    :class:`~repro.engine.columnar.RelationIndex` and the columnar join:
+    ``name``, ``attributes`` and iteration *in the given order* (a real
+    ``Relation`` stores a set, whose iteration order is process-dependent --
+    shards must instead reproduce the parent's interned order exactly).
+    """
+
+    __slots__ = ("name", "attributes", "rows")
+
+    def __init__(self, name: str, attributes: Tuple[str, ...], rows: Sequence[Row]):
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.rows = list(rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardRelation({self.name}, {len(self.rows)} rows)"
+
+
+class ShardDatabase:
+    """Just enough of :class:`~repro.data.database.Database` for the join."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Sequence[ShardRelation]):
+        self._relations = {relation.name: relation for relation in relations}
+
+    def relation(self, name: str) -> ShardRelation:
+        return self._relations[name]
+
+
+#: One shard's evaluation, ready to merge: ``(ref_columns, output_rows,
+#: witness_outputs)`` with ``ref_columns`` already translated to global tids.
+ShardResult = Tuple[List[List[int]], List[Row], List[int]]
+
+
+def evaluate_shard(
+    query: ConjunctiveQuery,
+    ordered_atoms: Sequence,
+    shard_db: ShardDatabase,
+    tid_maps: Sequence[Optional[List[int]]],
+    index_for=None,
+) -> ShardResult:
+    """Run the columnar join over one shard and translate tids to global.
+
+    ``ordered_atoms`` must already be in the parent's join order (the shard
+    must *not* re-plan -- witness order, and hence the merge, depends on
+    it).  ``tid_maps[a]`` maps atom ``a``'s local tids back to the parent's
+    interned tids; ``None`` marks a broadcast relation whose local ids are
+    already global.
+    """
+    bound, ref_columns, _ = join_columns(
+        ordered_atoms, shard_db, query.head, None, query.name, index_for=index_for
+    )
+    global_columns = [
+        column if tid_map is None else [tid_map[tid] for tid in column]
+        for column, tid_map in zip(ref_columns, tid_maps)
+    ]
+    count = len(global_columns[0]) if global_columns else 0
+    if count == 0:
+        return (global_columns, [], [])
+
+    head = query.head
+    if not head:
+        return (global_columns, [()], [0] * count)
+    output_rows: List[Row] = []
+    output_index: Dict[Row, int] = {}
+    witness_outputs: List[int] = []
+    get = output_index.get
+    for row in zip(*(bound[a] for a in head)):
+        index = get(row)
+        if index is None:
+            index = len(output_rows)
+            output_index[row] = index
+            output_rows.append(row)
+        witness_outputs.append(index)
+    return (global_columns, output_rows, witness_outputs)
+
+
+__all__ = [
+    "MIN_PARTITION_TUPLES",
+    "PartitionPlan",
+    "ShardDatabase",
+    "ShardRelation",
+    "ShardResult",
+    "choose_partition_key",
+    "evaluate_shard",
+    "partition_index",
+    "partition_plan",
+    "shard_of",
+    "partition_hash",
+]

@@ -1,0 +1,472 @@
+"""Persistent multiprocessing worker pool for shard and batch execution.
+
+One :class:`WorkerPool` holds N long-lived worker processes connected by
+pipes.  Workers are stateful on purpose -- that is the whole point of a
+*persistent* pool:
+
+* **shard store** -- per-shard interning tables
+  (:class:`~repro.parallel.partition.ShardRelation` +
+  :class:`~repro.engine.columnar.RelationIndex`), keyed by the shard key the
+  parent assigns.  The parent ships each ``(rows, tid map)`` batch once; all
+  later evaluations over the same shard send only the key;
+* **evaluation cache** -- per-worker memoization of shard results, so the
+  repeated evaluations issued by ``solve_many`` batches cost one shard join;
+* **database store** -- for whole-query (``solve_group``) tasks: the bound
+  database, a worker-local :class:`~repro.session.Session`, and interning
+  tables *seeded in the parent's interned row order* so worker evaluations
+  reproduce the parent's witness order exactly.
+
+The parent mirrors the workers' store bounds (same FIFO eviction, same
+constants, same arrival order through the pipe) as a best-effort predictor
+of what each worker holds, so steady-state calls send keys instead of
+batches.  Mispredictions are safe in both directions: re-shipping a batch
+a worker already holds is an idempotent in-place update, and a key-only
+payload referencing evicted state comes back as a ``("miss", keys)``
+response -- surfaced as :class:`WorkerStoreMiss` -- which callers heal by
+:meth:`WorkerPool.forget` + one retry with full payloads.
+
+Shard-to-worker routing is by ``shard index % pool size``, giving every
+shard a stable home and keeping worker caches hot.  Dispatch uses one
+driver thread per worker that strictly alternates send/recv, so large
+results can never deadlock the pipes.
+
+Failure model: :class:`PoolBrokenError` (a worker died -- stop using the
+pool) vs :class:`WorkerTaskError` (a task raised inside a healthy worker --
+fall back for this call only) vs :class:`WorkerStoreMiss` (retryable).
+Callers (the :class:`~repro.parallel.executor.ParallelExecutor`) always
+have the inline serial path available because shard evaluation and merge
+are plain functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import traceback
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+#: Mirrored FIFO bounds (parent bookkeeping == worker stores; see module doc).
+MAX_SHARD_ENTRIES = 512
+MAX_DB_ENTRIES = 8
+#: Worker-local only (never mirrored): memoized shard evaluations.
+MAX_EVAL_ENTRIES = 32
+
+
+class WorkerTaskError(RuntimeError):
+    """A task raised inside a worker; the worker itself is still healthy.
+
+    Callers should fall back (inline shards, serial solve) for *this* call
+    but keep using the pool -- e.g. a user error like an infeasible target
+    raised by the solver must not cost the session its workers.
+    """
+
+
+class WorkerStoreMiss(RuntimeError):
+    """A worker no longer holds state the parent predicted it would.
+
+    The parent's store bookkeeping is a best-effort predictor (a failed
+    dispatch, racing threads or worker eviction can desynchronize it); a
+    miss is the protocol-level recovery signal.  ``misses`` lists
+    ``(worker, namespace, key)`` triples; callers :meth:`WorkerPool.forget`
+    them and retry once, which re-ships the full payloads.
+    """
+
+    def __init__(self, misses):
+        super().__init__(f"worker store misses: {misses!r}")
+        self.misses = list(misses)
+
+
+class PoolBrokenError(RuntimeError):
+    """A worker died or a pipe broke; the pool must not be reused."""
+
+
+class _StoreMiss(Exception):
+    """Worker-internal: a key-only payload referenced absent state."""
+
+    def __init__(self, keys):
+        super().__init__(repr(keys))
+        self.keys = list(keys)  # (namespace, key) pairs
+
+
+class WorkerPool:
+    """N persistent worker processes plus the parent-side bookkeeping."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError(f"worker pool needs >= 1 worker, got {workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        #: ``"fork"`` or ``"spawn"``: whole-query (``solve_group``) dispatch
+        #: requires fork (see :meth:`supports_solve_groups`).
+        self.start_method = start_method
+        self._mp = multiprocessing.get_context(start_method)
+        self._procs = []
+        self._conns = []
+        self._locks: List[threading.Lock] = []
+        #: per (worker, namespace): FIFO of keys the worker still holds.
+        self._known: Dict[Tuple[int, str], "OrderedDict[object, None]"] = {}
+        for _ in range(workers):
+            parent_conn, child_conn = self._mp.Pipe()
+            proc = self._mp.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._locks.append(threading.Lock())
+        self._known_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return len(self._procs)
+
+    def supports_solve_groups(self) -> bool:
+        """Whether whole-query (``solve_group``) tasks may be dispatched.
+
+        Sessions only dispatch *hard-leaf* groups (see
+        ``repro.session._is_leaf_group``), whose solves consume the seeded
+        top-level evaluation exclusively -- making them order-independent
+        in principle.  The fork-only gate stays as belt-and-suspenders on
+        spawn platforms (a fresh string-hash seed there changes every
+        internal set/dict order, and no parity suite runs on them); shard
+        evaluation, order-independent by construction (global-tid merge),
+        remains available everywhere.
+        """
+        return self.start_method == "fork"
+
+    # ------------------------------------------------------------------ #
+    # Store bookkeeping (best-effort predictor of worker-resident state)
+    # ------------------------------------------------------------------ #
+    # Mispredictions are safe in both directions: "worker lacks a key it
+    # has" merely re-ships the batch (workers ingest idempotently), and
+    # "worker holds a key it evicted" comes back as a WorkerStoreMiss,
+    # which callers heal with forget() + one retry.
+    def has_key(self, worker: int, namespace: str, key: object) -> bool:
+        """Whether ``worker`` is predicted to hold ``key`` in the named store."""
+        with self._known_lock:
+            known = self._known.get((worker, namespace))
+            return known is not None and key in known
+
+    def remember(self, worker: int, namespace: str, key: object) -> None:
+        """Record that ``worker`` will hold ``key`` (mirroring its eviction)."""
+        with self._known_lock:
+            known = self._known.setdefault((worker, namespace), OrderedDict())
+            if key in known:
+                return
+            known[key] = None
+            bound = MAX_SHARD_ENTRIES if namespace == "shard" else MAX_DB_ENTRIES
+            while len(known) > bound:
+                known.popitem(last=False)
+
+    def forget(self, worker: int, namespace: str, key: object) -> None:
+        """Drop a prediction (the worker reported it no longer holds ``key``)."""
+        with self._known_lock:
+            known = self._known.get((worker, namespace))
+            if known is not None:
+                known.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def run(self, tasks: List[Tuple[int, dict]]) -> List[object]:
+        """Run ``(worker index, payload)`` tasks; results in task order.
+
+        Raises :class:`PoolBrokenError` when a worker died or a pipe broke
+        (stop using the pool), :class:`WorkerTaskError` when a task failed
+        inside a healthy worker (fall back for this call, keep the pool),
+        and :class:`WorkerStoreMiss` when a worker reported evicted state
+        (``forget`` the listed keys and retry once with full payloads).
+        """
+        if self._closed:
+            raise PoolBrokenError("worker pool is closed")
+        results: List[object] = [None] * len(tasks)
+        task_errors: List[str] = []
+        broken: List[str] = []
+        misses: List[Tuple[int, str, object]] = []
+        per_worker: Dict[int, List[Tuple[int, dict]]] = {}
+        for position, (worker, payload) in enumerate(tasks):
+            per_worker.setdefault(worker % self.size, []).append((position, payload))
+
+        def drive(worker: int, items: List[Tuple[int, dict]]) -> None:
+            conn = self._conns[worker]
+            with self._locks[worker]:
+                try:
+                    for position, payload in items:
+                        conn.send(payload)
+                        status, value = conn.recv()
+                        if status == "ok":
+                            results[position] = value
+                        elif status == "miss":
+                            # The worker is fine; it just evicted state the
+                            # parent predicted.  Keep draining this worker's
+                            # queue -- later tasks may not depend on it.
+                            misses.extend(
+                                (worker, namespace, key)
+                                for namespace, key in value
+                            )
+                        else:
+                            task_errors.append(f"worker {worker}: {value}")
+                            return
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    broken.append(f"worker {worker} died: {exc!r}")
+                except Exception as exc:  # e.g. an unpicklable payload
+                    # ``send`` pickles before writing, so the stream is
+                    # intact and the worker stays usable.
+                    task_errors.append(
+                        f"worker {worker} dispatch failed: {exc!r}"
+                    )
+
+        threads = [
+            threading.Thread(target=drive, args=(worker, items), daemon=True)
+            for worker, items in per_worker.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if broken:
+            raise PoolBrokenError("; ".join(broken + task_errors))
+        if task_errors:
+            raise WorkerTaskError("; ".join(task_errors))
+        if misses:
+            raise WorkerStoreMiss(misses)
+        return results
+
+    def clear_caches(self) -> None:
+        """Drop every worker's memoized evaluations and session caches.
+
+        Shard interning tables and worker-resident databases survive (they
+        are keyed state, analogous to the parent's interners); only cached
+        *results* are dropped, mirroring ``EvaluationCache.clear``.
+        """
+        self.run([(worker, {"kind": "clear_caches"}) for worker in range(self.size)])
+
+    def ping(self) -> bool:
+        """Round-trip every worker (used at startup to verify the pool)."""
+        try:
+            replies = self.run([(w, {"kind": "ping"}) for w in range(self.size)])
+        except (WorkerTaskError, PoolBrokenError):
+            return False
+        return all(reply == "pong" for reply in replies)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send({"kind": "shutdown"})
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=0.5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._known.clear()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+def _bounded_insert(store: "OrderedDict", key, value, bound: int) -> None:
+    if key in store:
+        store[key] = value
+        return
+    store[key] = value
+    while len(store) > bound:
+        store.popitem(last=False)
+
+
+def _handle_evaluate_shard(msg: dict, shard_store, eval_cache):
+    """Evaluate one shard of one query, reusing cached interning tables."""
+    from repro.engine.columnar import RelationIndex
+    from repro.parallel.partition import (
+        ShardDatabase,
+        ShardRelation,
+        evaluate_shard,
+    )
+
+    query = msg["query"]
+    order = msg["order"]
+
+    # Ingest freshly shipped batches *before* any cache shortcut, so the
+    # shard store tracks everything the parent believes was delivered; then
+    # resolve every key, reporting evicted ones as a recoverable miss.
+    entries = []
+    missing = []
+    for spec in msg["atoms"]:
+        skey = spec["skey"]
+        entry = shard_store.get(skey)
+        if entry is None and "rows" in spec:
+            relation = ShardRelation(
+                spec["name"], tuple(spec["attributes"]), spec["rows"]
+            )
+            entry = (relation, RelationIndex(relation), spec["tid_map"])
+            _bounded_insert(shard_store, skey, entry, MAX_SHARD_ENTRIES)
+        if entry is None:
+            missing.append(("shard", skey))
+        entries.append(entry)
+    if missing:
+        raise _StoreMiss(missing)
+
+    use_cache = msg.get("use_cache", True)
+    cache_key = (msg["cache_key"], order)
+    if use_cache:
+        cached = eval_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+    relations = []
+    indexes_by_name = {}
+    tid_maps = []
+    for relation, index, tid_map in entries:
+        relations.append(relation)
+        indexes_by_name[relation.name] = index
+        tid_maps.append(tid_map)
+
+    atoms = list(query.atoms)
+    ordered_atoms = [atoms[i] for i in order]
+    result = evaluate_shard(
+        query,
+        ordered_atoms,
+        ShardDatabase(relations),
+        tid_maps,
+        index_for=lambda relation: indexes_by_name[relation.name],
+    )
+    if use_cache:
+        _bounded_insert(eval_cache, cache_key, result, MAX_EVAL_ENTRIES)
+    return result
+
+
+def _handle_solve_group(msg: dict, db_store):
+    """Solve one query group (shared evaluation + one curve, many targets)."""
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+    from repro.engine.columnar import RelationIndex
+    from repro.parallel.partition import ShardRelation
+
+    dbkey = msg["dbkey"]
+    entry = db_store.get(dbkey)
+    if entry is None:
+        from repro.session import Session
+
+        spec = msg.get("database")
+        if spec is None:
+            raise _StoreMiss([("db", dbkey)])
+        relations = []
+        ordered_rows = {}
+        for name, (attributes, rows) in spec.items():
+            rows = [tuple(row) for row in rows]
+            relations.append(Relation(name, attributes, rows))
+            ordered_rows[name] = rows
+        database = Database(relations)
+        session = Session(database)
+        # Seed the interning tables in the parent's interned row order, so
+        # worker-side witness order (and hence greedy tie-breaking) matches
+        # the parent's serial engine exactly.
+        context = session._context
+        for relation in database:
+            view = ShardRelation(
+                relation.name, relation.attributes, ordered_rows[relation.name]
+            )
+            context._interners[relation] = (relation.version, RelationIndex(view))
+        entry = (database, session)
+        _bounded_insert(db_store, dbkey, entry, MAX_DB_ENTRIES)
+    database, session = entry
+
+    query = msg["query"]
+    targets = msg["targets"]
+    solver = msg["solver"]
+    prepared = session.prepare(query)
+    context = session._context
+    joins_before = context.evaluations
+    with session.activate():
+        result = context.evaluate(
+            prepared.query,
+            database,
+            order=prepared.join_order,
+            query_key=prepared.canonical_key,
+        )
+        curve = solver.curve(prepared.query, database, max(targets))
+        solutions = [
+            solver.solve_in_context(
+                prepared.query, database, k, result=result, curve=curve
+            )
+            for k in targets
+        ]
+    return {"solutions": solutions, "joins": context.evaluations - joins_before}
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
+    """The worker loop: one task in, one ``("ok"| "error", value)`` out."""
+    shard_store: "OrderedDict" = OrderedDict()
+    eval_cache: "OrderedDict" = OrderedDict()
+    db_store: "OrderedDict" = OrderedDict()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg.get("kind")
+        if kind == "shutdown":
+            break
+        try:
+            if kind == "evaluate_shard":
+                value = _handle_evaluate_shard(msg, shard_store, eval_cache)
+            elif kind == "solve_group":
+                value = _handle_solve_group(msg, db_store)
+            elif kind == "clear_caches":
+                eval_cache.clear()
+                for _database, session in db_store.values():
+                    session.clear_cache()
+                value = "cleared"
+            elif kind == "ping":
+                value = "pong"
+            else:
+                raise ValueError(f"unknown task kind {kind!r}")
+            conn.send(("ok", value))
+        except _StoreMiss as miss:
+            try:
+                conn.send(("miss", miss.keys))
+            except (OSError, BrokenPipeError):
+                break
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (OSError, BrokenPipeError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+__all__ = [
+    "MAX_DB_ENTRIES",
+    "MAX_EVAL_ENTRIES",
+    "MAX_SHARD_ENTRIES",
+    "PoolBrokenError",
+    "WorkerPool",
+    "WorkerStoreMiss",
+    "WorkerTaskError",
+]

@@ -29,6 +29,32 @@ The legacy free functions (``evaluate``, ``compute_adp``,
 cache helpers) remain available as deprecated shims over the implicit
 :func:`default_session` of each database; see ``docs/MIGRATION.md``.
 
+Thread- and process-safety contract
+-----------------------------------
+* **Context routing** uses a ``contextvars.ContextVar``
+  (:func:`repro.engine.evaluate.use_context`), so concurrent threads (or
+  asyncio tasks) may each run ``with session.activate():`` -- including
+  different sessions in different threads -- without seeing each other's
+  engine context.
+* **Read paths are thread-safe.**  ``prepare`` / ``evaluate`` / ``solve`` /
+  ``solve_many`` / ``curve`` / ``what_if`` may be called from multiple
+  threads on one session: the evaluation cache takes an internal lock, the
+  context's lazy interning builds and the provenance's lazy postings-index
+  builds are lock-guarded, and cached ``QueryResult`` objects are immutable
+  by contract.  (Remaining lazy views such as ``QueryResult.witnesses``
+  tolerate racing builders -- both compute identical values and the last
+  assignment wins.)
+* **Mutation is exclusive.**  ``apply_deletions`` (or any in-place database
+  mutation) must not run concurrently with reads on the same session;
+  relation versions make stale cache reads impossible, but the migration
+  itself assumes a quiescent session.  The parallel subsystem respects this
+  by construction: workers receive immutable row batches and never touch
+  the parent's database.
+* **Worker processes share nothing.**  ``Session(workers=N)`` ships
+  interned column batches to per-shard worker state over pipes; results are
+  merged byte-identically in the parent.  Sessions themselves must not be
+  shared across processes.
+
 Example
 -------
 >>> from repro import Database, Session
@@ -69,12 +95,14 @@ from repro.data.relation import TupleRef
 from repro.engine.cache import canonical_query_key
 from repro.engine.delta import delta_counts, delta_filter_result
 from repro.engine.evaluate import (
+    ENGINE_MODES,
     EngineContext,
     QueryResult,
     default_context,
     join_order_plan,
     use_context,
 )
+from repro.parallel.partition import choose_partition_key
 from repro.query.cq import ConjunctiveQuery
 from repro.query.graph import QueryGraph
 from repro.query.parser import parse_query
@@ -101,6 +129,10 @@ class PreparedQuery:
     join_order:
         The engine's join order over the non-vacuum atoms (passed back to the
         columnar engine so it is never recomputed).
+    partition_key:
+        The attribute the parallel engine would hash-partition this query on
+        (``None`` when nothing is partitionable); recorded here so parallel
+        sessions never re-derive the shard layout per solve.
     is_poly_time:
         ``IsPtime(Q)`` -- whether ``ComputeADP`` returns exact optima.
     is_singleton:
@@ -116,6 +148,7 @@ class PreparedQuery:
         "query",
         "canonical_key",
         "join_order",
+        "partition_key",
         "is_poly_time",
         "is_singleton",
         "universal_attributes",
@@ -130,6 +163,7 @@ class PreparedQuery:
         self.query: ConjunctiveQuery = query
         self.canonical_key = canonical_query_key(query)
         self.join_order: Tuple[int, ...] = join_order_plan(query)
+        self.partition_key: Optional[str] = choose_partition_key(query)
         self.is_poly_time: bool = is_poly_time(query)
         self.is_singleton: bool = is_singleton(query)
         self.universal_attributes: FrozenSet[str] = query.universal_attributes()
@@ -279,6 +313,27 @@ class WhatIfResult:
         return sum(entry.outputs_removed for entry in self.entries.values())
 
 
+def _is_leaf_group(prepared: "PreparedQuery") -> bool:
+    """Whether ``ComputeADP`` solves this query directly on the top-level
+    evaluation (the greedy/drastic NP-hard leaf), with no recursion into
+    derived sub-instances.
+
+    Only such groups may be dispatched to worker processes: the leaf
+    heuristics consume the seeded, byte-identical top-level
+    :class:`QueryResult` exclusively, so their tie-breaking is
+    process-independent.  Recursive cases (Universe / Decompose /
+    Singleton / Boolean) build sub-instances by iterating relation sets,
+    whose iteration order is not reproducible across processes.
+    """
+    return (
+        not prepared.is_poly_time
+        and not prepared.is_singleton
+        and not prepared.universal_attributes
+        and prepared.is_connected
+        and not prepared.is_boolean
+    )
+
+
 def _canonical_key_of(query: QueryLike):
     if isinstance(query, PreparedQuery):
         return query.canonical_key
@@ -298,14 +353,28 @@ class Session:
         relation versions (stale cache entries are never served), but only
         :meth:`apply_deletions` migrates cached results incrementally.
     engine:
-        ``"columnar"`` (default) or ``"row"`` -- per-session engine mode,
-        replacing the deprecated global ``set_engine_mode``.
+        ``"columnar"`` (default), ``"row"`` or ``"parallel"`` -- per-session
+        engine mode, replacing the deprecated global ``set_engine_mode``.
+    workers:
+        Degree of parallelism.  ``workers > 1`` (or ``engine="parallel"``,
+        which defaults to the CPU count) switches the session onto the
+        sharded execution subsystem (:mod:`repro.parallel`): large joins
+        are hash-partitioned across a persistent worker pool and
+        ``solve_many`` dispatches distinct query groups to workers
+        concurrently.  Results are byte-identical to the serial columnar
+        engine; a cost model keeps small inputs on the serial path, so
+        ``workers=1`` (the default) is exactly the previous behaviour.
+    parallel_threshold:
+        Cost-model floor (input tuples in partitioned relations) below
+        which parallel sessions still evaluate serially; defaults to
+        :data:`repro.parallel.partition.MIN_PARTITION_TUPLES`.
     config:
         Default :class:`~repro.core.adp.SolverConfig` for :meth:`solve` /
         :meth:`solve_many` / :meth:`curve`; per-call overrides win.
 
     Sessions are context managers (``with Session(db) as s: ...``);
-    :meth:`close` drops the cache and interning tables.
+    :meth:`close` drops the cache, interning tables and worker pool.  See
+    the module docstring for the thread/process-safety contract.
     """
 
     def __init__(
@@ -313,11 +382,31 @@ class Session:
         database: Database,
         *,
         engine: str = "columnar",
+        workers: int = 1,
+        parallel_threshold: Optional[int] = None,
         config: Optional[SolverConfig] = None,
         _context: Optional[EngineContext] = None,
     ):
         self.database = database
-        self._context = _context if _context is not None else EngineContext(mode=engine)
+        workers = int(workers)
+        if _context is None:
+            if engine not in ENGINE_MODES:
+                raise ValueError(f"unknown engine mode {engine!r}")
+            if engine == "row":
+                if workers > 1:
+                    raise ValueError(
+                        "the row reference engine is serial-only; "
+                        "workers > 1 needs the columnar (or parallel) engine"
+                    )
+                mode = "row"
+            elif engine == "parallel" or workers > 1:
+                mode = "parallel"
+            else:
+                mode = engine  # validated by EngineContext
+            _context = EngineContext(
+                mode=mode, workers=workers, parallel_threshold=parallel_threshold
+            )
+        self._context = _context
         self._config = config or SolverConfig()
         self._prepared: Dict[object, PreparedQuery] = {}
         self._counters = {
@@ -365,8 +454,13 @@ class Session:
     # ------------------------------------------------------------------ #
     @property
     def engine(self) -> str:
-        """The engine this session evaluates with (``columnar`` or ``row``)."""
+        """This session's engine mode (``columnar``, ``row`` or ``parallel``)."""
         return self._context.mode
+
+    @property
+    def workers(self) -> int:
+        """Degree of parallelism (1 unless the engine mode is ``parallel``)."""
+        return self._context.workers if self._context.mode == "parallel" else 1
 
     def set_engine(self, mode: str) -> None:
         """Switch this session's engine, clearing its cache (A/B runs)."""
@@ -423,6 +517,7 @@ class Session:
                 use_cache,
                 order=prepared.join_order,
                 query_key=prepared.canonical_key,
+                partition_key=prepared.partition_key,
             )
 
     def output_size(self, query: QueryLike) -> int:
@@ -472,6 +567,7 @@ class Session:
                 self.database,
                 order=prepared.join_order,
                 query_key=prepared.canonical_key,
+                partition_key=prepared.partition_key,
             )
             return chosen.solve_in_context(
                 prepared.query, self.database, k, result=result
@@ -512,6 +608,21 @@ class Session:
         evaluated once and its :class:`CostCurve` computed once at the
         group's largest ``k``; every smaller target is then read off that
         curve.  Results come back in request order.
+
+        On a parallel session (``workers > 1``) distinct **hard-leaf**
+        query groups -- those ``ComputeADP`` solves directly on the
+        top-level evaluation (NP-hard, connected, non-singleton, no
+        universal attribute, non-boolean) -- are dispatched to the worker
+        pool concurrently; each worker holds the bound database (shipped
+        once per version) with interning tables seeded in the parent's
+        order, so the seeded top-level evaluation and hence the heuristics'
+        tie-breaking match the serial engine exactly.  Groups whose solve
+        recurses into sub-instances (Universe/Decompose/Singleton/Boolean)
+        stay parent-side: sub-instance construction iterates relation
+        *sets*, whose order is process-dependent, so only the leaf path can
+        guarantee serial-identical solutions by construction.  Within one
+        group, a large evaluation is additionally sharded.  Any pool
+        problem silently falls back to the serial path.
         """
         self._check_open()
         request_list = [(self.prepare(query), int(k)) for query, k in requests]
@@ -526,8 +637,23 @@ class Session:
             groups.setdefault(prepared.canonical_key, []).append(position)
 
         solutions: List[Optional[ADPSolution]] = [None] * len(request_list)
+        remaining = groups
+        if self._context.mode == "parallel" and self._context.workers > 1:
+            leaf_groups = {
+                key: positions
+                for key, positions in groups.items()
+                if _is_leaf_group(request_list[positions[0]][0])
+            }
+            if len(leaf_groups) > 1 and self._solve_groups_in_pool(
+                request_list, leaf_groups, chosen, solutions
+            ):
+                remaining = {
+                    key: positions
+                    for key, positions in groups.items()
+                    if key not in leaf_groups
+                }
         with self.activate():
-            for positions in groups.values():
+            for positions in remaining.values():
                 prepared = request_list[positions[0]][0]
                 targets = [request_list[p][1] for p in positions]
                 kmax = max(targets)
@@ -536,6 +662,7 @@ class Session:
                     self.database,
                     order=prepared.join_order,
                     query_key=prepared.canonical_key,
+                    partition_key=prepared.partition_key,
                 )
                 curve = chosen.curve(prepared.query, self.database, kmax)
                 for position, k in zip(positions, targets):
@@ -547,6 +674,95 @@ class Session:
                         curve=curve,
                     )
         return [solution for solution in solutions if solution is not None]
+
+    def _solve_groups_in_pool(
+        self,
+        request_list: List[Tuple[PreparedQuery, int]],
+        groups: Dict[object, List[int]],
+        chosen: ADPSolver,
+        solutions: List[Optional[ADPSolution]],
+    ) -> bool:
+        """Dispatch one ``solve_group`` task per distinct query to the pool.
+
+        Fills ``solutions`` in place and returns ``True`` on success;
+        ``False`` (pool unavailable, worker error, unpicklable payload)
+        means the caller must run the serial path instead.
+
+        Deliberate trade-off: group results (evaluation + curve) are cached
+        **worker-side** only -- shipping packed provenance back through the
+        pipe would usually cost more than the join it saves.  Repeat
+        batches are therefore cheap (the workers hold everything), while a
+        follow-up single-query ``solve``/``what_if`` on the parent
+        re-evaluates there (shard-parallel when large enough) and warms the
+        parent cache on first use.
+        """
+        executor = self._context.executor()
+        pool = executor.pool() if executor is not None else None
+        if pool is None or not pool.supports_solve_groups():
+            return False
+        did = executor.db_id(self.database)
+        if did is None:
+            return False
+        dbkey = (did, self.database.version_token())
+        from repro.parallel.pool import (
+            PoolBrokenError,
+            WorkerStoreMiss,
+            WorkerTaskError,
+        )
+
+        group_items = list(groups.items())
+
+        def build_tasks():
+            tasks = []
+            for index, (_gkey, positions) in enumerate(group_items):
+                worker = index % pool.size
+                prepared = request_list[positions[0]][0]
+                payload = {
+                    "kind": "solve_group",
+                    "dbkey": dbkey,
+                    "query": prepared.query,
+                    "targets": [request_list[p][1] for p in positions],
+                    "solver": chosen,
+                }
+                if not pool.has_key(worker, "db", dbkey):
+                    # Ship rows in this session's interned order, so worker
+                    # witness order (and heuristic tie-breaking) matches the
+                    # serial engine bit for bit.
+                    payload["database"] = {
+                        relation.name: (
+                            relation.attributes,
+                            self._context.interned(relation).rows,
+                        )
+                        for relation in self.database
+                    }
+                    pool.remember(worker, "db", dbkey)
+                tasks.append((worker, payload))
+            return tasks
+
+        try:
+            try:
+                results = pool.run(build_tasks())
+            except WorkerStoreMiss as miss:
+                # A worker evicted its copy of the database: drop the stale
+                # prediction, rebuild (re-shipping the rows) and retry once.
+                for worker, namespace, key in miss.misses:
+                    pool.forget(worker, namespace, key)
+                results = pool.run(build_tasks())
+        except PoolBrokenError:
+            executor.mark_pool_failed()
+            return False
+        except (WorkerTaskError, WorkerStoreMiss):
+            # A task failed inside a healthy worker -- e.g. an infeasible
+            # target raised by the solver, or an unpicklable payload (the
+            # pipe pickles inside WorkerPool.run, surfacing those as
+            # WorkerTaskError too).  Re-run serially so the real exception
+            # surfaces to the caller -- and keep the pool.
+            return False
+        for (_gkey, positions), outcome in zip(group_items, results):
+            self._context.evaluations += outcome["joins"]
+            for position, solution in zip(positions, outcome["solutions"]):
+                solutions[position] = solution
+        return True
 
     def curve(
         self,
@@ -574,6 +790,7 @@ class Session:
                 self.database,
                 order=prepared.join_order,
                 query_key=prepared.canonical_key,
+                partition_key=prepared.partition_key,
             )
             return chosen.curve(prepared.query, self.database, kmax)
 
@@ -617,6 +834,7 @@ class Session:
                     self.database,
                     order=prepared.join_order,
                     query_key=prepared.canonical_key,
+                    partition_key=prepared.partition_key,
                 )
                 entries[prepared] = WhatIfEntry(prepared, before, frozen)
         return WhatIfResult(frozen, entries)
@@ -638,9 +856,11 @@ class Session:
         old_token = self.database.version_token()
         removed = self.database.remove_tuples(ref_list)
         new_token = self.database.version_token()
-        for (query_key, token), result in snapshot.items():
+        for (query_key, token, layout), result in snapshot.items():
             if token != old_token:
                 continue  # already stale before the deletion
+            if layout is not None:
+                continue  # shard payloads are re-partitioned, not migrated
             migrated = (
                 result if removed == 0 else delta_filter_result(result, ref_list)
             )
@@ -652,9 +872,17 @@ class Session:
     # Introspection
     # ------------------------------------------------------------------ #
     def clear_cache(self) -> None:
-        """Drop this session's memoized evaluation results."""
+        """Drop this session's memoized evaluation results.
+
+        On a parallel session this also clears the caches held by live
+        workers (their interning tables and resident databases survive), so
+        a cleared session genuinely re-evaluates everywhere.
+        """
         self._check_open()
         self._context.cache.clear()
+        executor = self._context._executor
+        if executor is not None:
+            executor.clear_worker_caches()
 
     @property
     def stats(self) -> SessionStats:

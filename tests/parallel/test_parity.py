@@ -1,0 +1,198 @@
+"""Property tests: partitioned execution == serial columnar, byte for byte.
+
+The merge contract is stronger than witness-*set* equality: the recombined
+:class:`QueryResult` must match the serial engine's output row order,
+witness order, packed ``tid`` columns and interning tables exactly, so that
+every provenance consumer (greedy tie-breaking included) is oblivious to
+how many shards produced the result.  These tests pin that down across
+K ∈ {1, 2, 4, 7} shards on the zipf and TPC-H workloads and on seeded
+random query/instance pairs, running the real executor with the pool
+disabled (the inline path executes the identical shard/merge code the
+workers run).
+"""
+
+import random
+
+import pytest
+
+from repro.data.relation import TupleRef
+from repro.engine.evaluate import EngineContext, evaluate_columnar
+from repro.query.parser import parse_query
+from repro.workloads.queries import Q1, Q5, Q6, QPATH_EXP
+from repro.workloads.tpch import generate_tpch
+from repro.workloads.zipf import generate_zipf_path
+
+from tests.conftest import random_instance, random_query
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def parallel_context(shards: int) -> EngineContext:
+    """A parallel context forced onto the inline (pool-less) shard path.
+
+    The context and executor both coerce ``workers`` up to at least 2 (a
+    parallel engine with one worker is pointless in production), so the
+    exact shard count under test is pinned *after* construction -- this
+    keeps the K parametrization machine-independent, and makes K=1
+    exercise the documented degenerate case: the cost model declines a
+    single shard and the evaluation falls back to the serial join.
+    """
+    context = EngineContext(mode="parallel", workers=shards, parallel_threshold=0)
+    executor = context.executor()
+    executor._pool_failed = True
+    executor.workers = shards
+    context.workers = shards
+    return context
+
+
+def assert_byte_identical(serial, parallel):
+    """Every observable component of the two results matches exactly."""
+    assert parallel.output_rows == serial.output_rows
+    assert parallel.witness_outputs == serial.witness_outputs
+    assert parallel.output_index == serial.output_index
+    sp, pp = serial.provenance, parallel.provenance
+    assert pp.atom_names == sp.atom_names
+    assert pp.ref_columns == sp.ref_columns
+    assert pp.output_rows == sp.output_rows
+    assert pp.witness_outputs == sp.witness_outputs
+    assert [index.rows for index in pp.indexes] == [index.rows for index in sp.indexes]
+    assert [w.refs for w in parallel.witnesses] == [w.refs for w in serial.witnesses]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("alpha", [0.0, 1.0])
+def test_zipf_parity(shards, alpha):
+    database = generate_zipf_path(r2_tuples=150, alpha=alpha, seed=13)
+    for query in (QPATH_EXP, Q6):
+        serial = evaluate_columnar(query, database)
+        context = parallel_context(shards)
+        result = context.evaluate(query, database)
+        assert result.provenance is not None
+        assert_byte_identical(serial, result)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_tpch_parity(shards):
+    database = generate_tpch(total_tuples=150, seed=7)
+    sub = parse_query("QA(NK, SK, PK) :- Supplier(NK, SK), PartSupp(SK, PK)")
+    for query in (Q1, sub):
+        serial = evaluate_columnar(query, database)
+        context = parallel_context(shards)
+        assert_byte_identical(serial, context.evaluate(query, database))
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_star_and_boolean_and_empty_parity(shards):
+    database = generate_zipf_path(r2_tuples=120, alpha=0.5, seed=5)
+    boolean = parse_query("Qb() :- R1(A), R2(A, B)")
+    serial = evaluate_columnar(boolean, database)
+    assert_byte_identical(serial, parallel_context(shards).evaluate(boolean, database))
+
+    # An empty join (no R2 edge matches a fresh A value) merges to the
+    # serial empty-result shape.
+    empty_db = generate_zipf_path(r2_tuples=60, alpha=0.0, seed=3)
+    empty_db.relation("R2").clear()
+    serial_empty = evaluate_columnar(QPATH_EXP, empty_db)
+    parallel_empty = parallel_context(shards).evaluate(QPATH_EXP, empty_db)
+    assert parallel_empty.output_rows == serial_empty.output_rows == []
+    assert parallel_empty.witness_count() == 0
+    assert parallel_empty.provenance.ref_columns == serial_empty.provenance.ref_columns
+
+    # Q5: universal non-output attribute, all three relations partitioned.
+    star_db = random_instance(Q5, random.Random(11), max_tuples_per_relation=30,
+                              domain_size=6)
+    serial_star = evaluate_columnar(Q5, star_db)
+    assert_byte_identical(
+        serial_star, parallel_context(shards).evaluate(Q5, star_db)
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_query_parity(seed):
+    rng = random.Random(seed)
+    query = random_query(rng, max_relations=3, max_attributes=3)
+    database = random_instance(query, rng, max_tuples_per_relation=6, domain_size=3)
+    serial = evaluate_columnar(query, database)
+    for shards in (2, 7):
+        context = parallel_context(shards)
+        result = context.evaluate(query, database)
+        if result.provenance is None or serial.provenance is None:
+            continue
+        assert_byte_identical(serial, result)
+
+
+def test_parallel_result_supports_delta_semijoin():
+    """Downstream consumers (what-if deltas) see no difference."""
+    from repro.engine.delta import delta_counts
+
+    database = generate_zipf_path(r2_tuples=150, alpha=0.5, seed=13)
+    serial = evaluate_columnar(QPATH_EXP, database)
+    result = parallel_context(4).evaluate(QPATH_EXP, database)
+    refs = sorted(result.participating_refs(), key=repr)[:8]
+    assert delta_counts(result, refs) == delta_counts(serial, refs)
+    assert result.outputs_removed_by(refs) == serial.outputs_removed_by(refs)
+    assert result.outputs_removed_by([TupleRef("R2", ("nope", "nope"))]) == 0
+
+
+def test_use_cache_false_bypasses_shard_memoization():
+    """``use_cache=False`` must not read or write shard-layout entries."""
+    database = generate_zipf_path(r2_tuples=150, alpha=0.0, seed=13)
+    context = parallel_context(4)
+    first = context.evaluate(QPATH_EXP, database, use_cache=False)
+    second = context.evaluate(QPATH_EXP, database, use_cache=False)
+    assert second is not first  # genuinely re-evaluated
+    assert second.witness_outputs == first.witness_outputs
+    assert context.cache.stats() == (0, 0)  # nothing read or written
+    assert database not in context.cache._per_database
+
+
+def test_inline_shard_results_cached_under_layout_keys():
+    """The inline fallback memoizes shards under the shard-layout component."""
+    database = generate_zipf_path(r2_tuples=150, alpha=0.0, seed=13)
+    context = parallel_context(4)
+    first = context.evaluate(QPATH_EXP, database)
+    hits_before = context.cache.hits
+    again = context.evaluate(QPATH_EXP, database)
+    assert again is first  # canonical full result served from the cache
+    assert context.cache.hits == hits_before + 1
+    # Bypass the full-result cache: the per-shard layout entries serve the
+    # re-merge without re-joining any shard.
+    fresh = context.executor().evaluate(context, QPATH_EXP, database)
+    assert fresh is not first
+    assert fresh.witness_outputs == first.witness_outputs
+    assert fresh.provenance.ref_columns == first.provenance.ref_columns
+    from repro.engine.evaluate import join_order_plan
+
+    order = join_order_plan(QPATH_EXP)
+    names = tuple(QPATH_EXP.atoms[i].name for i in order)
+    layouts = {
+        key[2]
+        for key in context.cache._per_database[database]
+        if key[2] is not None
+    }
+    assert layouts == {("shard", "A", 4, names, s) for s in range(4)}
+
+
+def test_canonically_equal_queries_do_not_cross_serve_shards():
+    """Same canonical key, different atom order: distinct shard payloads.
+
+    The canonical cache key treats the body as a set, so ``R1(A), R2(A,B)``
+    and ``R2(A,B), R1(A)`` share it -- but their shard payloads carry
+    columns in *their own* join order.  The layout keys on the ordered
+    relation names (an order-index tuple would be ambiguous: both queries
+    plan as ``(0, 1)`` over their own atom lists), so neither the inline
+    cache nor the worker-side cache may serve one query's payload to the
+    other.
+    """
+    database = generate_zipf_path(r2_tuples=150, alpha=0.0, seed=13)
+    q_ab = parse_query("Q(A, B) :- R1(A), R2(A, B)")
+    q_ba = parse_query("Q(A, B) :- R2(A, B), R1(A)")
+    from repro.engine.cache import canonical_query_key
+
+    assert canonical_query_key(q_ab) == canonical_query_key(q_ba)
+    context = parallel_context(4)
+    executor = context.executor()
+    first = executor.evaluate(context, q_ab, database)
+    second = executor.evaluate(context, q_ba, database)
+    assert_byte_identical(evaluate_columnar(q_ab, database), first)
+    assert_byte_identical(evaluate_columnar(q_ba, database), second)

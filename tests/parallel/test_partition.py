@@ -1,0 +1,154 @@
+"""Partition-key choice, shard layout invariants and the cost model."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.engine.columnar import RelationIndex
+from repro.parallel.partition import (
+    PartitionPlan,
+    choose_partition_key,
+    partition_hash,
+    partition_index,
+    partition_plan,
+    shard_of,
+)
+from repro.query.parser import parse_query
+from repro.session import PreparedQuery
+from repro.workloads.queries import Q1, Q5, Q6, Q7, QPATH_EXP
+
+
+def test_universal_attribute_preferred_head_first():
+    # Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E): E is universal but not output.
+    assert choose_partition_key(Q5) == "E"
+    # Q7 has universal output attributes A, B, C; head order wins.
+    assert choose_partition_key(Q7) == "A"
+    # Q6(A,B) :- R1(A), R2(A,B): A universal and in the head.
+    assert choose_partition_key(Q6) == "A"
+
+
+def test_coverage_fallback_when_no_universal_attribute():
+    # Qpath: A covers R1+R2, B covers R2+R3; alphabetical tie-break -> A.
+    assert choose_partition_key(QPATH_EXP) == "A"
+    # Q1 chain: SK and PK both cover two atoms; PK < SK alphabetically.
+    assert choose_partition_key(Q1) == "PK"
+
+
+def test_single_atom_and_vacuum_queries():
+    single = parse_query("Q(A) :- R(A, B)")
+    assert choose_partition_key(single) == "A"
+    vacuum = parse_query("Q() :- G()")
+    assert choose_partition_key(vacuum) is None
+
+
+def test_prepared_query_records_partition_key():
+    prepared = PreparedQuery(QPATH_EXP)
+    assert prepared.partition_key == "A"
+    assert PreparedQuery("Q() :- G()").partition_key is None
+
+
+def test_partition_hash_is_deterministic_within_a_run():
+    assert partition_hash("x7") == partition_hash("x7")
+    assert partition_hash(42) == partition_hash(42)
+    values = [("a", 1), "b", 3, 4.5]
+    assert [shard_of(v, 4) for v in values] == [shard_of(v, 4) for v in values]
+
+
+def test_partition_hash_respects_equality_across_types():
+    """The serial join matches by ``==``, so shard routing must too.
+
+    ``1 == 1.0 == True`` and ``0.0 == -0.0``: a repr-based hash would send
+    these to different shards and silently drop their join matches.
+    """
+    for shards in (2, 3, 7):
+        assert shard_of(1, shards) == shard_of(1.0, shards) == shard_of(True, shards)
+        assert shard_of(0.0, shards) == shard_of(-0.0, shards)
+        assert shard_of(2**61 - 1 + 0.0, shards) == shard_of(int(2**61 - 1 + 0.0), shards)
+
+
+def test_mixed_type_join_keys_survive_partitioning():
+    """Regression: int-typed R rows joining float-typed S rows, all shards."""
+    from repro.engine.evaluate import evaluate_columnar
+    from repro.session import Session
+
+    db = Database.from_dict(
+        {"R": ["A"], "S": ["A", "B"]},
+        {
+            "R": [(i,) for i in range(60)],
+            "S": [(float(i), i * 10) for i in range(60)],
+        },
+    )
+    query = parse_query("Qmix(A, B) :- R(A), S(A, B)")
+    serial = evaluate_columnar(query, db)
+    assert serial.witness_count() == 60
+    with Session(db, workers=2, parallel_threshold=0) as session:
+        result = session.evaluate(query)
+        assert result.witness_count() == 60
+        assert result.output_rows == serial.output_rows
+        assert result.provenance.ref_columns == serial.provenance.ref_columns
+
+
+def test_partition_index_partitions_disjointly_and_preserves_order():
+    db = Database.from_dict(
+        {"R": ["A", "B"]},
+        {"R": [(i, i * 10) for i in range(50)]},
+    )
+    index = RelationIndex(db.relation("R"))
+    buckets = partition_index(index, "A", 4)
+    seen = []
+    for rows, tid_map in buckets:
+        assert len(rows) == len(tid_map)
+        # tid maps are strictly increasing: the merge's order guarantee.
+        assert tid_map == sorted(tid_map)
+        assert rows == [index.rows[tid] for tid in tid_map]
+        seen.extend(tid_map)
+    assert sorted(seen) == list(range(len(index.rows)))
+    # Routing is by the key attribute's stable hash.
+    for shard, (rows, _tid_map) in enumerate(buckets):
+        position = index.attributes.index("A")
+        assert all(shard_of(row[position], 4) == shard for row in rows)
+
+
+def test_partition_plan_classifies_partitioned_vs_broadcast():
+    db = Database.from_dict(
+        {"R1": ["A"], "R2": ["A", "B"], "R3": ["B"]},
+        {
+            "R1": [(i,) for i in range(10)],
+            "R2": [(i, i) for i in range(20)],
+            "R3": [(i,) for i in range(5)],
+        },
+    )
+    plan = partition_plan(QPATH_EXP, db, 4)
+    assert plan is not None
+    assert plan.key == "A"
+    assert plan.partitioned == ("R1", "R2")
+    assert plan.broadcast == ("R3",)
+    assert plan.partitioned_tuples == 30
+    assert plan.broadcast_tuples == 5
+
+
+def test_plan_is_none_for_vacuum_queries():
+    vacuum = parse_query("Q(A) :- R(A), G()")
+    db = Database.from_dict({"R": ["A"], "G": []}, {"R": [(1,)], "G": [()]})
+    assert partition_plan(vacuum, db, 4) is None
+
+
+@pytest.mark.parametrize(
+    "partitioned,broadcast,shards,threshold,expected",
+    [
+        (1000, 0, 4, 512, True),
+        (100, 0, 4, 512, False),  # below the floor
+        (1000, 0, 1, 512, False),  # a single shard is just serial + overhead
+        (600, 900, 4, 512, False),  # broadcasting would dominate
+        (600, 600, 4, 512, True),  # boundary: equal split still allowed
+    ],
+)
+def test_cost_model(partitioned, broadcast, shards, threshold, expected):
+    plan = PartitionPlan(
+        key="A",
+        shards=shards,
+        partitioned=("R1",),
+        broadcast=("R2",) if broadcast else (),
+        partitioned_tuples=partitioned,
+        broadcast_tuples=broadcast,
+    )
+    assert plan.worthwhile(threshold) is expected

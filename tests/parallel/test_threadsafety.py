@@ -1,0 +1,90 @@
+"""Concurrency bugfix tests: contextvar routing, lazy-build locks.
+
+The satellite contract (documented in ``repro.session``): read paths on one
+session are thread-safe -- the engine-context routing is per-thread via a
+``ContextVar``, the interning tables and the delta postings index guard
+their lazy builds with locks, and cache operations are internally locked.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.evaluate import EngineContext, active_context, use_context
+from repro.session import Session
+from repro.workloads.queries import QPATH_EXP
+from repro.workloads.zipf import generate_zipf_path
+
+
+def test_contextvar_routing_is_per_thread():
+    """Two threads activating different contexts never see each other's."""
+    first = EngineContext()
+    second = EngineContext()
+    barrier = threading.Barrier(2)
+    observed = {}
+
+    def run(name, context):
+        with use_context(context):
+            barrier.wait()  # both threads are inside their own scope now
+            observed[name] = active_context()
+            barrier.wait()
+
+    threads = [
+        threading.Thread(target=run, args=("first", first)),
+        threading.Thread(target=run, args=("second", second)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert observed["first"] is first
+    assert observed["second"] is second
+    assert active_context() is None
+
+
+def test_concurrent_what_if_shares_one_postings_index():
+    """Racing what_if callers agree on counts and build one postings index."""
+    database = generate_zipf_path(r2_tuples=200, alpha=0.5, seed=13)
+    with Session(database) as session:
+        result = session.evaluate(QPATH_EXP)
+        refs = sorted(result.participating_refs(), key=repr)[:10]
+        expected = (
+            session.what_if(refs, QPATH_EXP).single.outputs_removed,
+            session.what_if(refs, QPATH_EXP).single.witnesses_removed,
+        )
+        # Drop the lazily-built postings so the threads race the build.
+        provenance = result.provenance
+        provenance._postings = [None] * provenance.atom_count()
+
+        def probe(_):
+            entry = session.what_if(refs, QPATH_EXP).single
+            return (entry.outputs_removed, entry.witnesses_removed)
+
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            outcomes = list(executor.map(probe, range(32)))
+        assert all(outcome == expected for outcome in outcomes)
+        postings = [provenance.postings_for_atom(a) for a in range(provenance.atom_count())]
+        # The build ran under the lock: later calls return the same objects.
+        assert [
+            provenance.postings_for_atom(a) for a in range(provenance.atom_count())
+        ] == postings
+
+
+def test_concurrent_evaluate_shares_one_interning_pass():
+    """Threads racing a cold evaluate get one result and one interner set."""
+    database = generate_zipf_path(r2_tuples=200, alpha=0.0, seed=7)
+    with Session(database) as session:
+        barrier = threading.Barrier(6)
+        results = []
+
+        def evaluate(_):
+            barrier.wait()
+            return session.evaluate(QPATH_EXP)
+
+        with ThreadPoolExecutor(max_workers=6) as executor:
+            results = list(executor.map(evaluate, range(6)))
+        first = results[0]
+        assert all(r.witness_outputs == first.witness_outputs for r in results)
+        context = session._context
+        for relation in database:
+            index = context.interned(relation)
+            assert context.interned(relation) is index
