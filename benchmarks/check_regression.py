@@ -16,21 +16,31 @@ fails when::
 
     now > THRESHOLD * baseline * (calibration_now / calibration_baseline)
 
+Besides the pass/fail guard, ``--record`` appends the run (timestamps,
+calibration, per-method seconds, interpreter + NumPy versions) to the
+committed trajectory file ``benchmarks/BENCH_fig12.json``; CI records one
+entry per run and uploads the file as a workflow artifact, so the perf
+history accumulates instead of evaporating with each runner.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py          # check
     PYTHONPATH=src python benchmarks/check_regression.py --update # re-baseline
+    PYTHONPATH=src python benchmarks/check_regression.py --record # + trajectory
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline_fig12.json"
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_fig12.json"
 
 #: Allowed slowdown vs (calibration-scaled) baseline before the check fails.
 THRESHOLD = 2.0
@@ -42,6 +52,12 @@ RATIO = 0.1
 #: enough that the guard stays a smoke test.
 PARALLEL_SIZE = 800
 PARALLEL_WORKERS = 2
+
+#: The array-backend probe: a mid-scale NP-hard projection workload (zipf
+#: path family) where the vectorized kernels are engaged, guarding the
+#: NumPy solve path itself (and, in the trajectory, the python/numpy gap).
+BACKEND_R2_TUPLES = 8_000
+BACKEND_RATIO = 0.1
 
 
 def calibrate() -> float:
@@ -134,7 +150,58 @@ def measure() -> dict:
             parallel_session.solve_many(batch, heuristic="greedy")
 
         timings["parallel_batch_w2"] = best_of(parallel_batch)
+
+    # Array-backend probe: fresh greedy solve per backend (numpy entry is
+    # absent when NumPy is not installed; absent methods are simply not
+    # compared against the baseline).
+    from repro.engine.backend import numpy_available
+    from repro.workloads.zipf import generate_zipf_path
+
+    qhard = parse_query("Qhard(A) :- R1(A), R2(A, B), R3(B)")
+    backend_db = generate_zipf_path(
+        r2_tuples=BACKEND_R2_TUPLES, alpha=1.1, seed=13
+    )
+    with Session(backend_db, backend="python") as sizing:
+        with sizing.activate():
+            backend_k = target_from_ratio(qhard, backend_db, BACKEND_RATIO)
+    backends = ["python"] + (["numpy"] if numpy_available() else [])
+    for backend in backends:
+
+        def backend_solve(backend=backend):
+            with Session(backend_db, backend=backend) as session:
+                session.solve(qhard, backend_k, heuristic="greedy")
+
+        timings[f"backend_solve_{backend}"] = best_of(backend_solve, repeats=2)
     return timings
+
+
+def record_trajectory(path: Path, calibration: float, timings: dict) -> None:
+    """Append one run to the committed perf-trajectory JSON."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+    else:
+        trajectory = {
+            "workload": f"tpch[{SMALL_SIZE}] Q1 ratio={RATIO} (Figure 12) "
+            f"+ zipf[{BACKEND_R2_TUPLES}] backend probe",
+            "runs": [],
+        }
+    trajectory["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+            "calibration_seconds": round(calibration, 6),
+            "methods": {k: round(v, 6) for k, v in timings.items()},
+        }
+    )
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"trajectory entry appended to {path} ({len(trajectory['runs'])} runs)")
 
 
 def main(argv=None) -> int:
@@ -142,10 +209,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline JSON"
     )
+    parser.add_argument(
+        "--record",
+        nargs="?",
+        const=str(TRAJECTORY_PATH),
+        default=None,
+        metavar="PATH",
+        help="append this run to the perf-trajectory JSON "
+        f"(default: {TRAJECTORY_PATH.name})",
+    )
     args = parser.parse_args(argv)
 
     calibration = calibrate()
     timings = measure()
+
+    if args.record:
+        record_trajectory(Path(args.record), calibration, timings)
 
     if args.update:
         BASELINE_PATH.write_text(

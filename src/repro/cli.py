@@ -93,6 +93,14 @@ def _add_solve_parser(subparsers) -> None:
         "N > 1 implies --engine parallel)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="array backend for the columnar kernels: auto (default; NumPy "
+        "when installed), python (pure-Python fallback) or numpy (require "
+        "NumPy).  Results are byte-identical across backends",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit a machine-readable JSON summary instead of text",
@@ -142,6 +150,7 @@ def _solution_payload(session, prepared, total, solution) -> dict:
         "query": str(prepared.query),
         "classification": prepared.classification,
         "engine": session.engine,
+        "backend": session.backend,
         "workers": session.workers,
         "output_size": total,
         "k": solution.k if solution else 0,
@@ -167,7 +176,9 @@ def _run_solve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    session = Session(database, engine=args.engine, workers=args.workers)
+    session = Session(
+        database, engine=args.engine, workers=args.workers, backend=args.backend
+    )
     prepared = session.prepare(query)
     total = session.output_size(prepared)
     if total == 0:

@@ -43,6 +43,7 @@ from repro.core.curves import MinCurve, PrefixCurve
 from repro.core.structures import endogenous_relations
 from repro.data.database import Database
 from repro.data.relation import TupleRef
+from repro.engine.backend import backend_of_column
 from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.engine.provenance import ProvenanceIndex
 from repro.query.cq import ConjunctiveQuery
@@ -89,31 +90,68 @@ def greedy_curve(
     picks: List[Tuple[Tuple[TupleRef, ...], int]] = []
     pending: List[TupleRef] = []
     removed_outputs = 0
+    batch_profits = False
     while removed_outputs < target:
         best_rid = -1
         best_profit = -1
         best_gain = -1
         exhausted: Optional[List[int]] = None
-        for rid in candidates:
-            gain = index.witness_gain_id(rid)
-            if gain == 0:
-                # All witnesses of this tuple are already dead (in particular
-                # every previously picked tuple): it can never make progress
-                # again, so drop it from future scans.
-                if exhausted is None:
-                    exhausted = []
-                exhausted.append(rid)
-                continue
-            # profit <= witness gain, so a candidate whose gain cannot beat
-            # the incumbent key (profit, gain) cannot be selected: skip the
-            # profit computation.  This never changes the picked tuple.
-            if gain < best_profit or (gain == best_profit and gain <= best_gain):
-                continue
-            profit = index.profit_id(rid)
-            if profit > best_profit or (profit == best_profit and gain > best_gain):
-                best_profit = profit
-                best_gain = gain
-                best_rid = rid
+        # One batched gather per round (a NumPy `take` on the vectorized
+        # index) instead of one scalar witness_gain_id call per candidate.
+        gains = index.gains_for(candidates)
+        profit_calls = 0
+        profits = index.profits_for(candidates) if batch_profits else None
+        if profits is not None:
+            # Batched scan: profits for every candidate were computed in one
+            # group-by; the pick is the earliest candidate maximizing
+            # (profit, gain) -- exactly what the pruned scan selects.
+            for position, rid in enumerate(candidates):
+                gain = gains[position]
+                if gain == 0:
+                    if exhausted is None:
+                        exhausted = []
+                    exhausted.append(rid)
+                    continue
+                profit = profits[position]
+                if profit > best_profit or (
+                    profit == best_profit and gain > best_gain
+                ):
+                    best_profit = profit
+                    best_gain = gain
+                    best_rid = rid
+        else:
+            for rid, gain in zip(candidates, gains):
+                if gain == 0:
+                    # All witnesses of this tuple are already dead (in
+                    # particular every previously picked tuple): it can never
+                    # make progress again, so drop it from future scans.
+                    if exhausted is None:
+                        exhausted = []
+                    exhausted.append(rid)
+                    continue
+                # profit <= witness gain, so a candidate whose gain cannot
+                # beat the incumbent key (profit, gain) cannot be selected:
+                # skip the profit computation.  This never changes the picked
+                # tuple.
+                if gain < best_profit or (
+                    gain == best_profit and gain <= best_gain
+                ):
+                    continue
+                profit = index.profit_id(rid)
+                profit_calls += 1
+                if profit > best_profit or (
+                    profit == best_profit and gain > best_gain
+                ):
+                    best_profit = profit
+                    best_gain = gain
+                    best_rid = rid
+            # Projections blunt the witness-gain pruning bound (gains stay
+            # large while profits collapse), degenerating the scan into one
+            # profit query per candidate per round; from the round where
+            # that happens, a single batched group-by is cheaper.  Both
+            # scans pick the same tuple, so the curve is unchanged.
+            if profit_calls > max(256, len(candidates) // 4):
+                batch_profits = True
         if exhausted:
             dead = set(exhausted)
             candidates = [rid for rid in candidates if rid not in dead]
@@ -159,14 +197,25 @@ def drastic_curve(
     profits: Dict[str, Dict[TupleRef, int]] = {}
     prov = result.provenance
     if prov is not None:
-        # Count occurrences per packed column: one dict of tids per atom.
+        # Per-atom profit histogram through the backend's bincount kernel
+        # (np.bincount over the packed tid column; a C-speed list
+        # accumulation on the Python backend) -- no per-witness dict churn.
         for position, name in enumerate(prov.atom_names):
-            counts: Dict[int, int] = {}
-            get = counts.get
-            for tid in prov.ref_columns[position]:
-                counts[tid] = get(tid, 0) + 1
+            column = prov.ref_columns[position]
+            backend = backend_of_column(column)
+            counts = backend.bincount(column, len(prov.indexes[position]))
             view = prov.refs_for_atom(position)
-            profits[name] = {view[tid]: count for tid, count in counts.items()}
+            if backend.is_numpy:
+                nonzero = backend.np.nonzero(counts)[0]
+                profits[name] = {
+                    view[tid]: int(counts[tid]) for tid in nonzero.tolist()
+                }
+            else:
+                profits[name] = {
+                    view[tid]: count
+                    for tid, count in enumerate(counts)
+                    if count
+                }
         witness_count = prov.witness_count()
         for vacuum_ref in prov.vacuum_refs:
             profits[vacuum_ref.relation] = {vacuum_ref: witness_count}

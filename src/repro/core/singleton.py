@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.curves import PrefixCurve
 from repro.data.database import Database
 from repro.data.relation import TupleRef
+from repro.engine.columnar import distinct_ids
 from repro.engine.evaluate import evaluate_in_context as evaluate
 from repro.query.cq import ConjunctiveQuery
 
@@ -104,7 +105,7 @@ def singleton_curve(query: ConjunctiveQuery, database: Database) -> PrefixCurve:
         atom_position = prov.atom_position(relation_name)
         assert atom_position is not None  # singleton relations are non-vacuum
         view = prov.refs_for_atom(atom_position)
-        for tid in set(prov.ref_columns[atom_position]):
+        for tid in distinct_ids(prov.ref_columns[atom_position]):
             ref = view[tid]
             key = tuple(ref.values[i] for i in positions)
             groups.setdefault(key, []).append(ref)

@@ -25,9 +25,17 @@ substrate built from scratch:
 * :mod:`repro.engine.flow` -- max-flow / min-cut (Edmonds--Karp) used by the
   Boolean (resilience) base case of ``ComputeADP``;
 * :mod:`repro.engine.setcover` -- partial set cover (greedy and primal-dual)
-  used by the approximation algorithms for full CQs.
+  used by the approximation algorithms for full CQs;
+* :mod:`repro.engine.backend` -- the array backends: pure-Python kernels
+  (always available, the parity oracle) and the optional vectorized NumPy
+  kernels selected via ``Session(backend="auto"|"python"|"numpy")``.
 """
 
+from repro.engine.backend import (
+    numpy_available,
+    python_backend,
+    resolve_backend,
+)
 from repro.engine.cache import EvaluationCache
 from repro.engine.columnar import ColumnarProvenance, RelationIndex
 from repro.engine.delta import delta_filter_provenance, delta_filter_result
@@ -85,4 +93,7 @@ __all__ = [
     "greedy_partial_cover",
     "primal_dual_partial_cover",
     "sets_from_packed_provenance",
+    "numpy_available",
+    "python_backend",
+    "resolve_backend",
 ]

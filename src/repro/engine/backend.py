@@ -1,0 +1,268 @@
+"""Array-backend selection for the columnar engine.
+
+The columnar rewrite removed per-row object allocation, but every hot kernel
+(the build/probe join, provenance bookkeeping, profit scans, delta semijoins,
+shard split/merge) still walked plain Python lists one element at a time.
+This module introduces the *array backend* abstraction that lets those
+kernels run over dense ``int64`` NumPy arrays instead:
+
+* :class:`PythonBackend` -- the existing pure-Python kernels, always
+  available.  It remains the **parity oracle**: every NumPy kernel must
+  produce byte-identical results (same witness order, same tie-breaking,
+  same packed layout).
+* :class:`NumpyBackend` -- vectorized kernels over ``numpy.int64`` ID
+  columns and ``dtype=object`` value columns.  Value columns keep the
+  original Python objects, so output rows, ``TupleRef`` contents and every
+  ``repr``-based tie-break are bit-for-bit unchanged.
+
+NumPy is an **optional** dependency (the ``fast`` extra): when it is not
+importable -- or disabled via the ``REPRO_NO_NUMPY`` environment variable,
+which the test-suite uses to exercise the fallback on machines that do have
+NumPy -- ``"auto"`` silently resolves to the Python backend, while an
+explicit ``"numpy"`` request raises.
+
+Selection happens once, at :class:`~repro.session.Session` (or
+:class:`~repro.engine.evaluate.EngineContext`) construction:
+``Session(db, backend="numpy"|"python"|"auto")``.  Consumers downstream of
+the join do not carry a backend handle around; they dispatch on the column
+type via :func:`is_ndarray` / :func:`backend_of_column`, so a provenance
+payload always gets the kernels matching its own representation (mixed
+pipelines -- e.g. a NumPy evaluation feeding a hand-built row result --
+just work).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Resolved lazily so the module imports cleanly without NumPy and so tests
+#: can monkeypatch it to exercise the fallback.
+_np = None
+_NUMPY_CHECKED = False
+
+
+def _load_numpy():
+    """Import NumPy once, honouring the ``REPRO_NO_NUMPY`` kill switch."""
+    global _np, _NUMPY_CHECKED
+    if _NUMPY_CHECKED:
+        return _np
+    _NUMPY_CHECKED = True
+    if os.environ.get("REPRO_NO_NUMPY", "").strip().lower() in ("1", "true", "yes"):
+        _np = None
+        return _np
+    try:
+        import numpy
+    except ImportError:
+        _np = None
+    else:
+        _np = numpy
+    return _np
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy backend can be constructed in this interpreter."""
+    return _load_numpy() is not None
+
+
+class PythonBackend:
+    """Pure-Python kernels over plain lists (always available; parity oracle)."""
+
+    name = "python"
+    is_numpy = False
+
+    # -- column constructors ------------------------------------------------ #
+    def id_range(self, n: int) -> List[int]:
+        return list(range(n))
+
+    def empty_ids(self) -> List[int]:
+        return []
+
+    def id_column(self, values: Sequence[int]) -> List[int]:
+        return list(values)
+
+    def object_column(self, values: Sequence[object]) -> List[object]:
+        return list(values)
+
+    # -- gathers ------------------------------------------------------------ #
+    def take(self, column, selection) -> List[object]:
+        return [column[i] for i in selection]
+
+    # -- counting ----------------------------------------------------------- #
+    def bincount(self, column, size: int) -> List[int]:
+        counts = [0] * size
+        for value in column:
+            counts[value] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PythonBackend()"
+
+
+class NumpyBackend:
+    """Vectorized kernels over ``numpy.int64`` ID columns.
+
+    ``gated=True`` (what ``"auto"`` resolves to) lets the engine route
+    sub-:data:`MIN_VECTOR_TUPLES` evaluations to the Python kernels.
+    """
+
+    name = "numpy"
+    is_numpy = True
+
+    def __init__(self, gated: bool = False):
+        np = _load_numpy()
+        if np is None:
+            raise RuntimeError(
+                "the numpy backend was requested but numpy is not importable "
+                "(install the 'fast' extra: pip install repro-adp[fast])"
+            )
+        self.np = np
+        self.gated = gated
+
+    # -- column constructors ------------------------------------------------ #
+    def id_range(self, n: int):
+        return self.np.arange(n, dtype=self.np.int64)
+
+    def empty_ids(self):
+        return self.np.empty(0, dtype=self.np.int64)
+
+    def id_column(self, values: Sequence[int]):
+        return self.np.asarray(values, dtype=self.np.int64)
+
+    def object_column(self, values: Sequence[object]):
+        column = self.np.empty(len(values), dtype=object)
+        column[:] = values
+        return column
+
+    # -- gathers ------------------------------------------------------------ #
+    def take(self, column, selection):
+        return column.take(selection)
+
+    # -- counting ----------------------------------------------------------- #
+    def bincount(self, column, size: int):
+        return self.np.bincount(column, minlength=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NumpyBackend()"
+
+
+#: Cost-model floor for the ``"auto"``-selected NumPy kernels.  Array
+#: kernels pay a fixed per-call overhead (~µs each), so below this many
+#: input tuples the pure-Python loops win outright; since the two backends
+#: produce byte-identical results, dropping to the Python kernels on small
+#: inputs is purely an internal routing decision (mirroring the parallel
+#: engine's ``MIN_PARTITION_TUPLES``).  An explicit ``backend="numpy"``
+#: request is honoured at every size (``gated=False``) so A/B comparisons
+#: and the parity suite always exercise the vectorized kernels.
+MIN_VECTOR_TUPLES = 1024
+
+#: Backend singletons: one per process is plenty (backends are stateless).
+_PYTHON_BACKEND = PythonBackend()
+_NUMPY_BACKEND: Optional[NumpyBackend] = None
+_NUMPY_BACKEND_AUTO: Optional[NumpyBackend] = None
+
+#: What ``resolve_backend`` accepts.
+BACKEND_NAMES = ("auto", "python", "numpy")
+
+BackendLike = Union[str, PythonBackend, NumpyBackend, None]
+
+
+def python_backend() -> PythonBackend:
+    """The shared :class:`PythonBackend` instance."""
+    return _PYTHON_BACKEND
+
+
+def resolve_backend(spec: BackendLike) -> Union[PythonBackend, NumpyBackend]:
+    """Resolve a backend spec (``"auto"``/``"python"``/``"numpy"``/instance).
+
+    ``"auto"`` (and ``None``) picks NumPy when importable -- with the
+    small-input gate enabled -- and falls back to pure Python otherwise; an
+    explicit ``"numpy"`` raises when NumPy is missing, so a session that
+    *requires* the fast path fails loudly.
+    """
+    global _NUMPY_BACKEND, _NUMPY_BACKEND_AUTO
+    if isinstance(spec, (PythonBackend, NumpyBackend)):
+        return spec
+    if spec is None or spec == "auto":
+        if not numpy_available():
+            return _PYTHON_BACKEND
+        if _NUMPY_BACKEND_AUTO is None:
+            _NUMPY_BACKEND_AUTO = NumpyBackend(gated=True)
+        return _NUMPY_BACKEND_AUTO
+    if spec == "python":
+        return _PYTHON_BACKEND
+    if spec == "numpy":
+        if _NUMPY_BACKEND is None:
+            _NUMPY_BACKEND = NumpyBackend()
+        return _NUMPY_BACKEND
+    raise ValueError(
+        f"unknown backend {spec!r} (expected one of {', '.join(BACKEND_NAMES)})"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Column-type dispatch for downstream consumers
+# --------------------------------------------------------------------------- #
+def is_ndarray(column) -> bool:
+    """Whether a packed column is a NumPy array (vs a plain list).
+
+    Downstream kernels (provenance index, delta semijoins, set cover,
+    shard merge) dispatch on the payload they were handed rather than on
+    ambient session state, so results flow freely between sessions of
+    different backends.
+    """
+    np = _np  # only ever true when numpy was actually loaded
+    return np is not None and isinstance(column, np.ndarray)
+
+
+def backend_of_column(column) -> Union[PythonBackend, NumpyBackend]:
+    """The backend whose kernels match one packed column's representation."""
+    return resolve_backend("numpy") if is_ndarray(column) else _PYTHON_BACKEND
+
+
+def as_id_list(column) -> List[int]:
+    """A packed ID column as a plain list of Python ints.
+
+    The normalization used at representation boundaries (parity assertions,
+    bitmask kernels that must not overflow ``int64``).
+    """
+    if is_ndarray(column):
+        return column.tolist()
+    return list(column)
+
+
+def group_positions(column) -> Dict[int, object]:
+    """``value -> positions holding it`` for one ID column (postings build).
+
+    Positions are ascending within each value.  The Python path returns
+    lists; the NumPy path returns ``int64`` array *views* into one stable
+    argsort (zero extra copies), keyed by Python ints.
+    """
+    if is_ndarray(column):
+        np = _np
+        order = np.argsort(column, kind="stable")
+        sorted_values = column[order]
+        boundaries = np.nonzero(np.diff(sorted_values))[0] + 1
+        groups = np.split(order, boundaries) if sorted_values.size else []
+        # Each chunk holds *original positions*; the group's key value is
+        # read back through the column at any of them.
+        return {int(column[chunk[0]]): chunk for chunk in groups}
+    postings: Dict[int, object] = {}
+    setdefault = postings.setdefault
+    for position, value in enumerate(column):
+        setdefault(value, []).append(position)
+    return postings
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "NumpyBackend",
+    "PythonBackend",
+    "as_id_list",
+    "backend_of_column",
+    "group_positions",
+    "is_ndarray",
+    "numpy_available",
+    "python_backend",
+    "resolve_backend",
+]

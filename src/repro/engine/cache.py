@@ -17,6 +17,13 @@ by
   and atom order,
 * the database's **version token** -- the per-relation mutation counters of
   :meth:`repro.data.database.Database.version_token`, and
+* an **array-backend tag** -- ``"python"`` or ``"numpy"``
+  (:mod:`repro.engine.backend`).  Both backends produce byte-identical
+  values, but their packed payloads differ in representation (plain lists
+  vs ``int64`` ndarrays), so entries never cross backends: an A/B
+  comparison re-evaluates instead of silently serving the other backend's
+  arrays, and
+
 * a **shard layout** -- ``None`` for a canonical full result, or a
   ``("shard", key, K, ordered atom names, i)`` tuple for one shard of a
   hash-partitioned parallel evaluation (:mod:`repro.parallel`; the ordered
@@ -79,14 +86,24 @@ class EvaluationCache:
         self.misses = 0
 
     def lookup(
-        self, query: ConjunctiveQuery, database: Database, query_key=None, layout=None
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        query_key=None,
+        layout=None,
+        backend=None,
     ):
-        """The cached result for ``(query, database, layout)`` or ``None``.
+        """The cached result for ``(query, database, layout, backend)`` or ``None``.
 
         ``query_key`` optionally supplies the precomputed canonical key (a
         :class:`~repro.session.PreparedQuery` carries one), skipping the
         per-call canonicalization; ``layout`` is the shard-layout component
-        (``None`` = canonical full result, see the module docstring).
+        (``None`` = canonical full result, see the module docstring);
+        ``backend`` is the array-backend tag (``"python"``/``"numpy"``).
+        Backends produce byte-identical *values* but different column
+        representations (lists vs ``int64`` ndarrays), so entries are
+        segregated by tag -- a pure-Python session never receives ndarray
+        payloads and A/B benchmark runs stay honest.
         """
         if query_key is None:
             query_key = canonical_query_key(query)
@@ -95,7 +112,7 @@ class EvaluationCache:
             if entries is None:
                 self.misses += 1
                 return None
-            key = (query_key, database.version_token(), layout)
+            key = (query_key, database.version_token(), layout, backend)
             result = entries.get(key)
             if result is None:
                 self.misses += 1
@@ -113,6 +130,7 @@ class EvaluationCache:
         result,
         query_key=None,
         layout=None,
+        backend=None,
     ) -> None:
         """Cache one evaluation result (or one shard payload)."""
         if query_key is None:
@@ -130,7 +148,7 @@ class EvaluationCache:
             stale = [key for key in entries if key[1] != token]
             for key in stale:
                 entries.pop(key)
-            entries[(query_key, token, layout)] = result
+            entries[(query_key, token, layout, backend)] = result
             while len(entries) > self._max_entries:
                 entries.pop(next(iter(entries)))
 
@@ -141,6 +159,7 @@ class EvaluationCache:
         token: Hashable,
         result,
         layout=None,
+        backend=None,
     ) -> None:
         """Cache one result under a precomputed ``(query key, version token)``.
 
@@ -154,12 +173,12 @@ class EvaluationCache:
                 entries = self._per_database.setdefault(database, {})
             except TypeError:  # pragma: no cover - non-weakref-able database stub
                 return
-            entries[(query_key, token, layout)] = result
+            entries[(query_key, token, layout, backend)] = result
             while len(entries) > self._max_entries:
                 entries.pop(next(iter(entries)))
 
     def take_entries(self, database: Database):
-        """Remove and return ``{(query key, token, layout): result}``.
+        """Remove and return ``{(query key, token, layout, backend): result}``.
 
         The entries are popped (the cache forgets them); callers that migrate
         results across a version bump re-insert the transformed payloads via

@@ -31,6 +31,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.data.database import Database
 from repro.data.relation import Relation, Row, TupleRef
+from repro.engine.backend import (
+    as_id_list,
+    backend_of_column,
+    group_positions,
+    is_ndarray,
+    python_backend,
+)
 from repro.query.atoms import Atom
 from repro.query.cq import ConjunctiveQuery
 
@@ -46,10 +53,23 @@ class RelationIndex:
     Indexes are immutable snapshots: a :class:`~repro.session.Session` (via
     its :class:`~repro.engine.evaluate.EngineContext`) caches them per
     relation version, so repeated evaluations over the same relation share
-    one interning table instead of re-interning per query.
+    one interning table instead of re-interning per query.  Derived views --
+    the ``TupleRef`` view, per-attribute value columns, per-key hash groups
+    -- are built lazily and cached here for the same reason; racing lazy
+    builders compute identical values, so the last assignment winning is
+    benign (the thread-safety contract documented on ``repro.session``).
     """
 
-    __slots__ = ("name", "attributes", "rows", "ids", "_ref_view")
+    __slots__ = (
+        "name",
+        "attributes",
+        "rows",
+        "ids",
+        "_ref_view",
+        "_value_columns",
+        "_value_codes",
+        "_hash_groups",
+    )
 
     def __init__(self, relation: Relation):
         self.name = relation.name
@@ -57,6 +77,9 @@ class RelationIndex:
         self.rows: List[Row] = list(relation)
         self.ids: Dict[Row, int] = {row: tid for tid, row in enumerate(self.rows)}
         self._ref_view: Optional[List[TupleRef]] = None
+        self._value_columns: Dict[int, object] = {}
+        self._value_codes: Dict[int, Tuple[object, int]] = {}
+        self._hash_groups: Dict[tuple, object] = {}
 
     def ref_view(self) -> List[TupleRef]:
         """``tid -> TupleRef`` view, built lazily and cached on the index.
@@ -71,6 +94,103 @@ class RelationIndex:
             view = [TupleRef(name, row) for row in self.rows]
             self._ref_view = view
         return view
+
+    def value_column(self, position: int, backend):
+        """The ``tid -> value`` column of one attribute, as a backend column.
+
+        NumPy sessions gather new value columns with ``take`` over a
+        ``dtype=object`` array (the elements stay the original Python
+        objects, so downstream output rows are bit-for-bit unchanged);
+        building that array once per (relation version, attribute) and
+        caching it here amortizes it across every evaluation sharing this
+        interning table.
+        """
+        column = self._value_columns.get(position)
+        if column is None:
+            column = backend.object_column([row[position] for row in self.rows])
+            self._value_columns[position] = column
+        return column
+
+    def value_codes(self, position: int, backend):
+        """``(codes, radix)``: dense value interning of one attribute.
+
+        ``codes[tid]`` is the dense ID of ``rows[tid][position]``'s *value*
+        (IDs in first-occurrence order, assigned by Python-equality
+        interning, so ``1``/``1.0``/``True`` share an ID exactly as they
+        join); ``radix`` is the number of distinct values.  The NumPy
+        engine's output factorization groups witnesses by these integer
+        codes instead of hashing object tuples per witness.  Cached per
+        attribute for the lifetime of the (immutable) index.
+        """
+        entry = self._value_codes.get(position)
+        if entry is None:
+            np = backend.np
+            interned: Dict[object, int] = {}
+            setdefault = interned.setdefault
+            codes = np.fromiter(
+                (
+                    setdefault(row[position], len(interned))
+                    for row in self.rows
+                ),
+                np.int64,
+                count=len(self.rows),
+            )
+            entry = (codes, max(len(interned), 1))
+            self._value_codes[position] = entry
+        return entry
+
+    def hash_groups(self, positions: Tuple[int, ...], backend):
+        """The build side of one hash-join step, cached per key attributes.
+
+        For the Python backend: ``{key: [tids]}`` with tids ascending (the
+        exact table the probe loop walks).  For the NumPy backend the same
+        grouping in CSR form: ``(table, counts, starts, flat)`` where
+        ``table`` maps a key value to its group id and
+        ``flat[starts[g] : starts[g] + counts[g]]`` lists the group's tids
+        in ascending order -- what the vectorized probe expands with
+        ``repeat``/``take``.
+        """
+        cache_key = (backend.name, positions)
+        groups = self._hash_groups.get(cache_key)
+        if groups is not None:
+            return groups
+        rows = self.rows
+        if len(positions) == 1:
+            p = positions[0]
+            keys = (row[p] for row in rows)
+        else:
+            keys = (tuple(row[p] for p in positions) for row in rows)
+        if backend.is_numpy:
+            np = backend.np
+            table: Dict[object, int] = {}
+            buckets: List[List[int]] = []
+            get = table.get
+            for tid, key in enumerate(keys):
+                g = get(key)
+                if g is None:
+                    table[key] = len(buckets)
+                    buckets.append([tid])
+                else:
+                    buckets[g].append(tid)
+            counts = np.fromiter(
+                (len(b) for b in buckets), np.int64, count=len(buckets)
+            )
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            flat = np.fromiter(
+                (tid for bucket in buckets for tid in bucket),
+                np.int64,
+                count=int(ends[-1]) if len(buckets) else 0,
+            )
+            groups = (table, counts, starts, flat)
+        else:
+            lists: Dict[object, List[int]] = {}
+            setdefault = lists.setdefault
+            for tid, key in enumerate(keys):
+                setdefault(key, []).append(tid)
+            groups = lists
+        self._hash_groups[cache_key] = groups
+        return groups
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -195,10 +315,10 @@ class ColumnarProvenance:
             with self._postings_lock:
                 postings = self._postings[position]
                 if postings is None:
-                    postings = {}
-                    setdefault = postings.setdefault
-                    for w, tid in enumerate(self.ref_columns[position]):
-                        setdefault(tid, []).append(w)
+                    # Backend-dispatched: one stable argsort + zero-copy
+                    # splits on ndarray columns, the classic setdefault loop
+                    # on lists.
+                    postings = group_positions(self.ref_columns[position])
                     self._postings[position] = postings
         return postings
 
@@ -225,10 +345,12 @@ class ColumnarProvenance:
         Includes the vacuum references (they participate in every witness),
         matching the row engine's notion of "non-dangling".
         """
-        refs: Set[TupleRef] = set(self.vacuum_refs) if self.witness_outputs else set()
+        refs: Set[TupleRef] = (
+            set(self.vacuum_refs) if len(self.witness_outputs) else set()
+        )
         for position, column in enumerate(self.ref_columns):
             view = self.refs_for_atom(position)
-            refs.update(view[tid] for tid in set(column))
+            refs.update(view[tid] for tid in distinct_ids(column))
         return refs
 
     def outputs_removed_by(self, removed: Iterable[TupleRef]) -> int:
@@ -255,6 +377,20 @@ class ColumnarProvenance:
         ]
         if not active:
             return 0
+        if is_ndarray(active[0][0]):
+            # Vectorized: OR the per-atom membership masks, then count the
+            # outputs whose every witness is hit.
+            np = backend_of_column(active[0][0]).np
+            hit = np.zeros(self.witness_count(), dtype=bool)
+            for column, tids in active:
+                hit |= np.isin(
+                    column, np.fromiter(tids, np.int64, count=len(tids))
+                )
+            alive = np.bincount(
+                np.asarray(self.witness_outputs)[~hit],
+                minlength=self.output_count(),
+            )
+            return int(np.count_nonzero(alive == 0))
         alive = [0] * self.output_count()
         witness_outputs = self.witness_outputs
         for w in range(len(witness_outputs)):
@@ -288,7 +424,9 @@ class ColumnarProvenance:
         for position, masks in enumerate(wanted):
             if not masks:
                 continue
-            column = self.ref_columns[position]
+            # Arbitrary-precision masks need Python ints: an ndarray column
+            # is normalized first so `1 << w` can never wrap at 64 bits.
+            column = as_id_list(self.ref_columns[position])
             for w, tid in enumerate(column):
                 if tid in masks:
                     masks[tid] |= 1 << w
@@ -309,9 +447,16 @@ class ColumnarProvenance:
         """Per output, the bitmask of its witnesses (companion of
         :meth:`witness_masks_for`)."""
         masks = [0] * self.output_count()
-        for w, out in enumerate(self.witness_outputs):
+        for w, out in enumerate(as_id_list(self.witness_outputs)):
             masks[out] |= 1 << w
         return masks
+
+
+def distinct_ids(column):
+    """The distinct values of one ID column (Python ints either way)."""
+    if is_ndarray(column):
+        return backend_of_column(column).np.unique(column).tolist()
+    return set(column)
 
 
 #: ``index_for(relation)`` hook: lets an :class:`EngineContext` serve a cached
@@ -325,19 +470,97 @@ def empty_provenance(
     atoms: Sequence[Atom],
     database: Database,
     index_for: Optional[IndexSupplier] = None,
+    backend=None,
 ) -> ColumnarProvenance:
     """A provenance payload with no witnesses (empty query result)."""
     build = index_for or RelationIndex
+    backend = backend or python_backend()
     indexes = [build(database.relation(atom.name)) for atom in atoms]
     return ColumnarProvenance(
         query,
         tuple(atom.name for atom in atoms),
         indexes,
-        [[] for _ in atoms],
-        [],
+        [backend.empty_ids() for _ in atoms],
+        backend.empty_ids(),
         [],
         {},
     )
+
+
+def _probe_gids_numpy(backend, rindex, shared, shared_positions, bound, ref_columns, binding, indexes):
+    """Per-probe-row build-bucket ids for one join step (NumPy backend).
+
+    Key matching uses Python equality exactly like the Python backend, but
+    the dict probes run once per *distinct* probe key, not once per row:
+    every probe value is a function of the tid of the atom that first bound
+    its attribute, so probe rows are grouped by a mixed-radix encoding of
+    the binding relations' interned value codes (one ``np.unique``), one
+    representative key per group is looked up in the build table, and the
+    answers are scattered back through the group inverse.
+    """
+    np = backend.np
+    table = rindex.hash_groups(shared_positions, backend)[0]
+    per_attr = []  # (per-probe-row value-code column, radix)
+    radix_product = 1
+    for attribute in shared:
+        binder = binding[attribute]
+        bindex = indexes[binder]
+        codes, radix = bindex.value_codes(
+            bindex.attributes.index(attribute), backend
+        )
+        per_attr.append((codes[ref_columns[binder]], radix))
+        radix_product *= radix
+    get = table.get
+    if radix_product >= 2**62:  # pragma: no cover - astronomically wide keys
+        # Mixed-radix would overflow int64: fall back to per-row probing.
+        if len(shared) == 1:
+            keys = iter(bound[shared[0]])
+        else:
+            keys = zip(*(bound[a] for a in shared))
+        n_probe = len(per_attr[0][0])
+        return np.fromiter((get(key, -1) for key in keys), np.int64, count=n_probe)
+    code = None
+    for column, radix in per_attr:
+        code = column if code is None else code * radix + column
+    _uniq, first_index, inverse = np.unique(
+        code, return_index=True, return_inverse=True
+    )
+    if len(shared) == 1:
+        representatives = bound[shared[0]].take(first_index)
+        gid_per_group = np.fromiter(
+            (get(key, -1) for key in representatives),
+            np.int64,
+            count=first_index.size,
+        )
+    else:
+        columns = [bound[a].take(first_index) for a in shared]
+        gid_per_group = np.fromiter(
+            (get(key, -1) for key in zip(*columns)),
+            np.int64,
+            count=first_index.size,
+        )
+    return gid_per_group[inverse]
+
+
+def _expand_matches_numpy(backend, rindex, shared_positions, gids):
+    """Expand per-probe-row bucket ids into ``(selection, tids)``.
+
+    Produces the identical pair the Python probe loop appends row by row:
+    probe rows in ascending order, matching tids in build-bucket
+    (= ascending tid) order within each probe row -- as ``repeat``/``take``
+    array kernels.
+    """
+    np = backend.np
+    _table, counts, starts, flat = rindex.hash_groups(shared_positions, backend)
+    matched = np.nonzero(gids >= 0)[0]
+    matched_gids = gids[matched]
+    match_counts = counts[matched_gids]
+    total = int(match_counts.sum())
+    selection = np.repeat(matched, match_counts)
+    ends = np.cumsum(match_counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - match_counts, match_counts)
+    tids = flat[np.repeat(starts[matched_gids], match_counts) + within]
+    return selection, tids
 
 
 def join_columns(
@@ -347,6 +570,7 @@ def join_columns(
     max_witnesses: Optional[int] = None,
     query_name: str = "Q",
     index_for: Optional[IndexSupplier] = None,
+    backend=None,
 ) -> Tuple[Dict[str, List[object]], List[List[int]], List[RelationIndex]]:
     """Left-deep hash join over interned ID columns.
 
@@ -369,6 +593,12 @@ def join_columns(
     index_for:
         Optional supplier of (cached) :class:`RelationIndex` objects; when
         omitted every call re-interns each relation.
+    backend:
+        The array backend (see :mod:`repro.engine.backend`); defaults to the
+        pure-Python kernels.  With the NumPy backend, value columns are
+        ``dtype=object`` arrays (same Python objects inside) and ``tid``
+        columns are ``int64`` arrays; the produced witnesses are
+        byte-identical to the Python backend's in every observable way.
 
     Returns
     -------
@@ -379,6 +609,8 @@ def join_columns(
         number of witnesses).
     """
     build = index_for or RelationIndex
+    backend = backend or python_backend()
+    vector = backend.is_numpy
     indexes = [build(database.relation(atom.name)) for atom in ordered_atoms]
 
     # needed_after[i]: attributes still required by atoms i+1.. or the head.
@@ -391,6 +623,10 @@ def join_columns(
 
     bound: Dict[str, List[object]] = {}
     ref_columns: List[List[int]] = []
+    #: attr -> join-order index of the atom that *first* bound it (the value
+    #: of the attribute is a function of that atom's tid; both the NumPy
+    #: probe and the output factorization key on it).
+    binding: Dict[str, int] = {}
     count: Optional[int] = None  # None = the single empty partial row
 
     for step, (atom, rindex) in enumerate(zip(ordered_atoms, indexes)):
@@ -400,62 +636,90 @@ def join_columns(
         needed = needed_after[step]
 
         if shared:
-            # Build: hash the relation on the shared attributes.
-            shared_positions = [rel_position[a] for a in shared]
-            table: Dict[object, List[int]] = {}
-            if len(shared_positions) == 1:
-                p = shared_positions[0]
-                for tid, row in enumerate(rows):
-                    table.setdefault(row[p], []).append(tid)
-                probe_keys: Sequence[object] = bound[shared[0]]
+            shared_positions = tuple(rel_position[a] for a in shared)
+            if vector:
+                gids = _probe_gids_numpy(
+                    backend, rindex, shared, shared_positions,
+                    bound, ref_columns, binding, indexes,
+                )
+                selection, tids = _expand_matches_numpy(
+                    backend, rindex, shared_positions, gids
+                )
+                bound = {
+                    a: column.take(selection)
+                    for a, column in bound.items()
+                    if a in needed
+                }
+                ref_columns = [column.take(selection) for column in ref_columns]
             else:
-                for tid, row in enumerate(rows):
-                    table.setdefault(
-                        tuple(row[p] for p in shared_positions), []
-                    ).append(tid)
-                probe_keys = list(zip(*(bound[a] for a in shared)))
-
-            # Probe: selection vector over the existing partials plus the
-            # matching tid per produced row.
-            selection: List[int] = []
-            tids: List[int] = []
-            get = table.get
-            for i, key in enumerate(probe_keys):
-                matches = get(key)
-                if matches:
-                    for tid in matches:
-                        selection.append(i)
-                        tids.append(tid)
-
-            bound = {
-                a: [column[i] for i in selection]
-                for a, column in bound.items()
-                if a in needed
-            }
-            ref_columns = [[column[i] for i in selection] for column in ref_columns]
+                # Build: hash the relation on the shared attributes (cached
+                # on the interning table).  Probe: selection vector over the
+                # existing partials plus the matching tid per produced row.
+                if len(shared) == 1:
+                    probe_keys: Sequence[object] = bound[shared[0]]
+                else:
+                    probe_keys = zip(*(bound[a] for a in shared))
+                table = rindex.hash_groups(shared_positions, backend)
+                selection: List[int] = []
+                tids: List[int] = []
+                get = table.get
+                for i, key in enumerate(probe_keys):
+                    matches = get(key)
+                    if matches:
+                        for tid in matches:
+                            selection.append(i)
+                            tids.append(tid)
+                bound = {
+                    a: [column[i] for i in selection]
+                    for a, column in bound.items()
+                    if a in needed
+                }
+                ref_columns = [
+                    [column[i] for i in selection] for column in ref_columns
+                ]
         elif count is None:
             # First atom (or first of the whole join): every tuple starts a
             # partial row.
-            tids = list(range(len(rows)))
+            tids = backend.id_range(len(rows))
         else:
             # Disconnected component: cross product with the partials so far,
             # partial-major to match the row engine's witness order.
-            tid_range = range(len(rows))
-            selection = [i for i in range(count) for _ in tid_range]
-            tids = [tid for _ in range(count) for tid in tid_range]
-            bound = {
-                a: [column[i] for i in selection]
-                for a, column in bound.items()
-                if a in needed
-            }
-            ref_columns = [[column[i] for i in selection] for column in ref_columns]
+            if vector:
+                np = backend.np
+                selection = np.repeat(
+                    np.arange(count, dtype=np.int64), len(rows)
+                )
+                tids = np.tile(np.arange(len(rows), dtype=np.int64), count)
+                bound = {
+                    a: column.take(selection)
+                    for a, column in bound.items()
+                    if a in needed
+                }
+                ref_columns = [column.take(selection) for column in ref_columns]
+            else:
+                tid_range = range(len(rows))
+                selection = [i for i in range(count) for _ in tid_range]
+                tids = [tid for _ in range(count) for tid in tid_range]
+                bound = {
+                    a: [column[i] for i in selection]
+                    for a, column in bound.items()
+                    if a in needed
+                }
+                ref_columns = [
+                    [column[i] for i in selection] for column in ref_columns
+                ]
 
         # Materialize the value columns of newly bound attributes that some
         # later atom (or the head) still needs.
         for a in atom.attributes:
+            if a not in binding:
+                binding[a] = step
             if a not in shared and a in needed:
                 p = rel_position[a]
-                bound[a] = [rows[tid][p] for tid in tids]
+                if vector:
+                    bound[a] = rindex.value_column(p, backend).take(tids)
+                else:
+                    bound[a] = [rows[tid][p] for tid in tids]
         ref_columns.append(tids)
         count = len(tids)
 
@@ -465,10 +729,12 @@ def join_columns(
             )
         if count == 0:
             # Empty intermediate result: short-circuit with all-empty columns.
-            bound = {a: [] for a in bound}
-            ref_columns = [[] for _ in ordered_atoms]
+            bound = {a: backend.object_column([]) for a in bound}
+            ref_columns = [backend.empty_ids() for _ in ordered_atoms]
             break
 
     if len(ref_columns) < len(ordered_atoms):  # pragma: no cover - break above
-        ref_columns.extend([] for _ in range(len(ordered_atoms) - len(ref_columns)))
+        ref_columns.extend(
+            backend.empty_ids() for _ in range(len(ordered_atoms) - len(ref_columns))
+        )
     return bound, ref_columns, indexes

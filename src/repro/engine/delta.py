@@ -32,17 +32,15 @@ has no packed provenance (row engine).
 from __future__ import annotations
 
 from itertools import compress
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.data.relation import Row, TupleRef
+from repro.engine.backend import as_id_list, backend_of_column, is_ndarray
 from repro.engine.columnar import ColumnarProvenance
 from repro.engine.evaluate import QueryResult, Witness
 
 
-def _dead_witnesses(
-    provenance: ColumnarProvenance,
-    removed: Iterable[TupleRef],
-) -> Optional[Set[int]]:
+def _dead_witnesses(provenance: ColumnarProvenance, removed: Iterable[TupleRef]):
     """Witness positions killed by ``removed``; ``None`` = *all* witnesses.
 
     ``None`` is the vacuum-deletion case (a removed vacuum tuple guards away
@@ -51,6 +49,11 @@ def _dead_witnesses(
     Python-level and shows up on large deletion sets); located tids are then
     expanded through the provenance's lazy postings index, so the collection
     step costs ``O(|dead witnesses|)``, not ``O(|witnesses|)``.
+
+    Returns a ``set`` of positions for list-packed provenance, or a
+    deduplicated ``int64`` ndarray for ndarray-packed provenance (the
+    postings are array views there -- one concatenate + unique instead of
+    per-ref set insertion).  Both support ``len``.
     """
     vacuum = set(provenance.vacuum_refs)
     by_relation: dict = {}
@@ -59,6 +62,8 @@ def _dead_witnesses(
             return None
         by_relation.setdefault(ref.relation, []).append(ref.values)
 
+    vectorized = provenance.atom_count() and is_ndarray(provenance.ref_columns[0])
+    chunks = []  # ndarray path: posting arrays, deduplicated at the end
     dead: Set[int] = set()
     update = dead.update
     for relation_name, values_list in by_relation.items():
@@ -71,9 +76,36 @@ def _dead_witnesses(
             tid = ids_get(values)
             if tid is not None:
                 hits = postings_get(tid)
-                if hits:
-                    update(hits)
+                if hits is not None and len(hits):
+                    if vectorized:
+                        chunks.append(hits)
+                    else:
+                        update(hits)
+    if vectorized:
+        np = backend_of_column(provenance.ref_columns[0]).np
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
     return dead
+
+
+def _alive_mask(provenance: ColumnarProvenance, dead):
+    """A boolean alive mask over the witness positions.
+
+    A NumPy ``bool`` array when the provenance is ndarray-packed (so the
+    downstream compressions run as array kernels), a ``bytearray``
+    otherwise.
+    """
+    count = provenance.witness_count()
+    if is_ndarray(dead):
+        np = backend_of_column(dead).np
+        alive = np.ones(count, dtype=bool)
+        alive[dead] = False
+        return alive
+    alive = bytearray(b"\x01") * count
+    for w in dead:
+        alive[w] = 0
+    return alive
 
 
 def delta_counts(
@@ -99,16 +131,18 @@ def delta_counts(
     dead = _dead_witnesses(provenance, removed)
     if dead is None:
         return (provenance.witness_count(), provenance.output_count())
-    if not dead:
+    if len(dead) == 0:
         return (0, 0)
     count = provenance.witness_count()
     output_count = provenance.output_count()
     if output_count == count:
         # Bijection (no projection sharing): outputs die with their witness.
         return (len(dead), len(dead))
-    alive = bytearray(b"\x01") * count
-    for w in dead:
-        alive[w] = 0
+    alive = _alive_mask(provenance, dead)
+    if is_ndarray(provenance.witness_outputs):
+        np = backend_of_column(provenance.witness_outputs).np
+        surviving_count = np.unique(provenance.witness_outputs[alive]).size
+        return (len(dead), output_count - int(surviving_count))
     surviving = set(compress(provenance.witness_outputs, alive))
     return (len(dead), output_count - len(surviving))
 
@@ -125,6 +159,23 @@ def _compact_outputs(
     reverse ``output_index`` is *not* built here -- the result classes
     derive it lazily, and most incremental consumers never ask for it.
     """
+    if is_ndarray(surviving_outputs):
+        np = backend_of_column(surviving_outputs).np
+        if len(old_output_rows) == witness_count:
+            output_rows = list(
+                map(old_output_rows.__getitem__, surviving_outputs.tolist())
+            )
+            return output_rows, np.arange(len(output_rows), dtype=np.int64)
+        # Vectorized relabel: unique surviving old ids, ranked by first
+        # witness occurrence -- O(distinct outputs) Python work only.
+        uniq, first_index, inverse = np.unique(
+            surviving_outputs, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_index, kind="stable")
+        output_rows = [old_output_rows[i] for i in uniq[order].tolist()]
+        lookup = np.empty(uniq.size, dtype=np.int64)
+        lookup[order] = np.arange(uniq.size, dtype=np.int64)
+        return output_rows, lookup[inverse]
     if len(old_output_rows) == witness_count:
         # Bijection fast path (no projection sharing): every surviving
         # witness keeps its own distinct output, so the relabeling is just a
@@ -171,23 +222,31 @@ def delta_filter_provenance(
             {},
             (),
         )
-    if not dead:
+    if len(dead) == 0:
         # Unknown or dangling refs only: every witness survives, and the
         # provenance is reusable as-is (results are immutable by contract).
         return provenance
 
     witness_outputs = provenance.witness_outputs
     count = len(witness_outputs)
-    alive = bytearray(b"\x01") * count
-    for w in dead:
-        alive[w] = 0
-    new_columns = [
-        list(compress(column, alive)) for column in provenance.ref_columns
-    ]
-    surviving_old_outputs = list(compress(witness_outputs, alive))
-    output_rows, new_witness_outputs = _compact_outputs(
-        provenance.output_rows, surviving_old_outputs, count
-    )
+    alive = _alive_mask(provenance, dead)
+    if is_ndarray(provenance.ref_columns[0]):
+        # Boolean-mask semijoin: one C-speed compression per packed column.
+        backend = backend_of_column(provenance.ref_columns[0])
+        new_columns = [column[alive] for column in provenance.ref_columns]
+        surviving_old_outputs = witness_outputs[alive]
+        output_rows, compacted = _compact_outputs(
+            provenance.output_rows, surviving_old_outputs, count
+        )
+        new_witness_outputs = backend.id_column(compacted)
+    else:
+        new_columns = [
+            list(compress(column, alive)) for column in provenance.ref_columns
+        ]
+        surviving_old_outputs = list(compress(witness_outputs, alive))
+        output_rows, new_witness_outputs = _compact_outputs(
+            provenance.output_rows, surviving_old_outputs, count
+        )
 
     return ColumnarProvenance(
         provenance.query,
@@ -245,7 +304,9 @@ def delta_filter_result(
         filtered.query,
         filtered.output_rows,
         None,
-        filtered.witness_outputs,
+        # The public QueryResult field stays a plain list on every backend;
+        # the packed (possibly ndarray) column lives on the provenance.
+        as_id_list(filtered.witness_outputs),
         None,
         provenance=filtered,
     )

@@ -67,6 +67,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation, Row, TupleRef
+from repro.engine.backend import MIN_VECTOR_TUPLES, python_backend, resolve_backend
 from repro.engine.cache import EvaluationCache
 from repro.engine.columnar import (
     ColumnarProvenance,
@@ -319,6 +320,7 @@ class EngineContext:
     __slots__ = (
         "mode",
         "cache",
+        "backend",
         "_interners",
         "evaluations",
         "workers",
@@ -333,10 +335,17 @@ class EngineContext:
         cache: Optional[EvaluationCache] = None,
         workers: int = 1,
         parallel_threshold: Optional[int] = None,
+        backend: object = "auto",
     ):
         if mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {mode!r}")
         self.mode = mode
+        #: The array backend every columnar/parallel evaluation of this
+        #: context uses (see :mod:`repro.engine.backend`).  ``"auto"``
+        #: resolves to NumPy when installed, pure Python otherwise; results
+        #: are byte-identical either way.  The row reference engine ignores
+        #: it.
+        self.backend = resolve_backend(backend)
         self.cache = cache if cache is not None else EvaluationCache()
         self._interners: "weakref.WeakKeyDictionary[Relation, Tuple[int, RelationIndex]]" = (
             weakref.WeakKeyDictionary()
@@ -428,8 +437,11 @@ class EngineContext:
             self.evaluations += 1
             return evaluate_rows(query, database, max_witnesses)
         cacheable = use_cache and max_witnesses is None
+        backend_tag = self.backend.name
         if cacheable:
-            cached = self.cache.lookup(query, database, query_key=query_key)
+            cached = self.cache.lookup(
+                query, database, query_key=query_key, backend=backend_tag
+            )
             if cached is not None:
                 return cached
         result = None
@@ -445,11 +457,18 @@ class EngineContext:
             )
         if result is None:
             result = evaluate_columnar(
-                query, database, max_witnesses, order=order, index_for=self.interned
+                query,
+                database,
+                max_witnesses,
+                order=order,
+                index_for=self.interned,
+                backend=self.backend,
             )
         self.evaluations += 1
         if cacheable:
-            self.cache.store(query, database, result, query_key=query_key)
+            self.cache.store(
+                query, database, result, query_key=query_key, backend=backend_tag
+            )
         return result
 
 
@@ -649,20 +668,80 @@ def evaluate(
     return evaluate_in_context(query, database, max_witnesses, use_cache)
 
 
+def _factorize_outputs_numpy(backend, head, ordered_atoms, bound, ref_columns, indexes):
+    """First-occurrence output factorization over interned value codes.
+
+    In a self-join-free natural join every head attribute's value is a
+    function of the tid of the *binding* atom (the first atom in join order
+    containing it).  Each binding relation's attribute values are interned
+    into dense integer codes (Python-equality interning, cached on the
+    :class:`~repro.engine.columnar.RelationIndex`), so two witnesses
+    produce the same output row **iff** their mixed-radix code words are
+    equal -- the whole distinct-output computation collapses to one
+    ``np.unique`` over an ``int64`` column, with no per-witness Python work
+    and no object-tuple hashing at all.  Output IDs are assigned in
+    first-witness order, reproducing the Python loop's output order and
+    witness->output column exactly.
+
+    Returns ``(packed witness_outputs, output_rows)``; the reverse
+    ``output_index`` is left to the result classes' lazy derivation.
+    """
+    np = backend.np
+    witness_codes = []  # (per-witness value-code column, radix) per head attr
+    for attribute in head:
+        for position, atom in enumerate(ordered_atoms):
+            if attribute in atom.attribute_set:
+                rindex = indexes[position]
+                codes, radix = rindex.value_codes(
+                    rindex.attributes.index(attribute), backend
+                )
+                witness_codes.append((codes[ref_columns[position]], radix))
+                break
+    radix_product = 1
+    for _column, radix in witness_codes:
+        radix_product *= radix
+    if radix_product >= 2**62:  # pragma: no cover - astronomically wide heads
+        # Mixed-radix would overflow int64: group by the raw code rows.
+        stacked = np.stack([column for column, _ in witness_codes], axis=1)
+        _, first_index, inverse = np.unique(
+            stacked, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)  # numpy >= 2.1 keeps the axis shape
+    else:
+        code = None
+        for column, radix in witness_codes:
+            code = column if code is None else code * radix + column
+        _, first_index, inverse = np.unique(
+            code, return_index=True, return_inverse=True
+        )
+    # Distinct codes are distinct rows, so the output id of a group is its
+    # rank by first witness; rows come from one gather per head column.
+    group_order = np.argsort(first_index, kind="stable")
+    gathered = [bound[a].take(first_index[group_order]) for a in head]
+    output_rows: List[Row] = list(zip(*gathered))
+    lookup = np.empty(first_index.size, dtype=np.int64)
+    lookup[group_order] = np.arange(first_index.size, dtype=np.int64)
+    return lookup[inverse], output_rows
+
+
 def evaluate_columnar(
     query: ConjunctiveQuery,
     database: Database,
     max_witnesses: Optional[int] = None,
     order: Optional[Sequence[int]] = None,
     index_for=None,
+    backend=None,
 ) -> QueryResult:
     """The columnar engine: one uncached evaluation.
 
     ``order`` is an optional precomputed join order over the non-vacuum atoms
     (what :class:`repro.session.PreparedQuery` stores); ``index_for`` lets a
-    context supply cached interning tables.
+    context supply cached interning tables; ``backend`` selects the array
+    kernels (``None`` keeps the pure-Python parity oracle -- results are
+    byte-identical across backends either way).
     """
     database.validate_against(query)
+    backend = backend if backend is not None else python_backend()
 
     # Vacuum relations participate as a boolean guard: an empty vacuum
     # relation kills the whole result; a non-empty one contributes the empty
@@ -675,7 +754,8 @@ def evaluate_columnar(
                 return QueryResult(
                     query, [], None, [], None,
                     provenance=empty_provenance(
-                        query, non_vacuum, database, index_for=index_for
+                        query, non_vacuum, database, index_for=index_for,
+                        backend=backend,
                     ),
                 )
             vacuum_refs.append(TupleRef(atom.name, ()))
@@ -693,25 +773,47 @@ def evaluate_columnar(
         )
     ordered_atoms = [non_vacuum[i] for i in order]
 
+    if backend.is_numpy and getattr(backend, "gated", False):
+        # The auto-selected NumPy backend applies a cost-model floor: below
+        # MIN_VECTOR_TUPLES input tuples the fixed per-kernel overhead beats
+        # the vectorization win, so the evaluation silently routes to the
+        # Python kernels (results are byte-identical either way).
+        total_tuples = sum(
+            len(database.relation(atom.name)) for atom in non_vacuum
+        )
+        if total_tuples < MIN_VECTOR_TUPLES:
+            backend = python_backend()
+
     bound, ref_columns, indexes = join_columns(
         ordered_atoms, database, query.head, max_witnesses, query.name,
-        index_for=index_for,
+        index_for=index_for, backend=backend,
     )
     atom_names = tuple(atom.name for atom in ordered_atoms)
     count = len(ref_columns[0]) if ref_columns else 0
 
     if count == 0:
         provenance = ColumnarProvenance(
-            query, atom_names, indexes, ref_columns, [], [], {},
+            query, atom_names, indexes, ref_columns, backend.empty_ids(), [], {},
             tuple(vacuum_refs),
         )
         return QueryResult(query, [], None, [], None, provenance=provenance)
 
     head = query.head
     output_rows: List[Row] = []
-    output_index: Dict[Row, int] = {}
+    output_index: Optional[Dict[Row, int]] = {}
     witness_outputs: List[int] = []
-    if head:
+    if head and backend.is_numpy:
+        # Vectorized first-occurrence factorization over interned value
+        # codes: no per-witness Python work, no object-tuple hashing.  The
+        # reverse output_index is derived lazily by the result classes.
+        packed_outputs, output_rows = _factorize_outputs_numpy(
+            backend, head, ordered_atoms, bound, ref_columns, indexes
+        )
+        witness_outputs = packed_outputs.tolist()
+        output_index = None
+    elif head:
+        # First-occurrence factorization of output rows.  Rows are tuples of
+        # arbitrary Python objects, so this dict loop stays Python.
         out_columns = [bound[a] for a in head]
         get = output_index.get
         for row in zip(*out_columns):
@@ -721,17 +823,19 @@ def evaluate_columnar(
                 output_index[row] = index
                 output_rows.append(row)
             witness_outputs.append(index)
+        packed_outputs = backend.id_column(witness_outputs)
     else:
         output_rows = [()]
         output_index = {(): 0}
         witness_outputs = [0] * count
+        packed_outputs = backend.id_column(witness_outputs)
 
     provenance = ColumnarProvenance(
         query,
         atom_names,
         indexes,
         ref_columns,
-        witness_outputs,
+        packed_outputs,
         output_rows,
         output_index,
         tuple(vacuum_refs),

@@ -87,10 +87,12 @@ def remove_dangling_tuples(
     prov = result.provenance
     if prov is not None:
         # Packed path: project each atom's tid column through its interner.
+        from repro.engine.columnar import distinct_ids
+
         for position, name in enumerate(prov.atom_names):
             rows = prov.indexes[position].rows
             participating[name] = {
-                rows[tid] for tid in set(prov.ref_columns[position])
+                rows[tid] for tid in distinct_ids(prov.ref_columns[position])
             }
         if prov.witness_count():
             for vacuum_ref in prov.vacuum_refs:

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.engine.backend import as_id_list
+
 
 @dataclass
 class PartialSetCoverInstance:
@@ -47,7 +49,12 @@ class PartialSetCoverInstance:
     target: int
 
     def __post_init__(self) -> None:
-        self.sets = {key: frozenset(value) for key, value in self.sets.items()}
+        # Normalize lazily-supplied iterables, but do not re-copy mappings
+        # that already hold frozensets (the column-driven builders produce
+        # those directly; re-freezing every element set doubled the build
+        # cost of large instances for nothing).
+        if any(type(value) is not frozenset for value in self.sets.values()):
+            self.sets = {key: frozenset(value) for key, value in self.sets.items()}
         if self.target < 0:
             raise ValueError("target must be non-negative")
 
@@ -177,20 +184,36 @@ def sets_from_packed_provenance(provenance) -> Dict[Hashable, FrozenSet[Hashable
     """Build the Theorem 5 PSC sets straight from packed provenance columns.
 
     Equivalent to :func:`sets_from_witnesses` over the materialized witness
-    list, but walks one integer column per atom of a
-    :class:`~repro.engine.columnar.ColumnarProvenance` instead -- no
-    ``Witness`` objects, one ``TupleRef`` per *distinct* participating tuple.
+    list, but column-driven on both backends: each atom's sets come from the
+    provenance's (cached) postings index -- one group-by per ``tid`` column
+    (a stable argsort with zero-copy splits on the NumPy backend, one
+    setdefault pass on the Python backend) instead of one Python
+    ``set.add`` per witness element.  Repeated reductions over the same
+    evaluation therefore share the grouping work with the delta-semijoin
+    machinery, and no intermediate per-element ``set`` objects are built
+    before the final freeze.
     """
     sets: Dict[Hashable, FrozenSet[Hashable]] = {}
     for position in range(provenance.atom_count()):
-        per_tid: Dict[int, Set[int]] = {}
-        for index, tid in enumerate(provenance.ref_columns[position]):
-            per_tid.setdefault(tid, set()).add(index)
         view = provenance.refs_for_atom(position)
-        for tid, elements in per_tid.items():
-            sets[view[tid]] = frozenset(elements)
+        for tid, positions in provenance.postings_for_atom(position).items():
+            sets[view[tid]] = frozenset(as_id_list(positions))
     if provenance.vacuum_refs and provenance.witness_count():
         every = frozenset(range(provenance.witness_count()))
         for vacuum_ref in provenance.vacuum_refs:
             sets[vacuum_ref] = every
     return sets
+
+
+def max_frequency_from_provenance(provenance) -> int:
+    """The PSC instance's maximum element frequency, without building sets.
+
+    For the Theorem 5 reduction every element (output tuple of a full CQ)
+    belongs to exactly one set per atom plus one per non-empty vacuum
+    relation, so the primal-dual guarantee ``p`` is available in O(1) --
+    callers that only need the frequency bound (not the sets themselves)
+    can skip the whole set construction.
+    """
+    if provenance.witness_count() == 0:
+        return 0
+    return provenance.atom_count() + len(provenance.vacuum_refs)

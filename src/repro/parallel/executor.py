@@ -144,18 +144,28 @@ class ParallelExecutor:
         key: str,
         shards: int,
         partitioned: bool,
+        backend,
     ) -> List[Tuple[list, Optional[List[int]], tuple]]:
-        """``(rows, tid_map, skey)`` per shard for one join atom (cached)."""
+        """``(rows, tid_map, skey)`` per shard for one join atom (cached).
+
+        The cache (and the shard keys shipped to workers) carry the backend
+        tag: tid maps are plain lists on the Python backend and ``int64``
+        array views on the NumPy backend, so payloads must not cross.
+        """
         if not partitioned:
-            skey = (did, atom_name, version, "*", 1, 0)
+            skey = (did, atom_name, version, "*", backend.name, 1, 0)
             return [(index.rows, None, skey)] * shards
-        cache_key = (did, atom_name, version, key, shards)
+        cache_key = (did, atom_name, version, key, backend.name, shards)
         with self._lock:
             entries = self._partitions.get(cache_key)
             if entries is None:
-                buckets = partition_index(index, key, shards)
+                buckets = partition_index(index, key, shards, backend=backend)
                 entries = [
-                    (rows, tid_map, (did, atom_name, version, key, shards, s))
+                    (
+                        rows,
+                        tid_map,
+                        (did, atom_name, version, key, backend.name, shards, s),
+                    )
                     for s, (rows, tid_map) in enumerate(buckets)
                 ]
                 self._partitions[cache_key] = entries
@@ -220,6 +230,7 @@ class ParallelExecutor:
         indexes = [
             context.interned(database.relation(atom.name)) for atom in ordered_atoms
         ]
+        backend = context.backend
         shards_per_atom = [
             self._shards_for_atom(
                 did,
@@ -229,6 +240,7 @@ class ParallelExecutor:
                 plan.key,
                 plan.shards,
                 plan.key in atom.attribute_set,
+                backend,
             )
             for atom, index in zip(ordered_atoms, indexes)
         ]
@@ -256,6 +268,7 @@ class ParallelExecutor:
                 shards_per_atom,
                 attributes_per_atom,
                 use_cache,
+                backend.name,
             )
             try:
                 try:
@@ -289,7 +302,7 @@ class ParallelExecutor:
                 use_cache,
             )
         return merge_shard_results(
-            query, ordered_names, indexes, shard_results, ()
+            query, ordered_names, indexes, shard_results, (), backend=backend
         )
 
     def _run_pool(
@@ -303,6 +316,7 @@ class ParallelExecutor:
         shards_per_atom,
         attributes_per_atom,
         use_cache: bool = True,
+        backend_name: str = "python",
     ):
         """One ``evaluate_shard`` task per shard, routed by ``shard % size``.
 
@@ -339,6 +353,7 @@ class ParallelExecutor:
                         "query": query,
                         "order": order,
                         "atoms": specs,
+                        "backend": backend_name,
                         "cache_key": (query_key, ordered_names, tuple(skeys)),
                         "use_cache": use_cache,
                     },
@@ -368,17 +383,23 @@ class ParallelExecutor:
         tables directly -- their "shard" is the whole relation, already
         interned as ``indexes[a]``.
         """
+        backend = context.backend
         results = []
         for s in range(plan.shards):
             # The ordered relation names are part of the key:
             # canonically-equal queries (same cache key, different atom
             # order) produce shard payloads whose columns are in *their*
             # join order -- they must not serve each other.  (The
-            # worker-side cache keys on the same names.)
+            # worker-side cache keys on the same names; the backend tag
+            # keeps list payloads and ndarray payloads apart.)
             layout = ("shard", plan.key, plan.shards, ordered_names, s)
             if use_cache:
                 cached = context.cache.lookup(
-                    query, database, query_key=query_key, layout=layout
+                    query,
+                    database,
+                    query_key=query_key,
+                    layout=layout,
+                    backend=backend.name,
                 )
                 if cached is not None:
                     results.append(cached)
@@ -409,10 +430,16 @@ class ParallelExecutor:
                 ShardDatabase(relations),
                 tid_maps,
                 index_for=lambda relation: indexes_by_name[relation.name],
+                backend=backend,
             )
             if use_cache:
                 context.cache.store(
-                    query, database, result, query_key=query_key, layout=layout
+                    query,
+                    database,
+                    result,
+                    query_key=query_key,
+                    layout=layout,
+                    backend=backend.name,
                 )
             results.append(result)
         return results

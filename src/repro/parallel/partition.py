@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.relation import Row
+from repro.engine.backend import is_ndarray, python_backend
 from repro.engine.columnar import RelationIndex, join_columns
 from repro.query.cq import ConjunctiveQuery
 
@@ -161,7 +162,7 @@ def partition_plan(
 
 
 def partition_index(
-    index: RelationIndex, key: str, shards: int
+    index: RelationIndex, key: str, shards: int, backend=None
 ) -> List[Tuple[List[Row], List[int]]]:
     """Split an interned relation into ``shards`` disjoint row batches.
 
@@ -170,8 +171,31 @@ def partition_index(
     parent index's order, so each ``tid_map`` is strictly increasing -- the
     property the byte-identical merge relies on (a strictly increasing tid
     translation preserves the engine's lexicographic witness order).
+
+    With the NumPy ``backend`` the per-shard ``tid_map`` columns are
+    ``int64`` slice *views* of one stable argsort (zero copies beyond the
+    shard-id pass -- key hashing stays Python, values are arbitrary
+    objects), which also shrinks what the worker pool pickles per shard.
     """
     position = index.attributes.index(key)
+    backend = backend or python_backend()
+    if backend.is_numpy:
+        np = backend.np
+        n = len(index.rows)
+        shard_ids = np.fromiter(
+            (partition_hash(row[position]) % shards for row in index.rows),
+            np.int64,
+            count=n,
+        )
+        order = np.argsort(shard_ids, kind="stable")  # ascending tid per shard
+        counts = np.bincount(shard_ids, minlength=shards)
+        ends = np.cumsum(counts)
+        rows_list = index.rows
+        buckets = []
+        for s in range(shards):
+            tid_map = order[int(ends[s] - counts[s]):int(ends[s])]
+            buckets.append(([rows_list[t] for t in tid_map.tolist()], tid_map))
+        return buckets
     buckets: List[Tuple[List[Row], List[int]]] = [([], []) for _ in range(shards)]
     for tid, row in enumerate(index.rows):
         rows, tid_map = buckets[partition_hash(row[position]) % shards]
@@ -224,12 +248,30 @@ class ShardDatabase:
 ShardResult = Tuple[List[List[int]], List[Row], List[int]]
 
 
+def _translate_tids(column, tid_map, backend):
+    """Map one shard-local tid column back to the parent's global tids."""
+    if tid_map is None:
+        return column
+    if backend.is_numpy:
+        np = backend.np
+        tid_map_array = (
+            tid_map
+            if is_ndarray(tid_map)
+            else np.asarray(tid_map, dtype=np.int64)
+        )
+        return tid_map_array[column]
+    if is_ndarray(tid_map):  # pragma: no cover - mixed-backend safety net
+        tid_map = tid_map.tolist()
+    return [tid_map[tid] for tid in column]
+
+
 def evaluate_shard(
     query: ConjunctiveQuery,
     ordered_atoms: Sequence,
     shard_db: ShardDatabase,
     tid_maps: Sequence[Optional[List[int]]],
     index_for=None,
+    backend=None,
 ) -> ShardResult:
     """Run the columnar join over one shard and translate tids to global.
 
@@ -237,13 +279,16 @@ def evaluate_shard(
     must *not* re-plan -- witness order, and hence the merge, depends on
     it).  ``tid_maps[a]`` maps atom ``a``'s local tids back to the parent's
     interned tids; ``None`` marks a broadcast relation whose local ids are
-    already global.
+    already global.  ``backend`` selects the array kernels for the shard
+    join and the (vectorized) global-tid translation.
     """
+    backend = backend or python_backend()
     bound, ref_columns, _ = join_columns(
-        ordered_atoms, shard_db, query.head, None, query.name, index_for=index_for
+        ordered_atoms, shard_db, query.head, None, query.name,
+        index_for=index_for, backend=backend,
     )
     global_columns = [
-        column if tid_map is None else [tid_map[tid] for tid in column]
+        _translate_tids(column, tid_map, backend)
         for column, tid_map in zip(ref_columns, tid_maps)
     ]
     count = len(global_columns[0]) if global_columns else 0

@@ -299,6 +299,7 @@ def _bounded_insert(store: "OrderedDict", key, value, bound: int) -> None:
 
 def _handle_evaluate_shard(msg: dict, shard_store, eval_cache):
     """Evaluate one shard of one query, reusing cached interning tables."""
+    from repro.engine.backend import resolve_backend
     from repro.engine.columnar import RelationIndex
     from repro.parallel.partition import (
         ShardDatabase,
@@ -308,6 +309,7 @@ def _handle_evaluate_shard(msg: dict, shard_store, eval_cache):
 
     query = msg["query"]
     order = msg["order"]
+    backend = resolve_backend(msg.get("backend", "python"))
 
     # Ingest freshly shipped batches *before* any cache shortcut, so the
     # shard store tracks everything the parent believes was delivered; then
@@ -352,6 +354,7 @@ def _handle_evaluate_shard(msg: dict, shard_store, eval_cache):
         ShardDatabase(relations),
         tid_maps,
         index_for=lambda relation: indexes_by_name[relation.name],
+        backend=backend,
     )
     if use_cache:
         _bounded_insert(eval_cache, cache_key, result, MAX_EVAL_ENTRIES)
@@ -380,7 +383,9 @@ def _handle_solve_group(msg: dict, db_store):
             relations.append(Relation(name, attributes, rows))
             ordered_rows[name] = rows
         database = Database(relations)
-        session = Session(database)
+        # Same array backend as the parent session: byte-identical results
+        # either way, but keeping kernels aligned keeps perf predictable.
+        session = Session(database, backend=msg.get("backend", "python"))
         # Seed the interning tables in the parent's interned row order, so
         # worker-side witness order (and hence greedy tie-breaking) matches
         # the parent's serial engine exactly.

@@ -355,6 +355,14 @@ class Session:
     engine:
         ``"columnar"`` (default), ``"row"`` or ``"parallel"`` -- per-session
         engine mode, replacing the deprecated global ``set_engine_mode``.
+    backend:
+        The array backend for the columnar/parallel kernels
+        (:mod:`repro.engine.backend`): ``"auto"`` (default -- NumPy when
+        installed, pure Python otherwise), ``"numpy"`` (raise if NumPy is
+        missing) or ``"python"``.  Results are **byte-identical** across
+        backends (same witness order, same tie-breaking, same packed
+        layout); only the column representation and the speed differ.  The
+        row reference engine ignores the backend.
     workers:
         Degree of parallelism.  ``workers > 1`` (or ``engine="parallel"``,
         which defaults to the CPU count) switches the session onto the
@@ -382,6 +390,7 @@ class Session:
         database: Database,
         *,
         engine: str = "columnar",
+        backend: str = "auto",
         workers: int = 1,
         parallel_threshold: Optional[int] = None,
         config: Optional[SolverConfig] = None,
@@ -404,7 +413,10 @@ class Session:
             else:
                 mode = engine  # validated by EngineContext
             _context = EngineContext(
-                mode=mode, workers=workers, parallel_threshold=parallel_threshold
+                mode=mode,
+                workers=workers,
+                parallel_threshold=parallel_threshold,
+                backend=backend,
             )
         self._context = _context
         self._config = config or SolverConfig()
@@ -461,6 +473,11 @@ class Session:
     def workers(self) -> int:
         """Degree of parallelism (1 unless the engine mode is ``parallel``)."""
         return self._context.workers if self._context.mode == "parallel" else 1
+
+    @property
+    def backend(self) -> str:
+        """The resolved array backend (``"python"`` or ``"numpy"``)."""
+        return self._context.backend.name
 
     def set_engine(self, mode: str) -> None:
         """Switch this session's engine, clearing its cache (A/B runs)."""
@@ -723,6 +740,7 @@ class Session:
                     "query": prepared.query,
                     "targets": [request_list[p][1] for p in positions],
                     "solver": chosen,
+                    "backend": self._context.backend.name,
                 }
                 if not pool.has_key(worker, "db", dbkey):
                     # Ship rows in this session's interned order, so worker
@@ -856,7 +874,7 @@ class Session:
         old_token = self.database.version_token()
         removed = self.database.remove_tuples(ref_list)
         new_token = self.database.version_token()
-        for (query_key, token, layout), result in snapshot.items():
+        for (query_key, token, layout, backend_tag), result in snapshot.items():
             if token != old_token:
                 continue  # already stale before the deletion
             if layout is not None:
@@ -864,7 +882,9 @@ class Session:
             migrated = (
                 result if removed == 0 else delta_filter_result(result, ref_list)
             )
-            cache.store_raw(self.database, query_key, new_token, migrated)
+            cache.store_raw(
+                self.database, query_key, new_token, migrated, backend=backend_tag
+            )
         self._counters["deletions_applied"] += removed
         return removed
 

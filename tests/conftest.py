@@ -166,3 +166,25 @@ def path_instance():
             "R3": [("b1",), ("b2",), ("b3",)],
         },
     )
+
+
+# --------------------------------------------------------------------------- #
+# Backend-agnostic comparison helpers
+# --------------------------------------------------------------------------- #
+def packed_columns(provenance) -> List[List[int]]:
+    """A provenance's ``ref_columns`` as plain lists of Python ints.
+
+    The NumPy backend packs the columns as ``int64`` ndarrays; normalizing
+    both sides lets byte-identity assertions compare values regardless of
+    the representation under test.
+    """
+    from repro.engine.backend import as_id_list
+
+    return [as_id_list(column) for column in provenance.ref_columns]
+
+
+def packed_outputs(provenance) -> List[int]:
+    """A provenance's ``witness_outputs`` as a plain list of Python ints."""
+    from repro.engine.backend import as_id_list
+
+    return as_id_list(provenance.witness_outputs)

@@ -1,0 +1,162 @@
+"""Unit tests for the array-backend layer (:mod:`repro.engine.backend`).
+
+The NumPy kernels must be drop-in replacements for the Python ones: same
+values, same ordering, Python ints at every API boundary.  Selection rules
+("auto" falls back without NumPy, explicit "numpy" raises) are what the
+no-NumPy CI leg relies on.
+"""
+
+import pytest
+
+from repro.engine import backend as backend_module
+from repro.engine.backend import (
+    as_id_list,
+    backend_of_column,
+    group_positions,
+    is_ndarray,
+    numpy_available,
+    python_backend,
+    resolve_backend,
+)
+
+numpy = pytest.importorskip("numpy") if numpy_available() else None
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+
+# --------------------------------------------------------------------------- #
+# Selection rules
+# --------------------------------------------------------------------------- #
+def test_python_backend_always_resolves():
+    assert resolve_backend("python") is python_backend()
+    assert resolve_backend(python_backend()) is python_backend()
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("cupy")
+
+
+@requires_numpy
+def test_auto_prefers_numpy_and_is_gated():
+    resolved = resolve_backend("auto")
+    assert resolved.name == "numpy"
+    assert resolved.gated is True
+    # An explicit request is never gated: A/B runs always vectorize.
+    assert resolve_backend("numpy").gated is False
+
+
+def test_auto_falls_back_without_numpy(monkeypatch):
+    monkeypatch.setattr(backend_module, "_np", None)
+    monkeypatch.setattr(backend_module, "_NUMPY_CHECKED", True)
+    assert resolve_backend("auto") is python_backend()
+    assert not numpy_available()
+    with pytest.raises(RuntimeError, match="numpy backend was requested"):
+        backend_module.NumpyBackend()
+
+
+def test_repro_no_numpy_environment_kill_switch(monkeypatch):
+    monkeypatch.setattr(backend_module, "_np", None)
+    monkeypatch.setattr(backend_module, "_NUMPY_CHECKED", False)
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert not numpy_available()
+    assert resolve_backend("auto") is python_backend()
+
+
+# --------------------------------------------------------------------------- #
+# Kernel parity
+# --------------------------------------------------------------------------- #
+def test_python_kernels_basic():
+    backend = python_backend()
+    assert backend.id_range(4) == [0, 1, 2, 3]
+    assert backend.empty_ids() == []
+    assert backend.take([10, 20, 30], [2, 0, 2]) == [30, 10, 30]
+    assert backend.bincount([0, 2, 2, 1], 4) == [1, 1, 2, 0]
+    assert not is_ndarray([1, 2, 3])
+    assert backend_of_column([1, 2]) is backend
+    assert as_id_list([3, 1]) == [3, 1]
+
+
+@requires_numpy
+def test_numpy_kernels_match_python():
+    py = python_backend()
+    np_backend = resolve_backend("numpy")
+    values = [5, 1, 5, 0, 3, 3, 5]
+    column = np_backend.id_column(values)
+    assert is_ndarray(column)
+    assert backend_of_column(column).name == "numpy"
+    assert as_id_list(column) == values
+    assert all(type(v) is int for v in as_id_list(column))
+    assert list(np_backend.id_range(5)) == py.id_range(5)
+    assert np_backend.bincount(column, 6).tolist() == py.bincount(values, 6)
+    selection = np_backend.id_column([6, 0, 3])
+    assert np_backend.take(column, selection).tolist() == py.take(values, [6, 0, 3])
+
+
+@requires_numpy
+def test_group_positions_parity():
+    values = [4, 1, 4, 4, 0, 1]
+    py_groups = group_positions(values)
+    np_groups = group_positions(resolve_backend("numpy").id_column(values))
+    assert set(py_groups) == set(np_groups) == {0, 1, 4}
+    for key, positions in py_groups.items():
+        assert as_id_list(np_groups[key]) == positions
+        # ascending witness positions: what the postings contract promises
+        assert positions == sorted(positions)
+    assert all(type(key) is int for key in np_groups)
+
+
+@requires_numpy
+def test_object_columns_preserve_identity():
+    np_backend = resolve_backend("numpy")
+    values = ["a", ("b", 1), 2.5]
+    column = np_backend.object_column(values)
+    assert column.dtype == object
+    for original, stored in zip(values, column):
+        assert stored is original
+
+
+# --------------------------------------------------------------------------- #
+# Session-level selection
+# --------------------------------------------------------------------------- #
+def test_session_backend_property():
+    from repro.data.database import Database
+    from repro.session import Session
+
+    db = Database.from_dict({"R": ["A"]}, {"R": [(1,)]})
+    with Session(db, backend="python") as session:
+        assert session.backend == "python"
+    expected = "numpy" if numpy_available() else "python"
+    with Session(db) as session:
+        assert session.backend == expected
+
+
+@requires_numpy
+def test_explicit_numpy_vectorizes_small_inputs():
+    """The auto gate must not apply to an explicit backend="numpy"."""
+    from repro.data.database import Database
+    from repro.session import Session
+
+    db = Database.from_dict(
+        {"R1": ["A"], "R2": ["A", "B"]},
+        {"R1": [(1,), (2,)], "R2": [(1, 10), (2, 20), (2, 21)]},
+    )
+    with Session(db, backend="numpy") as session:
+        result = session.evaluate("Q(A, B) :- R1(A), R2(A, B)")
+        assert is_ndarray(result.provenance.ref_columns[0])
+        assert is_ndarray(result.provenance.witness_outputs)
+    with Session(db, backend="auto") as session:
+        result = session.evaluate("Q(A, B) :- R1(A), R2(A, B)")
+        # 5 input tuples sit far below MIN_VECTOR_TUPLES: the gated auto
+        # backend routes to the Python kernels.
+        assert not is_ndarray(result.provenance.ref_columns[0])
+
+
+def test_session_rejects_unknown_backend():
+    from repro.data.database import Database
+    from repro.session import Session
+
+    db = Database.from_dict({"R": ["A"]}, {"R": [(1,)]})
+    with pytest.raises(ValueError, match="unknown backend"):
+        Session(db, backend="bogus")

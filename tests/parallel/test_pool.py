@@ -17,6 +17,8 @@ from repro.workloads.queries import Q1, QPATH_EXP
 from repro.workloads.tpch import generate_tpch
 from repro.workloads.zipf import generate_zipf_path
 
+from tests.conftest import packed_columns
+
 # Hard-leaf projections of the Q1 join (no universal attribute, connected,
 # non-singleton): exactly the group shape solve_many dispatches to workers.
 QA = parse_query(
@@ -65,8 +67,8 @@ def test_parallel_session_evaluate_matches_serial(tpch_db):
         assert session.workers == 2
         result = session.evaluate(Q1)
         assert result.output_rows == expected.output_rows
-        assert result.witness_outputs == expected.witness_outputs
-        assert result.provenance.ref_columns == expected.provenance.ref_columns
+        assert list(result.witness_outputs) == list(expected.witness_outputs)
+        assert packed_columns(result.provenance) == packed_columns(expected.provenance)
         # Steady state: the cached result is served without re-dispatch.
         assert session.evaluate(Q1) is result
 
@@ -211,8 +213,8 @@ def test_store_miss_recovery_re_ships_payloads(tpch_db):
         result = session.evaluate(Q1)
         assert state["forgets"] > 0  # the miss protocol actually fired
         assert not executor._pool_failed  # and the pool survived
-        assert result.witness_outputs == serial.witness_outputs
-        assert result.provenance.ref_columns == serial.provenance.ref_columns
+        assert list(result.witness_outputs) == list(serial.witness_outputs)
+        assert packed_columns(result.provenance) == packed_columns(serial.provenance)
 
         # Same drill for the solve_group path's worker-resident database.
         state["lying"] = True
@@ -232,7 +234,7 @@ def test_cost_model_keeps_small_inputs_serial():
         expected = Session(database).evaluate(QPATH_EXP)
         result = session.evaluate(QPATH_EXP)
         assert result.output_rows == expected.output_rows
-        assert result.witness_outputs == expected.witness_outputs
+        assert list(result.witness_outputs) == list(expected.witness_outputs)
 
 
 def test_schema_mismatch_raises_the_serial_error():
@@ -305,8 +307,8 @@ def test_pool_failure_falls_back_to_inline(tpch_db):
     with Session(tpch_db, workers=2, parallel_threshold=0) as session:
         session._context.executor()._pool_failed = True
         result = session.evaluate(Q1)
-        assert result.witness_outputs == expected.witness_outputs
-        assert result.provenance.ref_columns == expected.provenance.ref_columns
+        assert list(result.witness_outputs) == list(expected.witness_outputs)
+        assert packed_columns(result.provenance) == packed_columns(expected.provenance)
 
 
 def test_what_if_and_apply_deletions_on_parallel_results(tpch_db):

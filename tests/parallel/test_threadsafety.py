@@ -83,7 +83,7 @@ def test_concurrent_evaluate_shares_one_interning_pass():
         with ThreadPoolExecutor(max_workers=6) as executor:
             results = list(executor.map(evaluate, range(6)))
         first = results[0]
-        assert all(r.witness_outputs == first.witness_outputs for r in results)
+        assert all(list(r.witness_outputs) == list(first.witness_outputs) for r in results)
         context = session._context
         for relation in database:
             index = context.interned(relation)
