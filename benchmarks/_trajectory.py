@@ -1,0 +1,37 @@
+"""Shared trajectory-file loading for the benchmark scripts.
+
+Both ``check_regression.py --record`` and ``bench_service.py --record``
+append runs to a committed JSON trajectory.  A CI runner must never fail
+a build because a cached/restored trajectory file got truncated, so both
+load through this helper: missing, unreadable or structurally malformed
+files are recreated fresh (losing history beats crashing the guard).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def load_trajectory(path: Path, fresh: dict) -> dict:
+    """The trajectory at ``path``, or a copy of ``fresh`` when unusable.
+
+    ``fresh`` must contain a ``"runs"`` list; a loaded file qualifies only
+    when it is a dict whose ``"runs"`` is a list.
+    """
+    if not path.exists():
+        return dict(fresh)
+    try:
+        trajectory = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        print(f"warning: unreadable trajectory {path} ({exc}); recreating")
+        return dict(fresh)
+    if not isinstance(trajectory, dict) or not isinstance(
+        trajectory.get("runs"), list
+    ):
+        print(f"warning: malformed trajectory {path}; recreating")
+        return dict(fresh)
+    return trajectory
+
+
+__all__ = ["load_trajectory"]

@@ -1,0 +1,498 @@
+#!/usr/bin/env python
+"""Load harness for the ADP query service (closed + open loop).
+
+Drives ``repro serve`` (an external ``--url``, or a self-hosted in-process
+service) with the stdlib ``http.client`` over persistent keep-alive
+connections and records throughput and latency percentiles to the
+committed trajectory file ``benchmarks/BENCH_service.json``.
+
+Workload mixes (registered over ``POST /v1/databases``):
+
+* ``easy`` -- the singleton query ``Q6(A, B) :- R1(A), R2(A, B)`` on a
+  2k-tuple Zipf instance: cheap poly-time solves, the request-rate mix
+  (CI asserts >= 200 req/s on it);
+* ``hard`` -- the NP-hard projection ``Qh(A) :- R1(A), R2(A, B), R3(B)``
+  on a 60k-tuple Zipf instance: greedy-curve-dominated solves, the mix
+  where micro-batching pays.
+
+``--compare-batching`` measures the same fixed hard-mix request set twice
+-- once with per-request dispatch (``"batch": false``) and once through
+the micro-batcher -- and asserts the batched throughput multiple
+(``--assert-speedup 2`` in CI: coalescing shares one evaluation and one
+cost curve per batch, per-request dispatch recomputes the curve every
+time).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --mix easy --mode both
+    PYTHONPATH=src python benchmarks/bench_service.py --url http://127.0.0.1:8080 \
+        --mix easy --duration 10 --assert-throughput 200 --record
+    PYTHONPATH=src python benchmarks/bench_service.py --compare-batching \
+        --assert-speedup 2 --record
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+HARD_QUERY = "Qh(A) :- R1(A), R2(A, B), R3(B)"
+EASY_QUERY = "Q6(A, B) :- R1(A), R2(A, B)"
+HARD_SIZE = 60_000
+EASY_SIZE = 2_000
+
+
+# --------------------------------------------------------------------------- #
+# HTTP plumbing
+# --------------------------------------------------------------------------- #
+class Client:
+    """One persistent keep-alive connection (one per worker thread)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def post(self, path: str, payload: dict) -> Tuple[int, dict]:
+        body = json.dumps(payload)
+        try:
+            self.conn.request("POST", path, body)
+            response = self.conn.getresponse()
+            return response.status, json.loads(response.read())
+        except (http.client.HTTPException, OSError):
+            # Keep-alive connection went stale: reconnect once.
+            self.conn.close()
+            self.conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self.conn.request("POST", path, body)
+            response = self.conn.getresponse()
+            return response.status, json.loads(response.read())
+
+    def get(self, path: str) -> Tuple[int, bytes]:
+        self.conn.request("GET", path)
+        response = self.conn.getresponse()
+        return response.status, response.read()
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    stripped = url.split("//", 1)[-1].rstrip("/")
+    host, _sep, port = stripped.partition(":")
+    return host, int(port or 80)
+
+
+# --------------------------------------------------------------------------- #
+# Workload registration and request factories
+# --------------------------------------------------------------------------- #
+def register_workload(client: Client, mix: str, size: int) -> str:
+    from repro.service.serialize import database_to_wire
+    from repro.workloads.zipf import generate_zipf_path
+
+    name = f"zipf_{mix}_{size}"
+    if mix == "hard":
+        database = generate_zipf_path(r2_tuples=size, alpha=1.1, seed=13)
+    else:
+        database = generate_zipf_path(r2_tuples=size, alpha=0.5, seed=7)
+    status, body = client.post(
+        "/v1/databases",
+        {"name": name, "replace": True, **database_to_wire(database)},
+    )
+    if status != 200:
+        raise SystemExit(f"registering {name} failed: {status} {body}")
+    print(f"registered {name}: {body['total_tuples']} tuples")
+    return name
+
+
+def request_factory(mix: str, database: str) -> Callable[[int], dict]:
+    if mix == "hard":
+        # Targets vary per request, so batched dispatch must genuinely read
+        # different k off one shared curve (not serve one memoized answer).
+        return lambda i: {
+            "database": database,
+            "query": HARD_QUERY,
+            "k": 150 + (i % 8) * 10,
+            "method": "greedy",
+        }
+    return lambda i: {
+        "database": database,
+        "query": EASY_QUERY,
+        "k": 1 + (i % 5),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Generators
+# --------------------------------------------------------------------------- #
+def summarize(latencies_ms: List[float], wall_s: float, errors: int,
+              rejected: int) -> dict:
+    latencies = sorted(latencies_ms)
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(round(p / 100.0 * (len(latencies) - 1))))
+        return round(latencies[index], 3)
+
+    return {
+        "requests": len(latencies),
+        "errors": errors,
+        "rejected": rejected,
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(len(latencies) / wall_s, 2) if wall_s else 0.0,
+        "latency_ms": {
+            "mean": round(statistics.fmean(latencies), 3) if latencies else 0.0,
+            "p50": pct(50), "p90": pct(90), "p99": pct(99),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+    }
+
+
+def closed_loop(
+    host: str,
+    port: int,
+    factory: Callable[[int], dict],
+    *,
+    concurrency: int,
+    duration_s: Optional[float] = None,
+    total_requests: Optional[int] = None,
+    batch: bool = True,
+) -> dict:
+    """N workers, each issuing its next request as soon as the last returns."""
+    assert (duration_s is None) != (total_requests is None)
+    latencies: List[float] = []
+    errors = [0]
+    rejected = [0]
+    lock = threading.Lock()
+    counter = [0]
+    stop = threading.Event()
+
+    def next_index() -> Optional[int]:
+        with lock:
+            if total_requests is not None and counter[0] >= total_requests:
+                return None
+            counter[0] += 1
+            return counter[0] - 1
+
+    def worker() -> None:
+        client = Client(host, port)
+        try:
+            while not stop.is_set():
+                index = next_index()
+                if index is None:
+                    return
+                payload = dict(factory(index))
+                payload["batch"] = batch
+                started = time.perf_counter()
+                status, _body = client.post("/v1/solve", payload)
+                elapsed = (time.perf_counter() - started) * 1000.0
+                with lock:
+                    if status == 200:
+                        latencies.append(elapsed)
+                    elif status == 429:
+                        rejected[0] += 1
+                    else:
+                        errors[0] += 1
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    if duration_s is not None:
+        time.sleep(duration_s)
+        stop.set()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    stats = summarize(latencies, wall, errors[0], rejected[0])
+    stats.update({"mode": "closed", "concurrency": concurrency, "batch": batch})
+    return stats
+
+
+def open_loop(
+    host: str,
+    port: int,
+    factory: Callable[[int], dict],
+    *,
+    rate_rps: float,
+    duration_s: float,
+    max_workers: int = 32,
+) -> dict:
+    """Fixed arrival rate; latency includes queueing (the serving view)."""
+    latencies: List[float] = []
+    errors = [0]
+    rejected = [0]
+    lock = threading.Lock()
+    interval = 1.0 / rate_rps
+    total = int(rate_rps * duration_s)
+    dispatch_times = [i * interval for i in range(total)]
+    cursor = [0]
+    start = time.perf_counter()
+
+    def worker() -> None:
+        client = Client(host, port)
+        try:
+            while True:
+                with lock:
+                    if cursor[0] >= total:
+                        return
+                    index = cursor[0]
+                    cursor[0] += 1
+                target = start + dispatch_times[index]
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                status, _body = client.post("/v1/solve", factory(index))
+                elapsed = (time.perf_counter() - target) * 1000.0
+                with lock:
+                    if status == 200:
+                        latencies.append(elapsed)
+                    elif status == 429:
+                        rejected[0] += 1
+                    else:
+                        errors[0] += 1
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(max_workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    stats = summarize(latencies, wall, errors[0], rejected[0])
+    stats.update({"mode": "open", "offered_rps": rate_rps})
+    return stats
+
+
+# --------------------------------------------------------------------------- #
+# Batched vs per-request comparison (the >= 2x acceptance run)
+# --------------------------------------------------------------------------- #
+def compare_batching(host: str, port: int, database: str, *,
+                     total_requests: int, concurrency: int) -> dict:
+    factory = request_factory("hard", database)
+    warm = Client(host, port)
+    try:
+        # Warm the session's evaluation cache so both runs measure dispatch
+        # strategy, not the shared first join.
+        status, body = warm.post("/v1/solve", {**factory(0), "batch": False})
+        if status != 200:
+            raise SystemExit(f"warm-up solve failed: {status} {body}")
+    finally:
+        warm.close()
+    per_request = closed_loop(
+        host, port, factory,
+        concurrency=concurrency, total_requests=total_requests, batch=False,
+    )
+    print(f"  per-request dispatch: {per_request['throughput_rps']} req/s "
+          f"(p50 {per_request['latency_ms']['p50']} ms)")
+    batched = closed_loop(
+        host, port, factory,
+        concurrency=concurrency, total_requests=total_requests, batch=True,
+    )
+    print(f"  batched dispatch:     {batched['throughput_rps']} req/s "
+          f"(p50 {batched['latency_ms']['p50']} ms)")
+    speedup = (
+        batched["throughput_rps"] / per_request["throughput_rps"]
+        if per_request["throughput_rps"]
+        else 0.0
+    )
+    print(f"  batched/per-request speedup: {speedup:.2f}x")
+    return {
+        "per_request": per_request,
+        "batched": batched,
+        "speedup": round(speedup, 3),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Recording
+# --------------------------------------------------------------------------- #
+def record_runs(path: Path, entries: List[dict]) -> None:
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from _trajectory import load_trajectory
+
+    trajectory = load_trajectory(path, {
+        "description": "ADP service load-harness trajectory "
+        "(benchmarks/bench_service.py)",
+        "runs": [],
+    })
+    trajectory["runs"].extend(entries)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"recorded {len(entries)} run(s) to {path} "
+          f"({len(trajectory['runs'])} total)")
+
+
+def scrape_health(host: str, port: int) -> dict:
+    client = Client(host, port)
+    try:
+        status, body = client.get("/healthz")
+        return json.loads(body).get("metrics", {}) if status == 200 else {}
+    finally:
+        client.close()
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--url", help="target service (default: self-host)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "python", "numpy"],
+                        help="backend for the self-hosted service")
+    parser.add_argument("--mix", default="easy", choices=["easy", "hard"])
+    parser.add_argument("--mode", default="closed",
+                        choices=["closed", "open", "both"])
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds per load run")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="open-loop offered load (req/s)")
+    parser.add_argument("--hard-size", type=int, default=HARD_SIZE,
+                        help="R2 tuples of the hard-mix Zipf instance")
+    parser.add_argument("--easy-size", type=int, default=EASY_SIZE)
+    parser.add_argument("--batch-linger-ms", type=float, default=5.0,
+                        help="self-hosted service batch window")
+    parser.add_argument("--batch-max", type=int, default=16)
+    parser.add_argument("--compare-batching", action="store_true",
+                        help="run the batched-vs-per-request hard-mix "
+                        "comparison instead of a load run")
+    parser.add_argument("--compare-requests", type=int, default=12)
+    parser.add_argument("--compare-concurrency", type=int, default=6)
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        help="fail unless batched/per-request >= this")
+    parser.add_argument("--assert-throughput", type=float, default=None,
+                        help="fail unless closed-loop req/s >= this")
+    parser.add_argument("--record", nargs="?", const=str(RECORD_PATH),
+                        default=None, metavar="PATH",
+                        help=f"append results to PATH "
+                        f"(default: {RECORD_PATH.name})")
+    args = parser.parse_args(argv)
+
+    runner = None
+    if args.url:
+        host, port = parse_url(args.url)
+    else:
+        from repro.service.http import ServiceConfig, ServiceRunner
+
+        runner = ServiceRunner(ServiceConfig(
+            port=0, backend=args.backend,
+            linger_ms=args.batch_linger_ms, max_batch=args.batch_max,
+            max_pending=max(64, args.concurrency * 4),
+        )).start()
+        host, port = "127.0.0.1", runner.port
+        print(f"self-hosted service on {runner.url} (backend={args.backend})")
+
+    failures: List[str] = []
+    entries: List[dict] = []
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    base = {
+        "timestamp": stamp,
+        "target": args.url or "self-host",
+        "backend": args.backend if not args.url else "server-side",
+    }
+    setup = Client(host, port)
+    try:
+        if args.compare_batching:
+            database = register_workload(setup, "hard", args.hard_size)
+            print(f"batched vs per-request dispatch "
+                  f"({args.compare_requests} requests, "
+                  f"concurrency {args.compare_concurrency}, "
+                  f"{args.hard_size}-tuple zipf):")
+            comparison = compare_batching(
+                host, port, database,
+                total_requests=args.compare_requests,
+                concurrency=args.compare_concurrency,
+            )
+            entries.append({**base, "kind": "compare_batching",
+                            "hard_size": args.hard_size, **comparison})
+            if (args.assert_speedup is not None
+                    and comparison["speedup"] < args.assert_speedup):
+                failures.append(
+                    f"batched speedup {comparison['speedup']:.2f}x "
+                    f"< required {args.assert_speedup:g}x"
+                )
+            if comparison["per_request"]["errors"] or comparison["batched"]["errors"]:
+                failures.append("comparison runs saw request errors")
+        else:
+            size = args.hard_size if args.mix == "hard" else args.easy_size
+            database = register_workload(setup, args.mix, size)
+            factory = request_factory(args.mix, database)
+            if args.mode in ("closed", "both"):
+                stats = closed_loop(
+                    host, port, factory,
+                    concurrency=args.concurrency, duration_s=args.duration,
+                )
+                print(f"closed loop [{args.mix}]: {stats['throughput_rps']} req/s, "
+                      f"p50 {stats['latency_ms']['p50']} ms, "
+                      f"p99 {stats['latency_ms']['p99']} ms, "
+                      f"errors {stats['errors']}")
+                entries.append({**base, "kind": "load", "mix": args.mix,
+                                "size": size, **stats})
+                if stats["errors"]:
+                    failures.append(f"closed loop saw {stats['errors']} errors")
+                if (args.assert_throughput is not None
+                        and stats["throughput_rps"] < args.assert_throughput):
+                    failures.append(
+                        f"closed-loop throughput {stats['throughput_rps']} req/s "
+                        f"< required {args.assert_throughput:g}"
+                    )
+            if args.mode in ("open", "both"):
+                stats = open_loop(
+                    host, port, factory,
+                    rate_rps=args.rate, duration_s=args.duration,
+                    max_workers=max(8, args.concurrency * 2),
+                )
+                print(f"open loop [{args.mix}] @ {args.rate:g} req/s offered: "
+                      f"served {stats['throughput_rps']} req/s, "
+                      f"p50 {stats['latency_ms']['p50']} ms, "
+                      f"p99 {stats['latency_ms']['p99']} ms, "
+                      f"rejected {stats['rejected']}")
+                entries.append({**base, "kind": "load", "mix": args.mix,
+                                "size": size, **stats})
+                if stats["errors"]:
+                    failures.append(f"open loop saw {stats['errors']} errors")
+        metrics = scrape_health(host, port)
+        if metrics:
+            print(f"service metrics: {json.dumps(metrics, sort_keys=True)}")
+            entries[-1]["service_metrics"] = metrics
+    finally:
+        setup.close()
+        if runner is not None:
+            runner.close()
+            import multiprocessing
+
+            leaked = multiprocessing.active_children()
+            if leaked:
+                failures.append(f"leaked worker processes: {leaked!r}")
+
+    if args.record:
+        record_runs(Path(args.record), entries)
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}")
+        return 1
+    print("service load run ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

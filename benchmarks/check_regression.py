@@ -175,33 +175,57 @@ def measure() -> dict:
     return timings
 
 
+def _load_trajectory(path: Path) -> dict:
+    """The trajectory file, recreated when missing, corrupt or malformed."""
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from _trajectory import load_trajectory
+
+    return load_trajectory(path, {
+        "workload": f"tpch[{SMALL_SIZE}] Q1 ratio={RATIO} (Figure 12) "
+        f"+ zipf[{BACKEND_R2_TUPLES}] backend probe",
+        "runs": [],
+    })
+
+
 def record_trajectory(path: Path, calibration: float, timings: dict) -> None:
-    """Append one run to the committed perf-trajectory JSON."""
+    """Append one run to the committed perf-trajectory JSON.
+
+    Identical re-runs (same measurements, interpreter and NumPy -- only
+    the timestamp differs) are deduplicated: re-invoking ``--record``
+    without re-measuring must not inflate the history.
+    """
     try:
         import numpy
 
         numpy_version = numpy.__version__
     except ImportError:
         numpy_version = None
-    if path.exists():
-        trajectory = json.loads(path.read_text())
-    else:
-        trajectory = {
-            "workload": f"tpch[{SMALL_SIZE}] Q1 ratio={RATIO} (Figure 12) "
-            f"+ zipf[{BACKEND_R2_TUPLES}] backend probe",
-            "runs": [],
-        }
-    trajectory["runs"].append(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "python": platform.python_version(),
-            "numpy": numpy_version,
-            "calibration_seconds": round(calibration, 6),
-            "methods": {k: round(v, 6) for k, v in timings.items()},
-        }
-    )
+    trajectory = _load_trajectory(path)
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "calibration_seconds": round(calibration, 6),
+        "methods": {k: round(v, 6) for k, v in timings.items()},
+    }
+    runs = trajectory["runs"]
+
+    def sans_timestamp(run: object) -> object:
+        if isinstance(run, dict):
+            return {k: v for k, v in run.items() if k != "timestamp"}
+        return run  # malformed entry: never equal to a fresh one
+
+    if runs and sans_timestamp(runs[-1]) == sans_timestamp(entry):
+        print(
+            f"trajectory entry identical to the last run in {path}; "
+            "skipping the duplicate append"
+        )
+        return
+    runs.append(entry)
     path.write_text(json.dumps(trajectory, indent=2) + "\n")
-    print(f"trajectory entry appended to {path} ({len(trajectory['runs'])} runs)")
+    print(f"trajectory entry appended to {path} ({len(runs)} runs)")
 
 
 def main(argv=None) -> int:

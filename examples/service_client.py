@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Talking JSON to the ADP query service.
+
+This example demonstrates the whole ``repro.service`` HTTP API with
+nothing but the standard library:
+
+1. start a service (in-process here; ``python -m repro serve`` gives you
+   the same thing as a standalone process -- pass ``--url`` to target it);
+2. register a database over ``POST /v1/databases``;
+3. classify a query (``/v1/prepare``), solve ADP (``/v1/solve`` --
+   concurrent solves are micro-batched into one ``solve_many`` call
+   server-side), and probe a hypothetical deletion (``/v1/what_if``);
+4. apply the deletion for real (``/v1/apply_deletions``) and watch the
+   database version bump while post-deletion solves stay consistent;
+5. read the service's own telemetry (``/healthz``, ``/metrics``).
+
+Run with:  python examples/service_client.py [--url http://host:port]
+"""
+
+import argparse
+import http.client
+import json
+
+QUERY = "Qwl(S, C) :- Major(S, M), Req(M, C), NoSeat(C)"
+
+REGISTRAR = {
+    "name": "registrar",
+    "schema": {"Major": ["S", "M"], "Req": ["M", "C"], "NoSeat": ["C"]},
+    "rows": {
+        "Major": [["alice", "cs"], ["bob", "cs"], ["carol", "math"]],
+        "Req": [["cs", "db"], ["cs", "os"], ["math", "calc"]],
+        "NoSeat": [["db"], ["os"], ["calc"]],
+    },
+}
+
+
+def call(conn, method, path, payload=None):
+    conn.request(method, path, json.dumps(payload) if payload else None)
+    response = conn.getresponse()
+    raw = response.read()
+    if response.getheader("Content-Type", "").startswith("application/json"):
+        return response.status, json.loads(raw)
+    return response.status, raw.decode("utf-8", "replace")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", help="target an external `repro serve` "
+                                      "instead of self-hosting")
+    args = parser.parse_args()
+
+    runner = None
+    if args.url:
+        hostport = args.url.split("//", 1)[-1].rstrip("/")
+        host, _, port = hostport.partition(":")
+        port = int(port or 80)
+    else:
+        from repro.service import ServiceConfig, ServiceRunner
+
+        runner = ServiceRunner(ServiceConfig(port=0)).start()
+        host, port = "127.0.0.1", runner.port
+        print(f"self-hosted service at {runner.url}\n")
+
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        # -- register a database ---------------------------------------- #
+        status, body = call(conn, "POST", "/v1/databases", REGISTRAR)
+        print(f"registered {body['name']!r}: {body['total_tuples']} tuples, "
+              f"version {body['version']}")
+
+        # -- classify the query ----------------------------------------- #
+        status, body = call(conn, "POST", "/v1/prepare",
+                            {"database": "registrar", "query": QUERY})
+        print(f"prepare: {body['classification']} "
+              f"(singleton={body['is_singleton']}, "
+              f"join order {body['join_order']})")
+
+        # -- solve ADP(Q, D, k=2) --------------------------------------- #
+        status, body = call(conn, "POST", "/v1/solve",
+                            {"database": "registrar", "query": QUERY, "k": 2})
+        print(f"solve k=2: remove {body['objective']} tuple(s) "
+              f"{body['removed']} -> kills {body['removed_outputs']} answers "
+              f"({body['elapsed_ms']} ms, version {body['version']})")
+
+        # -- what if we deleted the cs->db requirement? ------------------ #
+        status, body = call(conn, "POST", "/v1/what_if", {
+            "database": "registrar", "query": QUERY,
+            "refs": [["Req", ["cs", "db"]]], "include_after": True,
+        })
+        print(f"what-if Req(cs, db): -{body['outputs_removed']} answers "
+              f"({body['output_size_before']} -> {body['output_size_after']}), "
+              "database untouched")
+
+        # -- apply a deletion for real ----------------------------------- #
+        status, body = call(conn, "POST", "/v1/apply_deletions", {
+            "database": "registrar", "refs": [["Req", ["cs", "db"]]],
+        })
+        print(f"apply_deletions: removed {body['removed']}, "
+              f"version now {body['version']}")
+
+        status, body = call(conn, "POST", "/v1/solve",
+                            {"database": "registrar", "query": QUERY, "k": 1})
+        print(f"solve k=1 at v{body['version']}: remove {body['removed']}")
+
+        # -- telemetry ---------------------------------------------------- #
+        status, body = call(conn, "GET", "/healthz")
+        print(f"healthz: {body['status']}, "
+              f"{body['metrics']['solves_total']} solves served")
+        status, text = call(conn, "GET", "/metrics")
+        first_counter = next(line for line in text.splitlines()
+                             if line.startswith("repro_service_requests_total{"))
+        print(f"metrics sample: {first_counter}")
+    finally:
+        conn.close()
+        if runner is not None:
+            runner.close()
+
+
+if __name__ == "__main__":
+    main()

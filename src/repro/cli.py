@@ -9,7 +9,11 @@ without writing any Python:
   CSV files (one file per relation, written by
   :func:`repro.data.csvio.save_database_csv` or by hand);
 * ``experiments`` -- regenerate one or all of the paper's figures and print
-  the tidy tables.
+  the tidy tables;
+* ``serve`` -- run the asyncio ADP query service (:mod:`repro.service`):
+  named databases behind an HTTP/JSON API with request batching, versioned
+  reads and backpressure.  ``--load name=csv_dir`` preloads databases;
+  clients can also register them at runtime via ``POST /v1/databases``.
 
 ``solve`` runs through a :class:`repro.session.Session` bound to the loaded
 database: ``--engine`` picks the columnar, row-reference or sharded parallel
@@ -29,6 +33,7 @@ Examples
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --ratio 0.5 --method drastic
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3 --json
     python -m repro experiments --only fig28
+    python -m repro serve --port 8080 --backend auto --load tpch=./tpch_csv
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.adp import ADPSolver
@@ -131,6 +137,117 @@ def _add_experiments_parser(subparsers) -> None:
     )
 
 
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the HTTP/JSON ADP query service (repro.service)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["columnar", "row", "parallel"],
+        default="columnar",
+        help="evaluation engine for every served session",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="array backend for the columnar kernels",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per session (N > 1 implies the parallel engine)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="solver thread pool size (lock draining + batch concurrency)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max solve requests coalesced into one solve_many dispatch "
+        "(1 disables micro-batching)",
+    )
+    parser.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="how long the first request of a batch window waits for company",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission bound on queued+running solve requests (excess: 429)",
+    )
+    parser.add_argument(
+        "--max-databases",
+        type=int,
+        default=8,
+        metavar="N",
+        help="LRU bound on resident databases (eviction closes the session)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        metavar="MS",
+        help="default per-request deadline (0 disables; requests may override)",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=CSV_DIR",
+        help="preload a CSV-directory database under NAME (repeatable)",
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.http import ServiceConfig, serve
+
+    preload = {}
+    for spec in args.load:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"error: --load expects NAME=CSV_DIR, got {spec!r}", file=sys.stderr)
+            return 2
+        preload[name] = load_database_csv(path)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        backend=args.backend,
+        workers=args.workers,
+        executor_threads=args.threads,
+        max_batch=args.batch_max,
+        linger_ms=args.batch_linger_ms,
+        max_pending=args.max_pending,
+        max_databases=args.max_databases,
+        default_deadline_ms=args.deadline_ms,
+    )
+    try:
+        asyncio.run(serve(config, preload))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_classify(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     trace = decide(query)
@@ -145,25 +262,22 @@ def _run_classify(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solution_payload(session, prepared, total, solution) -> dict:
-    return {
-        "query": str(prepared.query),
-        "classification": prepared.classification,
-        "engine": session.engine,
-        "backend": session.backend,
-        "workers": session.workers,
-        "output_size": total,
-        "k": solution.k if solution else 0,
-        "objective": solution.size if solution else 0,
-        "optimal": solution.optimal if solution else True,
-        "method": solution.method if solution else "empty-result",
-        "removed": (
-            sorted(str(ref) for ref in solution.removed) if solution else []
-        ),
-    }
+def _json_summary(session, prepared, total, solution, started: float) -> str:
+    """The solve summary: the shared service schema plus ``elapsed_ms``.
+
+    The payload body is exactly what ``POST /v1/solve`` answers for the
+    same request (one serializer, :mod:`repro.service.serialize`); the CLI
+    adds wall-clock ``elapsed_ms`` the same way the service envelope does.
+    """
+    from repro.service.serialize import elapsed_ms, solution_payload
+
+    payload = solution_payload(session, prepared, total, solution)
+    payload["elapsed_ms"] = elapsed_ms(started, time.perf_counter())
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _run_solve(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     query = parse_query(args.query)
     database = load_database_csv(args.database)
     heuristic = "greedy" if args.method == "auto" else args.method
@@ -184,7 +298,7 @@ def _run_solve(args: argparse.Namespace) -> int:
     if total == 0:
         # An empty result is a legitimate (empty) answer: nothing to remove.
         if args.json:
-            print(json.dumps(_solution_payload(session, prepared, 0, None), indent=2))
+            print(_json_summary(session, prepared, 0, None, started))
         else:
             print("|Q(D)| = 0, target k = 0")
             print("objective = 0 input tuple(s); the query result is already empty")
@@ -195,7 +309,7 @@ def _run_solve(args: argparse.Namespace) -> int:
         solution = session.solve_ratio(prepared, args.ratio, solver=solver)
 
     if args.json:
-        print(json.dumps(_solution_payload(session, prepared, total, solution), indent=2))
+        print(_json_summary(session, prepared, total, solution, started))
         return 0
     print(f"|Q(D)| = {total}, target k = {solution.k}")
     print(
@@ -235,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_classify_parser(subparsers)
     _add_solve_parser(subparsers)
     _add_experiments_parser(subparsers)
+    _add_serve_parser(subparsers)
     return parser
 
 
@@ -247,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_solve(args)
     if args.command == "experiments":
         return _run_experiments(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

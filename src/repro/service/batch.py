@@ -1,0 +1,146 @@
+"""Micro-batching: coalesce concurrent solve requests into one dispatch.
+
+``Session.solve_many`` amortizes the expensive part of an ADP solve -- one
+evaluation and **one cost curve per distinct query**, read off at every
+requested target -- but only when requests arrive *as a batch*.  Under
+concurrent HTTP load they arrive as individual requests microseconds
+apart.  The :class:`MicroBatcher` turns that stream back into batches:
+
+* requests are grouped by a caller-chosen **key** (the service keys on
+  ``(database, version, solver configuration)`` -- everything that must be
+  uniform within one ``solve_many`` call; queries may differ, the session
+  groups them internally);
+* the first request of a group opens a **linger window** (``linger_ms``);
+  everything arriving for the same key within the window joins the batch;
+* the window closes early when the batch reaches ``max_batch``, and the
+  whole group is handed to the dispatch callable as one list.
+
+With ``max_batch=1`` (or ``enabled=False``) every request dispatches as a
+singleton immediately -- the configuration the load harness uses as its
+per-request baseline, and the fallback the service applies to requests
+that opt out (``"batch": false``).
+
+The batcher is a pure asyncio component: ``submit`` must be called on the
+event loop.  The dispatch callable is ``async`` and returns one outcome
+per item (any value, including an exception instance the caller encodes
+itself); if dispatch *raises*, every waiter of that batch receives the
+exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Tuple
+
+#: ``async def dispatch(key, items) -> [outcome per item]``.
+DispatchFn = Callable[[Hashable, List[Any]], Awaitable[List[Any]]]
+
+
+class _PendingBatch:
+    __slots__ = ("items", "futures", "timer", "flushed")
+
+    def __init__(self) -> None:
+        self.items: List[Any] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.flushed = False
+
+
+class MicroBatcher:
+    """Group concurrent ``submit`` calls per key into batched dispatches."""
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        *,
+        max_batch: int = 16,
+        linger_ms: float = 2.0,
+        enabled: bool = True,
+        on_dispatch: Optional[Callable[[int], None]] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if linger_ms < 0:
+            raise ValueError(f"linger_ms must be >= 0, got {linger_ms}")
+        self.dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.linger_s = float(linger_ms) / 1000.0
+        self.enabled = bool(enabled) and self.max_batch > 1
+        #: Observability hook: called with the batch size at each dispatch.
+        self.on_dispatch = on_dispatch
+        self._pending: Dict[Hashable, _PendingBatch] = {}
+
+    async def submit(self, key: Hashable, item: Any) -> Any:
+        """Queue ``item`` under ``key``; resolves to its dispatch outcome."""
+        if not self.enabled:
+            return await self._dispatch_now(key, [item], None)
+        loop = asyncio.get_running_loop()
+        batch = self._pending.get(key)
+        if batch is None or batch.flushed:
+            batch = _PendingBatch()
+            self._pending[key] = batch
+            batch.timer = loop.call_later(
+                self.linger_s, lambda: asyncio.ensure_future(self._flush(key, batch))
+            )
+        future: asyncio.Future = loop.create_future()
+        batch.items.append(item)
+        batch.futures.append(future)
+        if len(batch.items) >= self.max_batch:
+            await self._flush(key, batch)
+        return await future
+
+    async def flush_all(self) -> None:
+        """Flush every open window now (shutdown path)."""
+        for key, batch in list(self._pending.items()):
+            await self._flush(key, batch)
+
+    @property
+    def pending_keys(self) -> Tuple[Hashable, ...]:
+        return tuple(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    async def _flush(self, key: Hashable, batch: _PendingBatch) -> None:
+        if batch.flushed:
+            return
+        batch.flushed = True
+        if batch.timer is not None:
+            batch.timer.cancel()
+        if self._pending.get(key) is batch:
+            del self._pending[key]
+        if not batch.items:  # pragma: no cover - timer fired on empty batch
+            return
+        await self._dispatch_now(key, batch.items, batch.futures)
+
+    async def _dispatch_now(
+        self,
+        key: Hashable,
+        items: List[Any],
+        futures: Optional[List[asyncio.Future]],
+    ) -> Any:
+        if self.on_dispatch is not None:
+            self.on_dispatch(len(items))
+        try:
+            outcomes = await self.dispatch(key, items)
+            if len(outcomes) != len(items):
+                raise RuntimeError(
+                    f"dispatch returned {len(outcomes)} outcomes "
+                    f"for {len(items)} items"
+                )
+        except Exception as exc:
+            if futures is None:
+                raise
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return None
+        if futures is None:
+            return outcomes[0]
+        for future, outcome in zip(futures, outcomes):
+            if not future.done():
+                future.set_result(outcome)
+        return None
+
+
+__all__ = ["MicroBatcher"]

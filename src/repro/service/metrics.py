@@ -1,0 +1,162 @@
+"""Service counters and the ``/metrics`` Prometheus text exposition.
+
+One :class:`ServiceMetrics` per service.  Everything is guarded by one
+lock: updates come from the event loop *and* from solver threads, and a
+metrics scrape must never observe a torn histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+#: Upper bucket bounds (milliseconds) of the request latency histogram.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+_PREFIX = "repro_service"
+
+
+class ServiceMetrics:
+    """Thread-safe counters/gauges/histograms for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (endpoint, status code) -> completed request count.
+        self.requests_total: Dict[Tuple[str, int], int] = defaultdict(int)
+        self.in_flight = 0
+        self.rejected_total = 0
+        self.deadline_missed_total = 0
+        self.batches_total = 0
+        self.batched_requests_total = 0
+        self.singleton_dispatch_total = 0
+        self.solves_total = 0
+        self.deletions_applied_total = 0
+        #: endpoint -> (count, sum_ms, cumulative bucket counts).
+        self._latency: Dict[str, Tuple[int, float, List[int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def request_started(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
+    def request_finished(self, endpoint: str, status: int, elapsed_ms: float) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.requests_total[(endpoint, status)] += 1
+            count, total, buckets = self._latency.get(
+                endpoint, (0, 0.0, [0] * len(LATENCY_BUCKETS_MS))
+            )
+            buckets = list(buckets)
+            for i, bound in enumerate(LATENCY_BUCKETS_MS):
+                if elapsed_ms <= bound:
+                    buckets[i] += 1
+            self._latency[endpoint] = (count + 1, total + elapsed_ms, buckets)
+
+    def rejected(self) -> None:
+        with self._lock:
+            self.rejected_total += 1
+
+    def deadline_missed(self) -> None:
+        with self._lock:
+            self.deadline_missed_total += 1
+
+    def batch_dispatched(self, size: int) -> None:
+        """A micro-batch of ``size`` coalesced requests hit ``solve_many``."""
+        with self._lock:
+            if size > 1:
+                self.batches_total += 1
+                self.batched_requests_total += size
+            else:
+                self.singleton_dispatch_total += 1
+            self.solves_total += size
+
+    def solve_dispatched(self) -> None:
+        """One request bypassed the batcher (``batch: false`` or no batcher)."""
+        with self._lock:
+            self.singleton_dispatch_total += 1
+            self.solves_total += 1
+
+    def deletions_applied(self, removed: int) -> None:
+        with self._lock:
+            self.deletions_applied_total += removed
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """A plain-dict view (``/healthz``, tests, the load harness)."""
+        with self._lock:
+            return {
+                "requests_total": sum(self.requests_total.values()),
+                "in_flight": self.in_flight,
+                "rejected_total": self.rejected_total,
+                "deadline_missed_total": self.deadline_missed_total,
+                "batches_total": self.batches_total,
+                "batched_requests_total": self.batched_requests_total,
+                "singleton_dispatch_total": self.singleton_dispatch_total,
+                "solves_total": self.solves_total,
+                "deletions_applied_total": self.deletions_applied_total,
+            }
+
+    def render(self, extra_gauges: Optional[Dict[str, float]] = None) -> str:
+        """The Prometheus text exposition served at ``/metrics``."""
+        with self._lock:
+            lines: List[str] = []
+
+            def counter(name: str, value, help_text: str, labels: str = "") -> None:
+                lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
+                lines.append(f"# TYPE {_PREFIX}_{name} counter")
+                lines.append(f"{_PREFIX}_{name}{labels} {value}")
+
+            lines.append(f"# HELP {_PREFIX}_requests_total Completed HTTP requests.")
+            lines.append(f"# TYPE {_PREFIX}_requests_total counter")
+            for (endpoint, status), count in sorted(self.requests_total.items()):
+                lines.append(
+                    f'{_PREFIX}_requests_total{{endpoint="{endpoint}",'
+                    f'status="{status}"}} {count}'
+                )
+            lines.append(f"# HELP {_PREFIX}_in_flight Requests currently being served.")
+            lines.append(f"# TYPE {_PREFIX}_in_flight gauge")
+            lines.append(f"{_PREFIX}_in_flight {self.in_flight}")
+            for name, value in sorted((extra_gauges or {}).items()):
+                lines.append(f"# TYPE {_PREFIX}_{name} gauge")
+                lines.append(f"{_PREFIX}_{name} {value}")
+            counter("rejected_total", self.rejected_total,
+                    "Requests shed by admission control (HTTP 429).")
+            counter("deadline_missed_total", self.deadline_missed_total,
+                    "Requests that expired before or during dispatch (HTTP 504).")
+            counter("batches_total", self.batches_total,
+                    "Coalesced solve_many dispatches (batch size > 1).")
+            counter("batched_requests_total", self.batched_requests_total,
+                    "Solve requests served through a coalesced batch.")
+            counter("singleton_dispatch_total", self.singleton_dispatch_total,
+                    "Solve requests dispatched individually.")
+            counter("solves_total", self.solves_total, "Solve requests executed.")
+            counter("deletions_applied_total", self.deletions_applied_total,
+                    "Input tuples removed by /v1/apply_deletions.")
+            base = f"{_PREFIX}_request_latency_ms"
+            if self._latency:
+                # One HELP/TYPE per metric name (the text format forbids
+                # repeating them per label set).
+                lines.append(f"# HELP {base} Request latency per endpoint.")
+                lines.append(f"# TYPE {base} histogram")
+            for endpoint, (count, total, buckets) in sorted(self._latency.items()):
+                for bound, cumulative in zip(LATENCY_BUCKETS_MS, buckets):
+                    lines.append(
+                        f'{base}_bucket{{endpoint="{endpoint}",le="{bound}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{base}_bucket{{endpoint="{endpoint}",le="+Inf"}} {count}'
+                )
+                lines.append(f'{base}_sum{{endpoint="{endpoint}"}} {round(total, 3)}')
+                lines.append(f'{base}_count{{endpoint="{endpoint}"}} {count}')
+            return "\n".join(lines) + "\n"
+
+
+__all__ = ["LATENCY_BUCKETS_MS", "ServiceMetrics"]

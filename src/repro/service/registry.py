@@ -1,0 +1,275 @@
+"""Named, versioned databases bound to long-lived sessions.
+
+The service never constructs a :class:`~repro.session.Session` per request
+-- the whole point of the session API is that the evaluation cache, the
+interning tables and (for parallel sessions) the worker pool amortize
+across requests.  The :class:`SessionRegistry` owns that mapping:
+
+* **names** -- clients address databases by name (``"tpch"``), never by
+  object identity;
+* **versions** -- every successful ``apply_deletions`` bumps the entry's
+  monotonically increasing version number.  Responses carry the version
+  they were computed against, so a client can tell pre- and post-deletion
+  answers apart;
+* **per-database read/write locks** -- solves and what-ifs take the read
+  side (the session read paths are thread-safe, so any number run
+  concurrently), ``apply_deletions`` takes the write side: it waits for
+  every in-flight read to drain -- reads admitted before the write
+  therefore complete against the prior version -- and blocks new reads
+  until the mutation (and its cache migration) is done.  The lock is
+  write-preferring, so a steady read stream cannot starve a deletion;
+* **LRU bound** -- at most ``capacity`` databases stay resident; inserting
+  beyond it closes and evicts the least-recently-used entry
+  (:meth:`Session.close` shuts down its caches and worker pool
+  deterministically -- the satellite contract this registry relies on).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.data.database import Database
+from repro.session import Session
+
+
+class DuplicateDatabaseError(ValueError):
+    """The database name is already registered (HTTP 409, not 400)."""
+
+
+class ReadWriteLock:
+    """A write-preferring readers/writer lock (threading-based).
+
+    Used by the registry entries (solver threads block on it, so it cannot
+    be an asyncio primitive) and by the concurrency contract tests, which
+    replay the same serialize-writes-drain-reads discipline the service
+    promises.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            # Write preference: new readers queue behind a waiting writer.
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+
+class RegisteredDatabase:
+    """One registry entry: a named database, its session, version and lock."""
+
+    __slots__ = ("name", "database", "session", "version", "lock", "created_at")
+
+    def __init__(self, name: str, database: Database, session: Session):
+        self.name = name
+        self.database = database
+        self.session = session
+        self.version = 1
+        self.lock = ReadWriteLock()
+        self.created_at = time.time()
+
+    def close(self) -> None:
+        """Drain in-flight reads, then close the session (pool included)."""
+        with self.lock.write():
+            self.session.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisteredDatabase({self.name!r}, v{self.version})"
+
+
+class SessionRegistry:
+    """LRU-bounded mapping ``name -> RegisteredDatabase`` (thread-safe)."""
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        *,
+        engine: str = "columnar",
+        backend: str = "auto",
+        workers: int = 1,
+    ):
+        if capacity < 1:
+            raise ValueError(f"registry capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.engine = engine
+        self.backend = backend
+        self.workers = int(workers)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, RegisteredDatabase]" = OrderedDict()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # CRUD
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        database: Database,
+        *,
+        replace: bool = False,
+        session: Optional[Session] = None,
+    ) -> RegisteredDatabase:
+        """Bind ``database`` under ``name`` (evicting LRU entries if full).
+
+        ``replace=False`` raises :class:`DuplicateDatabaseError` when the
+        name is taken (HTTP 409); ``replace=True`` closes and supersedes the
+        old entry.  A custom ``session`` may be supplied (tests); by
+        default one is created with the registry's engine/backend/workers.
+        """
+        if not name or "/" in name:
+            raise ValueError(f"invalid database name {name!r}")
+        owned = session is None
+        if session is None:
+            session = Session(
+                database,
+                engine=self.engine,
+                backend=self.backend,
+                workers=self.workers,
+            )
+        entry = RegisteredDatabase(name, database, session)
+        evicted: List[RegisteredDatabase] = []
+        with self._lock:
+            if self._closed:
+                if owned:  # never destroy a session the caller still owns
+                    session.close()
+                raise RuntimeError("registry is closed")
+            old = self._entries.get(name)
+            if old is not None and not replace:
+                if owned:
+                    session.close()
+                raise DuplicateDatabaseError(
+                    f"database {name!r} already registered"
+                )
+            if old is not None:
+                # Superseding counts as a mutation: the version continues
+                # past the old entry's, so (name, version) stays unambiguous
+                # across the replacement (batch keys and client caches rely
+                # on it).
+                entry.version = old.version + 1
+                evicted.append(old)
+                del self._entries[name]
+            self._entries[name] = entry
+            while len(self._entries) > self.capacity:
+                _lru_name, lru = self._entries.popitem(last=False)
+                evicted.append(lru)
+        # Close outside the registry lock: close() drains the entry's
+        # in-flight readers, and those readers never touch the registry
+        # lock while running, so this cannot deadlock -- but holding the
+        # registry lock across a drain would stall every other endpoint.
+        for stale in evicted:
+            stale.close()
+        return entry
+
+    def get(self, name: str) -> RegisteredDatabase:
+        """The entry for ``name`` (refreshing its LRU position)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(f"no database named {name!r}")
+            self._entries.move_to_end(name)
+            return entry
+
+    def drop(self, name: str) -> None:
+        """Unregister and close one entry (``KeyError`` when absent)."""
+        with self._lock:
+            entry = self._entries.pop(name)
+        entry.close()
+
+    def entries(self) -> List[RegisteredDatabase]:
+        """Every resident entry, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    # ------------------------------------------------------------------ #
+    # Mutation bookkeeping
+    # ------------------------------------------------------------------ #
+    def apply_deletions(self, name: str, refs) -> "tuple[int, int]":
+        """Delete ``refs`` from the named database under its write lock.
+
+        Returns ``(removed count, resulting version)``.  The version bumps
+        only when tuples were actually removed -- a no-op deletion leaves
+        cached results (and the version clients cache against) intact.
+        """
+        entry = self.get(name)
+        with entry.lock.write():
+            if entry.session.closed:
+                # Evicted while we waited for the write lock: to the caller
+                # the database is simply gone.
+                raise KeyError(f"no database named {name!r}")
+            removed = entry.session.apply_deletions(refs)
+            if removed:
+                entry.version += 1
+            return removed, entry.version
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every session and refuse further registrations."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.close()
+
+
+__all__ = [
+    "DuplicateDatabaseError",
+    "ReadWriteLock",
+    "RegisteredDatabase",
+    "SessionRegistry",
+]

@@ -398,6 +398,7 @@ class Session:
     ):
         self.database = database
         workers = int(workers)
+        owns_context = _context is None
         if _context is None:
             if engine not in ENGINE_MODES:
                 raise ValueError(f"unknown engine mode {engine!r}")
@@ -431,6 +432,17 @@ class Session:
             "deletions_applied": 0,
         }
         self._closed = False
+        # Deterministic teardown net: a session that owns its context (i.e.
+        # was not handed the shared per-database default context) releases
+        # it -- cache, interners and, crucially, the parallel worker pool --
+        # when garbage collected, not just on an explicit close().  Without
+        # this, a dropped parallel session leaks its worker processes until
+        # interpreter exit.  close() runs the same finalizer explicitly.
+        self._finalizer = (
+            weakref.finalize(self, EngineContext.release, self._context)
+            if owns_context
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -441,10 +453,27 @@ class Session:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (closed sessions raise)."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the session's cache and interning tables."""
-        self._context.release()
+        """Release the session's cache, interning tables and worker pool.
+
+        Idempotent and deterministic: after ``close()`` returns, a parallel
+        session's worker processes have exited (the pool drains and joins
+        them) -- the guarantee the service registry's LRU eviction relies
+        on.  The same release also runs via a GC finalizer when an unclosed
+        session that owns its context is collected.
+        """
+        if self._closed:
+            return
         self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()
+        else:
+            self._context.release()
 
     def _check_open(self) -> None:
         if self._closed:

@@ -7,6 +7,7 @@ their lazy builds with locks, and cache operations are internally locked.
 """
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.evaluate import EngineContext, active_context, use_context
@@ -88,3 +89,120 @@ def test_concurrent_evaluate_shares_one_interning_pass():
         for relation in database:
             index = context.interned(relation)
             assert context.interned(relation) is index
+
+
+def test_mixed_solve_what_if_apply_matches_serial_replay():
+    """Hammer one database with mixed reads + serialized deletions.
+
+    The service contract (repro.service.registry): any number of threads
+    may solve/what-if concurrently while apply_deletions takes the write
+    side of a per-database lock.  Under that discipline every observation
+    a reader makes at version ``v`` must be byte-identical to a serial
+    replay that performs the same deletions in the same order.
+    """
+    import random
+
+    from repro.service.registry import ReadWriteLock
+    from repro.workloads.queries import Q6
+
+    from tests.conftest import packed_outputs
+
+    def build():
+        return generate_zipf_path(r2_tuples=300, alpha=0.8, seed=5)
+
+    session = Session(build())
+    lock = ReadWriteLock()
+    state = {"version": 1}
+
+    # Deterministic deletion batches drawn from the initial instance: three
+    # disjoint slices of the sorted R2 edges (the hammered and the replayed
+    # database delete exactly the same tuples in the same order).
+    initial_refs = sorted(
+        (ref for ref in build().all_refs() if ref.relation == "R2"), key=str
+    )
+    batches = [initial_refs[0:5], initial_refs[5:10], initial_refs[10:15]]
+    probe_refs = initial_refs[20:24]
+    queries = [QPATH_EXP, Q6]
+
+    observations = []
+    observed_lock = threading.Lock()
+    stop_readers = threading.Event()
+    errors = []
+
+    def reader(seed):
+        rng = random.Random(seed)
+        try:
+            while not stop_readers.is_set():
+                op = rng.choice(("solve", "what_if", "evaluate"))
+                query = rng.choice(queries)
+                k = rng.randint(1, 2)
+                with lock.read():
+                    version = state["version"]
+                    if op == "solve":
+                        solution = session.solve(query, k)
+                        record = (version, "solve", query.name, k,
+                                  solution.removed, solution.objective)
+                    elif op == "what_if":
+                        entry = session.what_if(probe_refs, query).single
+                        record = (version, "what_if", query.name, None,
+                                  entry.outputs_removed, entry.witnesses_removed)
+                    else:
+                        result = session.evaluate(query)
+                        record = (version, "evaluate", query.name, None,
+                                  tuple(result.output_rows),
+                                  tuple(packed_outputs(result.provenance)))
+                with observed_lock:
+                    observations.append(record)
+        except Exception as exc:  # pragma: no cover - surfaced by assert
+            errors.append(exc)
+
+    def writer():
+        try:
+            for batch in batches:
+                time.sleep(0.05)  # let readers pile up on this version
+                with lock.write():
+                    session.apply_deletions(batch)
+                    state["version"] += 1
+        except Exception as exc:  # pragma: no cover - surfaced by assert
+            errors.append(exc)
+        finally:
+            time.sleep(0.05)
+            stop_readers.set()
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+    assert not any(t.is_alive() for t in threads)
+    versions_seen = {record[0] for record in observations}
+    assert 1 in versions_seen  # readers really raced the writer
+
+    # Serial replay: same database, same deletion sequence, no concurrency.
+    replay = Session(build())
+    expected = {}
+    for version in range(1, len(batches) + 2):
+        for query in queries:
+            result = replay.evaluate(query)
+            expected[(version, "evaluate", query.name, None)] = (
+                tuple(result.output_rows),
+                tuple(packed_outputs(result.provenance)),
+            )
+            entry = replay.what_if(probe_refs, query).single
+            expected[(version, "what_if", query.name, None)] = (
+                entry.outputs_removed, entry.witnesses_removed,
+            )
+            for k in (1, 2):
+                solution = replay.solve(query, k)
+                expected[(version, "solve", query.name, k)] = (
+                    solution.removed, solution.objective,
+                )
+        if version <= len(batches):
+            replay.apply_deletions(batches[version - 1])
+
+    for version, op, name, k, *payload in observations:
+        assert tuple(payload) == expected[(version, op, name, k)]
+    session.close()
+    replay.close()

@@ -1,0 +1,62 @@
+"""Shared helpers for the service tests: an embedded server + JSON client."""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.service.http import ServiceConfig, ServiceRunner
+
+
+class JsonClient:
+    """A tiny keep-alive JSON client over ``http.client`` (stdlib only)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, object, dict]:
+        body = json.dumps(payload) if payload is not None else None
+        self.conn.request(method, path, body)
+        response = self.conn.getresponse()
+        raw = response.read()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        if headers.get("content-type", "").startswith("application/json"):
+            return response.status, json.loads(raw), headers
+        return response.status, raw, headers
+
+    def get(self, path: str):
+        return self.request("GET", path)
+
+    def post(self, path: str, payload: dict):
+        return self.request("POST", path, payload)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def database_as_wire(database) -> dict:
+    """``{schema, rows}`` for ``POST /v1/databases`` from a Database."""
+    from repro.service.serialize import database_to_wire
+
+    return database_to_wire(database)
+
+
+@pytest.fixture
+def service_runner():
+    """Factory fixture: start embedded services, tear them all down."""
+    runners = []
+
+    def start(**overrides) -> ServiceRunner:
+        overrides.setdefault("port", 0)
+        runner = ServiceRunner(ServiceConfig(**overrides)).start()
+        runners.append(runner)
+        return runner
+
+    yield start
+    for runner in runners:
+        runner.close()

@@ -1,0 +1,57 @@
+"""Admission control: bounded pending counter, overload signal, deadlines."""
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    Deadline,
+    DeadlineExpired,
+    Overloaded,
+)
+
+
+def test_acquire_release_and_overload():
+    admission = AdmissionController(max_pending=2, retry_after_s=0.5)
+    admission.acquire()
+    admission.acquire()
+    assert admission.pending == 2
+    with pytest.raises(Overloaded) as excinfo:
+        admission.acquire()
+    assert excinfo.value.retry_after_s == 0.5
+    assert excinfo.value.limit == 2
+    admission.release()
+    admission.acquire()  # capacity freed
+    admission.release()
+    admission.release()
+    assert admission.pending == 0
+
+
+def test_context_manager_releases_on_error():
+    admission = AdmissionController(max_pending=1)
+    with pytest.raises(RuntimeError):
+        with admission:
+            assert admission.pending == 1
+            raise RuntimeError("handler blew up")
+    assert admission.pending == 0
+
+
+def test_invalid_bound_rejected():
+    with pytest.raises(ValueError):
+        AdmissionController(max_pending=0)
+
+
+def test_deadline_expiry():
+    unbounded = Deadline(None)
+    assert not unbounded.expired
+    assert unbounded.remaining_ms() is None
+    unbounded.check()  # never raises
+
+    generous = Deadline(60_000.0)
+    assert not generous.expired
+    assert generous.remaining_ms() > 0
+
+    expired = Deadline(0.0)
+    assert expired.expired
+    assert expired.remaining_ms() == 0.0
+    with pytest.raises(DeadlineExpired):
+        expired.check()

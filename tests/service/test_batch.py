@@ -1,0 +1,149 @@
+"""Micro-batcher semantics: linger windows, early flush, error fan-out."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batch import MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_concurrent_submits_coalesce_into_one_dispatch():
+    dispatches = []
+
+    async def dispatch(key, items):
+        dispatches.append((key, list(items)))
+        return [item * 10 for item in items]
+
+    async def scenario():
+        batcher = MicroBatcher(dispatch, max_batch=8, linger_ms=20.0)
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(5))
+        )
+        return results
+
+    assert run(scenario()) == [0, 10, 20, 30, 40]
+    assert len(dispatches) == 1
+    assert dispatches[0] == ("k", [0, 1, 2, 3, 4])
+
+
+def test_distinct_keys_do_not_share_batches():
+    dispatches = []
+
+    async def dispatch(key, items):
+        dispatches.append(key)
+        return items
+
+    async def scenario():
+        batcher = MicroBatcher(dispatch, max_batch=8, linger_ms=5.0)
+        await asyncio.gather(
+            batcher.submit("a", 1), batcher.submit("b", 2), batcher.submit("a", 3)
+        )
+
+    run(scenario())
+    assert sorted(dispatches) == ["a", "b"]
+
+
+def test_max_batch_flushes_early():
+    sizes = []
+
+    async def dispatch(key, items):
+        sizes.append(len(items))
+        return items
+
+    async def scenario():
+        # A long linger window that max_batch=3 must cut short.
+        batcher = MicroBatcher(dispatch, max_batch=3, linger_ms=10_000.0)
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(3)))
+
+    run(scenario())
+    assert sizes == [3]
+
+
+def test_overflow_opens_a_second_window():
+    sizes = []
+
+    async def dispatch(key, items):
+        sizes.append(len(items))
+        return items
+
+    async def scenario():
+        batcher = MicroBatcher(dispatch, max_batch=2, linger_ms=5.0)
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(5)))
+
+    run(scenario())
+    assert sorted(sizes) == [1, 2, 2]
+
+
+def test_disabled_batcher_dispatches_singletons():
+    sizes = []
+
+    async def dispatch(key, items):
+        sizes.append(len(items))
+        return [item + 1 for item in items]
+
+    async def scenario():
+        batcher = MicroBatcher(dispatch, max_batch=1, linger_ms=50.0)
+        assert not batcher.enabled
+        return await asyncio.gather(*(batcher.submit("k", i) for i in range(3)))
+
+    assert run(scenario()) == [1, 2, 3]
+    assert sizes == [1, 1, 1]
+
+
+def test_dispatch_exception_fans_out_to_all_waiters():
+    async def dispatch(key, items):
+        raise RuntimeError("boom")
+
+    async def scenario():
+        batcher = MicroBatcher(dispatch, max_batch=4, linger_ms=5.0)
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(3)), return_exceptions=True
+        )
+        return results
+
+    results = run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_outcome_count_mismatch_is_an_error():
+    async def dispatch(key, items):
+        return items[:-1]
+
+    async def scenario():
+        batcher = MicroBatcher(dispatch, max_batch=4, linger_ms=1.0)
+        return await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(2)), return_exceptions=True
+        )
+
+    results = run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_on_dispatch_observes_batch_sizes():
+    observed = []
+
+    async def dispatch(key, items):
+        return items
+
+    async def scenario():
+        batcher = MicroBatcher(
+            dispatch, max_batch=8, linger_ms=10.0, on_dispatch=observed.append
+        )
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(4)))
+
+    run(scenario())
+    assert observed == [4]
+
+
+def test_invalid_configuration_rejected():
+    async def dispatch(key, items):  # pragma: no cover - never called
+        return items
+
+    with pytest.raises(ValueError):
+        MicroBatcher(dispatch, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(dispatch, linger_ms=-1)

@@ -14,6 +14,7 @@ Covers the redesign's contract:
   emitting ``DeprecationWarning``.
 """
 
+import time
 import warnings
 
 import pytest
@@ -360,3 +361,48 @@ def test_robustness_profile_validates_ratios():
     for bad in (0.0, -0.5, 1.5):
         with pytest.raises(ValueError):
             robustness_profile(query, database, ratios=[bad])
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic teardown (service-registry contract)
+# --------------------------------------------------------------------------- #
+def test_close_is_idempotent_and_exposes_closed():
+    session = Session(_small_db())
+    assert session.closed is False
+    session.close()
+    assert session.closed is True
+    session.close()  # second close is a no-op, not an error
+    with pytest.raises(RuntimeError, match="closed"):
+        session.evaluate(QUERY_TEXT)
+
+
+def test_close_shuts_down_worker_processes_deterministically():
+    session = Session(_small_db(), workers=2, parallel_threshold=0)
+    executor = session._context.executor()
+    pool = executor.pool()
+    if pool is None:
+        pytest.skip("worker pool unavailable in this environment")
+    procs = list(pool._procs)
+    assert all(proc.is_alive() for proc in procs)
+    session.close()
+    assert all(not proc.is_alive() for proc in procs)
+
+
+def test_dropped_session_finalizer_closes_worker_processes():
+    """A session that is garbage collected without close() must not leak
+    its worker pool until interpreter exit (the GC finalizer net)."""
+    import gc
+
+    session = Session(_small_db(), workers=2, parallel_threshold=0)
+    executor = session._context.executor()
+    pool = executor.pool()
+    if pool is None:
+        pytest.skip("worker pool unavailable in this environment")
+    procs = list(pool._procs)
+    assert all(proc.is_alive() for proc in procs)
+    del session, executor, pool
+    gc.collect()
+    deadline = time.time() + 5.0
+    while time.time() < deadline and any(proc.is_alive() for proc in procs):
+        time.sleep(0.01)
+    assert all(not proc.is_alive() for proc in procs)
