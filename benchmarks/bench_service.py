@@ -22,6 +22,12 @@ the micro-batcher -- and asserts the batched throughput multiple
 cost curve per batch, per-request dispatch recomputes the curve every
 time).
 
+``--compare-mutations`` interleaves ``POST /v1/apply_insertions`` batches
+with solves on the hard mix and compares the incremental leg (delta join
++ in-place cache migration) against re-registering the identical grown
+database and solving cold (``--assert-speedup 5`` in CI: the delta join
+touches only new witnesses, the fresh leg re-joins everything).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py --mix easy --mode both
@@ -29,6 +35,8 @@ Usage::
         --mix easy --duration 10 --assert-throughput 200 --record
     PYTHONPATH=src python benchmarks/bench_service.py --compare-batching \
         --assert-speedup 2 --record
+    PYTHONPATH=src python benchmarks/bench_service.py --compare-mutations \
+        --assert-speedup 5 --record
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import os
+import random
 import statistics
 import sys
 import threading
@@ -321,6 +331,153 @@ def compare_batching(host: str, port: int, database: str, *,
 
 
 # --------------------------------------------------------------------------- #
+# Incremental insertion vs fresh re-evaluation (the >= 5x acceptance run)
+# --------------------------------------------------------------------------- #
+def mutation_batches(database, rounds: int, batch_size: int, seed: int):
+    """Deterministic fresh R2 edges recombined from the stored endpoints.
+
+    Recombination keeps the inserts inside the join's value domain, so a
+    healthy fraction produce new witnesses -- the expensive case for a
+    from-scratch rebuild and the interesting one for the delta join.
+    """
+    from repro.data.relation import TupleRef
+
+    rng = random.Random(seed)
+    rows = sorted(database.relation("R2").rows)
+    stored = set(rows)
+    batches = []
+    for _ in range(rounds):
+        batch = []
+        attempts = 0
+        while len(batch) < batch_size and attempts < batch_size * 50:
+            attempts += 1
+            edge = (rng.choice(rows)[0], rng.choice(rows)[1])
+            if edge in stored:
+                continue
+            stored.add(edge)
+            batch.append(TupleRef("R2", edge))
+        batches.append(batch)
+    return batches
+
+
+def compare_mutations(host: str, port: int, database: str, *,
+                      size: int, rounds: int, batch_size: int,
+                      seed: int) -> dict:
+    """Mixed-mutation scenario: apply insert batches, then solve.
+
+    The incremental leg POSTs ``/v1/apply_insertions`` (delta join +
+    in-place cache migration) and re-reads through a what-if probe on the
+    migrated entry (a cache hit: only the probe itself runs).  The fresh
+    leg re-registers the identical cumulative database under a scratch
+    name (untimed -- generous to the baseline) and probes cold, which
+    re-runs the full join.  Both probes answer over the same data, so the
+    speedup isolates evaluation strategy.
+    """
+    from repro.data.relation import TupleRef
+    from repro.service.serialize import database_to_wire, refs_to_json
+    from repro.workloads.zipf import generate_zipf_path
+
+    local = generate_zipf_path(r2_tuples=size, alpha=1.1, seed=13)
+    # One extra batch: an untimed warm-up mutation so one-time lazy costs
+    # (probe hash groups, postings) land outside the measured rounds and
+    # both legs are compared in steady state.
+    warm_up, *batches = mutation_batches(local, rounds + 1, batch_size, seed)
+    # A fixed stored edge (never mutated) keeps the probe identical across
+    # rounds and legs.
+    probe = refs_to_json([TupleRef("R2", sorted(local.relation("R2").rows)[0])])
+    what_if = {"database": database, "query": HARD_QUERY, "refs": probe}
+    fresh_name = f"{database}_fresh"
+    client = Client(host, port)
+    incremental_ms: List[float] = []
+    fresh_ms: List[float] = []
+    try:
+        # Warm the incremental session: the deltas migrate this entry.
+        status, body = client.post("/v1/what_if", what_if)
+        if status != 200:
+            raise SystemExit(f"warm-up what-if failed: {status} {body}")
+        status, body = client.post(
+            "/v1/apply_insertions",
+            {"database": database, "refs": refs_to_json(warm_up)},
+        )
+        if status != 200:
+            raise SystemExit(f"warm-up insertions failed: {status} {body}")
+        local.insert_tuples(warm_up)
+        status, body = client.post("/v1/what_if", what_if)
+        if status != 200:
+            raise SystemExit(f"warm-up what-if failed: {status} {body}")
+
+        # Phase 1 -- incremental: apply each batch, re-read through the
+        # migrated entry.  All rounds run back to back so the fresh leg's
+        # session churn (84k-tuple re-registrations and evictions) cannot
+        # bleed GC pauses into these timings.
+        incremental_reads = []
+        for batch in batches:
+            started = time.perf_counter()
+            status, applied = client.post(
+                "/v1/apply_insertions",
+                {"database": database, "refs": refs_to_json(batch)},
+            )
+            if status != 200 or applied["added"] != len(batch):
+                raise SystemExit(
+                    f"apply_insertions failed: {status} {applied}")
+            status, incremental = client.post("/v1/what_if", what_if)
+            if status != 200:
+                raise SystemExit(f"incremental what-if failed: {status}")
+            incremental_ms.append((time.perf_counter() - started) * 1000.0)
+            incremental_reads.append(incremental)
+
+        # Phase 2 -- fresh: replay the same cumulative states cold.  The
+        # re-registration itself is untimed (generous to the baseline);
+        # only the evaluation-bearing probe is measured.
+        for index, batch in enumerate(batches, 1):
+            local.insert_tuples(batch)
+            status, body = client.post(
+                "/v1/databases",
+                {"name": fresh_name, "replace": True,
+                 **database_to_wire(local)},
+            )
+            if status != 200:
+                raise SystemExit(f"re-registering failed: {status} {body}")
+            started = time.perf_counter()
+            status, fresh = client.post(
+                "/v1/what_if", {**what_if, "database": fresh_name})
+            if status != 200:
+                raise SystemExit(f"fresh what-if failed: {status}")
+            fresh_ms.append((time.perf_counter() - started) * 1000.0)
+            incremental = incremental_reads[index - 1]
+            for field in ("outputs_removed", "witnesses_removed",
+                          "output_size_before", "witness_count_before"):
+                if incremental[field] != fresh[field]:
+                    raise SystemExit(
+                        f"round {index}: incremental/fresh diverge on "
+                        f"{field}: {incremental[field]} vs {fresh[field]}")
+            print(f"  round {index}: +{len(batch)} tuples  "
+                  f"incremental {incremental_ms[index - 1]:.1f} ms  "
+                  f"fresh {fresh_ms[-1]:.1f} ms")
+    finally:
+        client.close()
+    incremental_s = sum(incremental_ms) / 1000.0
+    fresh_s = sum(fresh_ms) / 1000.0
+    speedup = fresh_s / incremental_s if incremental_s else 0.0
+    print(f"  incremental total {incremental_s:.2f} s, "
+          f"fresh total {fresh_s:.2f} s, speedup {speedup:.2f}x")
+    return {
+        "rounds": rounds,
+        "batch_size": batch_size,
+        "seed": seed,
+        "incremental": {
+            "total_s": round(incremental_s, 3),
+            "per_round_ms": [round(v, 2) for v in incremental_ms],
+        },
+        "fresh": {
+            "total_s": round(fresh_s, 3),
+            "per_round_ms": [round(v, 2) for v in fresh_ms],
+        },
+        "speedup": round(speedup, 3),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Recording
 # --------------------------------------------------------------------------- #
 def record_runs(path: Path, entries: List[dict]) -> None:
@@ -377,8 +534,18 @@ def main(argv=None) -> int:
                         "comparison instead of a load run")
     parser.add_argument("--compare-requests", type=int, default=12)
     parser.add_argument("--compare-concurrency", type=int, default=6)
+    parser.add_argument("--compare-mutations", action="store_true",
+                        help="run the incremental-insert vs fresh "
+                        "re-evaluation hard-mix comparison")
+    parser.add_argument("--mutation-rounds", type=int, default=5)
+    parser.add_argument("--mutation-batch", type=int, default=500,
+                        help="tuples inserted per mutation round")
+    parser.add_argument("--mutation-seed", type=int,
+                        default=int(os.environ.get("REPRO_TEST_SEED", 101)),
+                        help="batch-generation seed (default: "
+                        "REPRO_TEST_SEED or 101)")
     parser.add_argument("--assert-speedup", type=float, default=None,
-                        help="fail unless batched/per-request >= this")
+                        help="fail unless the comparison speedup >= this")
     parser.add_argument("--assert-throughput", type=float, default=None,
                         help="fail unless closed-loop req/s >= this")
     parser.add_argument("--record", nargs="?", const=str(RECORD_PATH),
@@ -432,6 +599,27 @@ def main(argv=None) -> int:
                 )
             if comparison["per_request"]["errors"] or comparison["batched"]["errors"]:
                 failures.append("comparison runs saw request errors")
+        elif args.compare_mutations:
+            database = register_workload(setup, "hard", args.hard_size)
+            print(f"incremental insertions vs fresh re-evaluation "
+                  f"({args.mutation_rounds} rounds x {args.mutation_batch} "
+                  f"tuples, {args.hard_size}-tuple zipf, "
+                  f"seed {args.mutation_seed}):")
+            comparison = compare_mutations(
+                host, port, database,
+                size=args.hard_size,
+                rounds=args.mutation_rounds,
+                batch_size=args.mutation_batch,
+                seed=args.mutation_seed,
+            )
+            entries.append({**base, "kind": "compare_mutations",
+                            "hard_size": args.hard_size, **comparison})
+            if (args.assert_speedup is not None
+                    and comparison["speedup"] < args.assert_speedup):
+                failures.append(
+                    f"incremental speedup {comparison['speedup']:.2f}x "
+                    f"< required {args.assert_speedup:g}x"
+                )
         else:
             size = args.hard_size if args.mix == "hard" else args.easy_size
             database = register_workload(setup, args.mix, size)

@@ -131,6 +131,24 @@ class Database:
                 count += 1
         return count
 
+    def insert_tuples(self, inserted: Iterable[TupleRef]) -> int:
+        """Insert the given tuples *in place*; returns how many were new.
+
+        The mirror of :meth:`remove_tuples`: references to unknown relations
+        are ignored and re-inserting a stored tuple is a no-op (relation
+        versions only bump for rows that actually land).  Arity mismatches
+        raise ``ValueError`` (from :meth:`Relation.insert`).
+        """
+        count = 0
+        for ref in inserted:
+            if ref.relation not in self:
+                continue
+            relation = self.relation(ref.relation)
+            if tuple(ref.values) not in relation:
+                relation.insert(ref.values)
+                count += 1
+        return count
+
     def contains_ref(self, ref: TupleRef) -> bool:
         """Whether the referenced tuple is present."""
         return ref.relation in self and tuple(ref.values) in self.relation(ref.relation)

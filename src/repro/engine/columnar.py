@@ -81,6 +81,37 @@ class RelationIndex:
         self._value_codes: Dict[int, Tuple[object, int]] = {}
         self._hash_groups: Dict[tuple, object] = {}
 
+    @classmethod
+    def extended(cls, parent: "RelationIndex", new_rows: Iterable[Row]) -> "RelationIndex":
+        """A new interning table with ``new_rows`` appended at fresh tids.
+
+        The append invariant of incremental insertion: every tid of
+        ``parent`` keeps its meaning (packed provenance columns referring to
+        it stay valid verbatim), and genuinely new rows are interned at
+        ``len(parent)``, ``len(parent) + 1``, ...  Rows already present in
+        ``parent`` (or repeated in the batch) are skipped, so extending is
+        idempotent.  Derived views (ref view, value columns, hash groups)
+        are rebuilt lazily on the extension -- the parent's caches keep
+        describing the old snapshot.
+        """
+        index = cls.__new__(cls)
+        index.name = parent.name
+        index.attributes = parent.attributes
+        rows = list(parent.rows)
+        ids = dict(parent.ids)
+        for row in new_rows:
+            stored = tuple(row)
+            if stored not in ids:
+                ids[stored] = len(rows)
+                rows.append(stored)
+        index.rows = rows
+        index.ids = ids
+        index._ref_view = None
+        index._value_columns = {}
+        index._value_codes = {}
+        index._hash_groups = {}
+        return index
+
     def ref_view(self) -> List[TupleRef]:
         """``tid -> TupleRef`` view, built lazily and cached on the index.
 

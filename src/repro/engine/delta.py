@@ -32,11 +32,17 @@ has no packed provenance (row engine).
 from __future__ import annotations
 
 from itertools import compress
-from typing import Iterable, List, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.data.relation import Row, TupleRef
-from repro.engine.backend import as_id_list, backend_of_column, is_ndarray
-from repro.engine.columnar import ColumnarProvenance
+from repro.engine.backend import (
+    as_id_list,
+    backend_of_column,
+    group_positions,
+    is_ndarray,
+    python_backend,
+)
+from repro.engine.columnar import ColumnarProvenance, RelationIndex
 from repro.engine.evaluate import QueryResult, Witness
 
 
@@ -317,9 +323,440 @@ def outputs_delta(result: QueryResult, removed: Iterable[TupleRef]) -> int:
     return delta_counts(result, removed)[1]
 
 
+# --------------------------------------------------------------------------- #
+# Incremental insertion: the delta join on the inserted side
+# --------------------------------------------------------------------------- #
+#
+# Inserting tuples can only *grow* the witness set of a self-join-free CQ,
+# and every new witness must use at least one inserted tuple.  With the
+# inserted rows Δ_p of atom position ``p`` (provenance join order), the new
+# witnesses decompose without double counting as the telescoping union
+#
+#     ⋃_p  Join(E_0, ..., E_{p-1},  Δ_p,  O_{p+1}, ..., O_{n-1})
+#
+# where ``E_q`` is the *extended* relation (live rows + Δ_q) and ``O_q`` the
+# pre-insertion live rows only: each witness is charged to the last atom
+# position that contributed an inserted tuple.  Because |Δ| is small, each
+# term is seeded from the delta rows and probed through the interning
+# tables' cached hash groups -- work proportional to the delta and its new
+# witnesses, never to the existing join.  Discovered witnesses are
+# *appended*: old tids, witness positions and output ids all keep their
+# meaning, so the packed columns, the postings index and the output table
+# extend in place instead of being rebuilt (the append invariant the parity
+# suite pins down).
+#
+# Liveness: interning tables are append-only and shared across deletions
+# (``delta_filter_provenance`` drops dead witnesses from the packed columns
+# but never from the indexes), so "interned" does not imply "stored".  The
+# optional ``row_live(relation, row)`` predicate tells the delta join which
+# interned rows are actually live *before* this insertion: dead rows are
+# never matched, and a batch row that is interned-but-dead is a
+# **resurrection** -- it re-enters as a delta row under its existing tid.
+# Without the predicate every interned row is assumed live (correct when no
+# deletion has been applied since the provenance was built).
+
+#: ``extend_index(parent)`` hook: lets ``Session.apply_insertions`` share one
+#: extended :class:`RelationIndex` per relation across every migrated cache
+#: entry (and seed it into the engine context's interners afterwards).
+ExtendIndex = Callable[[RelationIndex], RelationIndex]
+
+#: ``row_live(relation, row)`` -> is the interned row stored right now,
+#: *before* this insertion?  See the liveness note above.
+RowLive = Callable[[str, Row], bool]
+
+
+def _inserted_rows_by_position(
+    provenance: ColumnarProvenance,
+    inserted: Iterable[TupleRef],
+    row_live: Optional[RowLive],
+) -> Dict[int, List[Row]]:
+    """Genuinely new rows per atom position, deduplicated, arrival-ordered.
+
+    Rows already stored, repeated refs and refs for relations outside the
+    query's atoms contribute nothing.  "Stored" means interned *and* live:
+    with a ``row_live`` predicate, an interned-but-deleted row re-enters as
+    a resurrection delta row.
+    """
+    by_position: Dict[int, List[Row]] = {}
+    seen: Set[Tuple[int, Row]] = set()
+    for ref in inserted:
+        position = provenance.atom_position(ref.relation)
+        if position is None:
+            continue
+        row = tuple(ref.values)
+        key = (position, row)
+        if key in seen:
+            continue
+        seen.add(key)
+        if row in provenance.indexes[position].ids and (
+            row_live is None or row_live(ref.relation, row)
+        ):
+            continue
+        by_position.setdefault(position, []).append(row)
+    return by_position
+
+
+def _discover_new_witnesses(
+    provenance: ColumnarProvenance,
+    by_position: Dict[int, List[Row]],
+    extended: List[RelationIndex],
+    row_live: Optional[RowLive],
+) -> Tuple[List[List[int]], List[Dict[str, object]]]:
+    """All witnesses that use at least one inserted tuple.
+
+    Returns ``(new_columns, assignments)``: one appended tid column per atom
+    (all the same length) and, aligned with them, the attribute binding of
+    each new witness (for output factorization).  Deterministic: seed
+    positions ascending, delta rows in arrival order, matching tids
+    ascending.
+    """
+    n = provenance.atom_count()
+    backend = python_backend()
+    old_sizes = [len(provenance.indexes[a]) for a in range(n)]
+    names = [provenance.indexes[a].name for a in range(n)]
+    # Batch tids per atom in the extended tables: appended rows *and*
+    # resurrected old rows.  They seed the delta terms and must never be
+    # matched by the old-rows-only probes (q > p).
+    delta_tids: List[Set[int]] = []
+    for a in range(n):
+        rows = by_position.get(a) or ()
+        ids = extended[a].ids
+        delta_tids.append({ids[row] for row in rows})
+    new_columns: List[List[int]] = [[] for _ in range(n)]
+    assignments: List[Dict[str, object]] = []
+
+    def dead(q: int, tid: int, rows_q) -> bool:
+        """Interned but deleted before this batch (and not in the batch)."""
+        if tid in delta_tids[q]:
+            return False
+        return row_live is not None and not row_live(names[q], rows_q[tid])
+
+    for p in range(n):
+        delta = by_position.get(p)
+        if not delta:
+            continue
+        attrs_p = extended[p].attributes
+        ids_p = extended[p].ids
+        # One partial row per delta tuple of atom p; its tid is already
+        # final (appended rows got theirs from the extension, resurrected
+        # rows keep their old one).
+        partials: List[Tuple[Dict[str, object], List[int]]] = []
+        for row in delta:
+            assignment: Dict[str, object] = {}
+            for attribute, value in zip(attrs_p, row):
+                assignment.setdefault(attribute, value)
+            tids = [-1] * n
+            tids[p] = ids_p[row]
+            partials.append((assignment, tids))
+
+        for q in range(n):
+            if q == p:
+                continue
+            if not partials:
+                break
+            index_q = extended[q]
+            # Atoms before the seed see live + inserted rows, atoms after it
+            # pre-insertion live rows only -- the telescoping split that
+            # makes the union over seed positions exact.
+            after_seed = q > p
+            limit = old_sizes[q] if after_seed else None
+            attrs_q = index_q.attributes
+            positions_q: Dict[str, int] = {}
+            for position, attribute in enumerate(attrs_q):
+                positions_q.setdefault(attribute, position)
+            bound = partials[0][0]
+            shared = [a for a in positions_q if a in bound]
+            fresh = [(a, positions_q[a]) for a in positions_q if a not in bound]
+            rows_q = index_q.rows
+            next_partials: List[Tuple[Dict[str, object], List[int]]] = []
+            if shared:
+                shared_positions = tuple(positions_q[a] for a in shared)
+                table = index_q.hash_groups(shared_positions, backend)
+                get = table.get
+                single = shared[0] if len(shared) == 1 else None
+                for assignment, tids in partials:
+                    if single is not None:
+                        key = assignment[single]
+                    else:
+                        key = tuple(assignment[a] for a in shared)
+                    matches = get(key)
+                    if not matches:
+                        continue
+                    for tid in matches:
+                        if limit is not None and tid >= limit:
+                            break  # bucket tids ascend: the rest are inserted
+                        if after_seed and tid in delta_tids[q]:
+                            continue  # resurrected batch row: delta, not old
+                        if dead(q, tid, rows_q):
+                            continue
+                        if fresh:
+                            row = rows_q[tid]
+                            extended_assignment = dict(assignment)
+                            for attribute, position in fresh:
+                                extended_assignment[attribute] = row[position]
+                        else:
+                            extended_assignment = assignment
+                        new_tids = tids.copy()
+                        new_tids[q] = tid
+                        next_partials.append((extended_assignment, new_tids))
+            else:
+                # Disconnected step: cross product, partial-major.
+                count_q = len(index_q) if limit is None else limit
+                eligible = [
+                    tid
+                    for tid in range(count_q)
+                    if not (after_seed and tid in delta_tids[q])
+                    and not dead(q, tid, rows_q)
+                ]
+                for assignment, tids in partials:
+                    for tid in eligible:
+                        row = rows_q[tid]
+                        extended_assignment = dict(assignment)
+                        for attribute, position in fresh:
+                            extended_assignment[attribute] = row[position]
+                        new_tids = tids.copy()
+                        new_tids[q] = tid
+                        next_partials.append((extended_assignment, new_tids))
+            partials = next_partials
+
+        for assignment, tids in partials:
+            for a in range(n):
+                new_columns[a].append(tids[a])
+            assignments.append(assignment)
+    return new_columns, assignments
+
+
+def _extended_indexes(
+    provenance: ColumnarProvenance,
+    by_position: Dict[int, List[Row]],
+    extend_index: Optional[ExtendIndex],
+) -> List[RelationIndex]:
+    """Per atom: the extended interning table, or the parent's unchanged."""
+    extended: List[RelationIndex] = []
+    for position, parent in enumerate(provenance.indexes):
+        rows = by_position.get(position)
+        if not rows:
+            extended.append(parent)
+        elif extend_index is not None:
+            extended.append(extend_index(parent))
+        else:
+            extended.append(RelationIndex.extended(parent, rows))
+    return extended
+
+
+def _migrated_postings(
+    provenance: ColumnarProvenance,
+    new_columns: List[List[int]],
+    vectorized: bool,
+):
+    """Extend the parent's already-built postings with the new witnesses.
+
+    Unbuilt atoms stay ``None`` (lazy as before).  Parent lists/arrays are
+    never mutated -- cached results are immutable by contract -- but every
+    untouched tid keeps sharing the parent's posting object.
+    """
+    old_count = provenance.witness_count()
+    migrated = []
+    for position, parent_postings in enumerate(provenance._postings):
+        if parent_postings is None:
+            migrated.append(None)
+            continue
+        appended = group_positions(new_columns[position])
+        merged = dict(parent_postings)
+        for tid, positions in appended.items():
+            offsets = [old_count + w for w in positions]
+            existing = merged.get(tid)
+            if vectorized:
+                np = backend_of_column(provenance.ref_columns[0]).np
+                chunk = np.asarray(offsets, dtype=np.int64)
+                merged[tid] = (
+                    chunk if existing is None
+                    else np.concatenate([existing, chunk])
+                )
+            else:
+                merged[tid] = (
+                    offsets if existing is None else list(existing) + offsets
+                )
+        migrated.append(merged)
+    return migrated
+
+
+def delta_insert_provenance(
+    provenance: ColumnarProvenance,
+    inserted: Iterable[TupleRef],
+    *,
+    extend_index: Optional[ExtendIndex] = None,
+    row_live: Optional[RowLive] = None,
+) -> Optional[ColumnarProvenance]:
+    """Append the witnesses created by ``inserted`` to packed provenance.
+
+    Returns the *same* object when no inserted row touches the query's
+    atoms, a new :class:`ColumnarProvenance` (old witnesses verbatim, new
+    ones appended, interning tables extended) otherwise, and ``None`` when
+    the query has vacuum atoms -- inserting into an empty guard relation
+    flips every potential witness at once, so the caller must re-evaluate.
+    ``row_live`` supplies pre-insertion liveness when deletions may have
+    preceded this batch (see the module-level liveness note).
+    """
+    if provenance.query.has_vacuum_relation:
+        return None
+    by_position = _inserted_rows_by_position(provenance, inserted, row_live)
+    if not by_position:
+        return provenance
+    extended = _extended_indexes(provenance, by_position, extend_index)
+    new_columns, assignments = _discover_new_witnesses(
+        provenance, by_position, extended, row_live
+    )
+    vectorized = provenance.atom_count() and is_ndarray(provenance.ref_columns[0])
+
+    if not assignments:
+        # No new witnesses, but the interning tables must still grow: later
+        # delta batches probe these indexes and must see today's rows.
+        updated = ColumnarProvenance(
+            provenance.query,
+            provenance.atom_names,
+            extended,
+            provenance.ref_columns,
+            provenance.witness_outputs,
+            provenance.output_rows,
+            provenance._output_index,
+            provenance.vacuum_refs,
+        )
+        updated._postings = list(provenance._postings)
+        return updated
+
+    # Factorize the new witnesses' outputs through the existing output
+    # table, appending only genuinely new output rows.
+    head = provenance.query.head
+    output_index = provenance.output_index
+    merged_index = dict(output_index)
+    output_rows = list(provenance.output_rows)
+    appended_outputs: List[int] = []
+    for assignment in assignments:
+        row = tuple(assignment[a] for a in head)
+        out = merged_index.get(row)
+        if out is None:
+            out = len(output_rows)
+            merged_index[row] = out
+            output_rows.append(row)
+        appended_outputs.append(out)
+
+    if vectorized:
+        np = backend_of_column(provenance.ref_columns[0]).np
+        ref_columns = [
+            np.concatenate([column, np.asarray(extra, dtype=np.int64)])
+            for column, extra in zip(provenance.ref_columns, new_columns)
+        ]
+        witness_outputs = np.concatenate([
+            provenance.witness_outputs,
+            np.asarray(appended_outputs, dtype=np.int64),
+        ])
+    else:
+        ref_columns = [
+            list(column) + extra
+            for column, extra in zip(provenance.ref_columns, new_columns)
+        ]
+        witness_outputs = list(provenance.witness_outputs) + appended_outputs
+
+    updated = ColumnarProvenance(
+        provenance.query,
+        provenance.atom_names,
+        extended,
+        ref_columns,
+        witness_outputs,
+        output_rows,
+        merged_index,
+        provenance.vacuum_refs,
+    )
+    updated._postings = _migrated_postings(provenance, new_columns, vectorized)
+    return updated
+
+
+def delta_insert_counts(
+    result: QueryResult,
+    inserted: Iterable[TupleRef],
+    *,
+    row_live: Optional[RowLive] = None,
+) -> Tuple[int, int]:
+    """``(witnesses added, outputs added)`` for a hypothetical insertion.
+
+    The counting version of the insert delta join, computed without
+    materializing the appended provenance.  Requires packed provenance and
+    a vacuum-free query (both raise ``ValueError``: neither case supports
+    incremental discovery -- re-evaluate instead).
+    """
+    provenance = result.provenance
+    if provenance is None:
+        raise ValueError(
+            "row-style results carry no packed provenance to extend"
+        )
+    if provenance.query.has_vacuum_relation:
+        raise ValueError(
+            "queries with vacuum atoms cannot be incrementally extended"
+        )
+    by_position = _inserted_rows_by_position(provenance, inserted, row_live)
+    if not by_position:
+        return (0, 0)
+    extended = _extended_indexes(provenance, by_position, None)
+    _, assignments = _discover_new_witnesses(
+        provenance, by_position, extended, row_live
+    )
+    if not assignments:
+        return (0, 0)
+    head = provenance.query.head
+    output_index = provenance.output_index
+    new_rows: Set[Row] = set()
+    for assignment in assignments:
+        row = tuple(assignment[a] for a in head)
+        if row not in output_index:
+            new_rows.add(row)
+    return (len(assignments), len(new_rows))
+
+
+def delta_insert_result(
+    result: QueryResult,
+    inserted: Iterable[TupleRef],
+    *,
+    extend_index: Optional[ExtendIndex] = None,
+    row_live: Optional[RowLive] = None,
+) -> Optional[QueryResult]:
+    """The post-insertion :class:`QueryResult`, derived without re-joining.
+
+    Equivalent to a fresh evaluation on the grown database up to
+    witness/output *order* (fresh joins walk mutated hash sets): witness
+    sets, output sets and every provenance count are identical -- the
+    parity contract of the differential mutation suite.  Returns the same
+    object when the insertion is irrelevant to the query, and ``None``
+    (caller must re-evaluate) for row-style results and vacuum queries.
+    """
+    provenance = result.provenance
+    if provenance is None:
+        return None
+    updated = delta_insert_provenance(
+        provenance, inserted, extend_index=extend_index, row_live=row_live
+    )
+    if updated is None:
+        return None
+    if updated is provenance:
+        return result
+    return QueryResult(
+        updated.query,
+        updated.output_rows,
+        None,
+        # The public QueryResult field stays a plain list on every backend;
+        # the packed (possibly ndarray) column lives on the provenance.
+        as_id_list(updated.witness_outputs),
+        None,
+        provenance=updated,
+    )
+
+
 __all__ = [
     "delta_counts",
     "delta_filter_provenance",
     "delta_filter_result",
+    "delta_insert_counts",
+    "delta_insert_provenance",
+    "delta_insert_result",
     "outputs_delta",
 ]

@@ -412,6 +412,20 @@ class EngineContext:
                 pass
             return index
 
+    def seed_index(self, relation: Relation, index: RelationIndex) -> None:
+        """Install a prebuilt interning table for the relation's current version.
+
+        ``Session.apply_insertions`` extends the pre-mutation index with the
+        inserted rows (old tids preserved, new rows appended) and seeds the
+        extension here, so the first evaluation after an in-place insertion
+        reuses the grown table instead of re-interning the whole relation.
+        """
+        with self._lock:
+            try:
+                self._interners[relation] = (relation.version, index)
+            except TypeError:  # pragma: no cover - non-weakref-able relation stub
+                pass
+
     def evaluate(
         self,
         query: ConjunctiveQuery,

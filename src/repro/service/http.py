@@ -2,7 +2,7 @@
 
 One :class:`AdpService` owns the registry, the micro-batcher, admission
 control, metrics and a solver thread pool.  The event loop does I/O and
-coordination only; every solver call (solve batches, what-ifs, deletions)
+coordination only; every solver call (solve batches, what-ifs, mutations)
 runs on the thread pool -- the session read paths are thread-safe by the
 contract in :mod:`repro.session`, and mutations serialize through the
 registry entry's write lock.
@@ -20,6 +20,7 @@ Endpoints (all bodies JSON; see ``docs/ARCHITECTURE.md`` for the schema):
                          ``solve_many`` batches unless ``batch`` is false
 ``POST /v1/what_if``     ``{database, query, refs[, include_after]}``
 ``POST /v1/apply_deletions``  ``{database, refs}`` -- bumps the version
+``POST /v1/apply_insertions``  ``{database, refs}`` -- bumps the version
 =======================  ====================================================
 
 Status codes: 400 malformed/invalid request, 404 unknown database or
@@ -77,7 +78,7 @@ SOLVE_METHODS = ("auto", "greedy", "drastic")
 #: The only endpoint labels metrics may carry (see _respond).
 KNOWN_ENDPOINTS = frozenset({
     "/healthz", "/metrics", "/v1/databases", "/v1/prepare", "/v1/solve",
-    "/v1/what_if", "/v1/apply_deletions",
+    "/v1/what_if", "/v1/apply_deletions", "/v1/apply_insertions",
 })
 
 
@@ -361,6 +362,7 @@ class AdpService:
             "/v1/solve": self._handle_solve,
             "/v1/what_if": self._handle_what_if,
             "/v1/apply_deletions": self._handle_apply_deletions,
+            "/v1/apply_insertions": self._handle_apply_insertions,
         }
         handler = post_routes.get(path)
         if handler is None:
@@ -656,6 +658,28 @@ class AdpService:
         return 200, {
             "database": entry.name,
             "removed": removed,
+            "version": version,
+            "elapsed_ms": elapsed_ms(start, time.perf_counter()),
+        }, {}
+
+    async def _handle_apply_insertions(self, body: dict) -> Tuple[int, dict, dict]:
+        start = time.perf_counter()
+        name = _require_str(body, "database")
+        entry = self._entry(name)  # 404 before queueing work
+        refs = refs_from_json(body.get("refs", []))
+        with self.admission:
+            loop = asyncio.get_running_loop()
+            try:
+                added, version = await loop.run_in_executor(
+                    self.executor, self.registry.apply_insertions, name, refs
+                )
+            except KeyError:
+                # Evicted between the _entry() check and the dispatch.
+                raise ApiError(404, f"no database named {name!r}")
+        self.metrics.insertions_applied(added)
+        return 200, {
+            "database": entry.name,
+            "added": added,
             "version": version,
             "elapsed_ms": elapsed_ms(start, time.perf_counter()),
         }, {}

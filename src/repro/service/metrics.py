@@ -35,6 +35,7 @@ class ServiceMetrics:
         self.singleton_dispatch_total = 0
         self.solves_total = 0
         self.deletions_applied_total = 0
+        self.insertions_applied_total = 0
         #: endpoint -> (count, sum_ms, cumulative bucket counts).
         self._latency: Dict[str, Tuple[int, float, List[int]]] = {}
 
@@ -86,6 +87,10 @@ class ServiceMetrics:
         with self._lock:
             self.deletions_applied_total += removed
 
+    def insertions_applied(self, added: int) -> None:
+        with self._lock:
+            self.insertions_applied_total += added
+
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
@@ -102,6 +107,7 @@ class ServiceMetrics:
                 "singleton_dispatch_total": self.singleton_dispatch_total,
                 "solves_total": self.solves_total,
                 "deletions_applied_total": self.deletions_applied_total,
+                "insertions_applied_total": self.insertions_applied_total,
             }
 
     def render(self, extra_gauges: Optional[Dict[str, float]] = None) -> str:
@@ -140,6 +146,8 @@ class ServiceMetrics:
             counter("solves_total", self.solves_total, "Solve requests executed.")
             counter("deletions_applied_total", self.deletions_applied_total,
                     "Input tuples removed by /v1/apply_deletions.")
+            counter("insertions_applied_total", self.insertions_applied_total,
+                    "Input tuples added by /v1/apply_insertions.")
             base = f"{_PREFIX}_request_latency_ms"
             if self._latency:
                 # One HELP/TYPE per metric name (the text format forbids

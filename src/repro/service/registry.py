@@ -7,17 +7,18 @@ across requests.  The :class:`SessionRegistry` owns that mapping:
 
 * **names** -- clients address databases by name (``"tpch"``), never by
   object identity;
-* **versions** -- every successful ``apply_deletions`` bumps the entry's
-  monotonically increasing version number.  Responses carry the version
-  they were computed against, so a client can tell pre- and post-deletion
-  answers apart;
+* **versions** -- every successful ``apply_deletions`` /
+  ``apply_insertions`` bumps the entry's monotonically increasing version
+  number.  Responses carry the version they were computed against, so a
+  client can tell pre- and post-mutation answers apart;
 * **per-database read/write locks** -- solves and what-ifs take the read
   side (the session read paths are thread-safe, so any number run
-  concurrently), ``apply_deletions`` takes the write side: it waits for
-  every in-flight read to drain -- reads admitted before the write
-  therefore complete against the prior version -- and blocks new reads
-  until the mutation (and its cache migration) is done.  The lock is
-  write-preferring, so a steady read stream cannot starve a deletion;
+  concurrently), ``apply_deletions`` / ``apply_insertions`` take the write
+  side: a writer waits for every in-flight read to drain -- reads admitted
+  before the write therefore complete against the prior version -- and
+  blocks new reads until the mutation (and its cache migration) is done.
+  The lock is write-preferring, so a steady read stream cannot starve a
+  mutation;
 * **LRU bound** -- at most ``capacity`` databases stay resident; inserting
   beyond it closes and evicts the least-recently-used entry
   (:meth:`Session.close` shuts down its caches and worker pool
@@ -253,6 +254,25 @@ class SessionRegistry:
             if removed:
                 entry.version += 1
             return removed, entry.version
+
+    def apply_insertions(self, name: str, refs) -> "tuple[int, int]":
+        """Insert ``refs`` into the named database under its write lock.
+
+        Returns ``(added count, resulting version)``.  The version bumps
+        only when tuples actually landed -- a no-op batch (duplicates,
+        unknown relations) leaves cached results (and the version clients
+        cache against) intact.
+        """
+        entry = self.get(name)
+        with entry.lock.write():
+            if entry.session.closed:
+                # Evicted while we waited for the write lock: to the caller
+                # the database is simply gone.
+                raise KeyError(f"no database named {name!r}")
+            added = entry.session.apply_insertions(refs)
+            if added:
+                entry.version += 1
+            return added, entry.version
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -19,10 +19,12 @@ connection object:
   - :meth:`Session.curve` -- the full :class:`~repro.core.curves.CostCurve`
     (solutions for every target up to ``kmax``) that ``ComputeADP`` builds
     internally;
-  - :meth:`Session.what_if` / :meth:`Session.apply_deletions` -- incremental
-    deletion propagation: the post-deletion result is derived from cached
-    packed provenance by a delta semijoin (:mod:`repro.engine.delta`), one
-    column scan instead of a re-intern + re-join of the whole database.
+  - :meth:`Session.what_if` / :meth:`Session.apply_deletions` /
+    :meth:`Session.apply_insertions` -- incremental mutation propagation:
+    the post-deletion result is derived from cached packed provenance by a
+    delta semijoin and the post-insertion result by a delta join on the
+    inserted side (:mod:`repro.engine.delta`), work proportional to the
+    delta instead of a re-intern + re-join of the whole database.
 
 The legacy free functions (``evaluate``, ``compute_adp``,
 ``ADPSolver.solve(query, database, k)``, ``set_engine_mode`` and the global
@@ -44,7 +46,8 @@ Thread- and process-safety contract
   by contract.  (Remaining lazy views such as ``QueryResult.witnesses``
   tolerate racing builders -- both compute identical values and the last
   assignment wins.)
-* **Mutation is exclusive.**  ``apply_deletions`` (or any in-place database
+* **Mutation is exclusive.**  ``apply_deletions`` / ``apply_insertions``
+  (or any in-place database
   mutation) must not run concurrently with reads on the same session;
   relation versions make stale cache reads impossible, but the migration
   itself assumes a quiescent session.  The parallel subsystem respects this
@@ -93,7 +96,12 @@ from repro.core.solution import ADPSolution
 from repro.data.database import Database
 from repro.data.relation import TupleRef
 from repro.engine.cache import canonical_query_key
-from repro.engine.delta import delta_counts, delta_filter_result
+from repro.engine.columnar import RelationIndex
+from repro.engine.delta import (
+    delta_counts,
+    delta_filter_result,
+    delta_insert_result,
+)
 from repro.engine.evaluate import (
     ENGINE_MODES,
     EngineContext,
@@ -215,6 +223,7 @@ class SessionStats:
     curves: int = 0
     what_if_calls: int = 0
     deletions_applied: int = 0
+    insertions_applied: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     joins: int = 0
@@ -351,7 +360,8 @@ class Session:
         The instance every session method operates on.  The session assumes
         co-operative ownership: external in-place mutations are detected via
         relation versions (stale cache entries are never served), but only
-        :meth:`apply_deletions` migrates cached results incrementally.
+        :meth:`apply_deletions` / :meth:`apply_insertions` migrate cached
+        results incrementally.
     engine:
         ``"columnar"`` (default), ``"row"`` or ``"parallel"`` -- per-session
         engine mode, replacing the deprecated global ``set_engine_mode``.
@@ -430,6 +440,7 @@ class Session:
             "curves": 0,
             "what_if_calls": 0,
             "deletions_applied": 0,
+            "insertions_applied": 0,
         }
         self._closed = False
         # Deterministic teardown net: a session that owns its context (i.e.
@@ -842,7 +853,7 @@ class Session:
             return chosen.curve(prepared.query, self.database, kmax)
 
     # ------------------------------------------------------------------ #
-    # Incremental deletions
+    # Incremental mutations
     # ------------------------------------------------------------------ #
     def what_if(
         self,
@@ -916,6 +927,106 @@ class Session:
             )
         self._counters["deletions_applied"] += removed
         return removed
+
+    def apply_insertions(self, refs: Iterable[TupleRef]) -> int:
+        """Insert ``refs`` into the bound database, migrating caches.
+
+        The insertion happens in place (relation versions bump, so *every*
+        consumer sees the new state); cached evaluation results for the old
+        version are **delta-extended** to the new version by the insert
+        delta join -- only the new witnesses are discovered and appended --
+        so the next :meth:`evaluate`/:meth:`solve` per cached query is a
+        cache hit instead of a join.  The pre-mutation interning tables are
+        extended (old tids preserved, new rows appended) and seeded back
+        into the engine context, so even uncached queries skip the
+        re-interning pass.  References to unknown relations are ignored and
+        duplicates are no-ops, mirroring :meth:`apply_deletions`; arity
+        mismatches raise ``ValueError`` before anything mutates.  Returns
+        how many referenced tuples were actually new.
+        """
+        self._check_open()
+        # Normalize up front (before any state is touched): keep one ref per
+        # genuinely new row of a stored relation, in arrival order.
+        fresh_rows: Dict[str, List[tuple]] = {}
+        seen: set = set()
+        ref_list: List[TupleRef] = []
+        for ref in refs:
+            if ref.relation not in self.database:
+                continue
+            relation = self.database.relation(ref.relation)
+            row = tuple(ref.values)
+            if len(row) != len(relation.attributes):
+                raise ValueError(
+                    f"tuple {row!r} has arity {len(row)}, but relation "
+                    f"{relation.name} stores arity {len(relation.attributes)}"
+                )
+            key = (ref.relation, row)
+            if key in seen or row in relation:
+                continue
+            seen.add(key)
+            fresh_rows.setdefault(ref.relation, []).append(row)
+            ref_list.append(TupleRef(ref.relation, row))
+
+        context = self._context
+        cache = context.cache
+        snapshot = cache.take_entries(self.database)
+        old_token = self.database.version_token()
+
+        # One extended interning table per parent index, shared across every
+        # migrated cache entry and seeded into the context afterwards.
+        memo: Dict[int, Tuple[RelationIndex, RelationIndex]] = {}
+
+        def extend(parent: RelationIndex) -> RelationIndex:
+            entry = memo.get(id(parent))
+            if entry is None:
+                entry = (
+                    parent,
+                    RelationIndex.extended(
+                        parent, fresh_rows.get(parent.name, ())
+                    ),
+                )
+                memo[id(parent)] = entry
+            return entry[1]
+
+        seeds = []
+        if fresh_rows:
+            for name in fresh_rows:
+                relation = self.database.relation(name)
+                seeds.append((relation, extend(context.interned(relation))))
+
+        added = self.database.insert_tuples(ref_list)
+        new_token = self.database.version_token()
+        for relation, index in seeds:
+            context.seed_index(relation, index)
+
+        def row_live(name: str, row: tuple) -> bool:
+            # Pre-insertion liveness, answered post-mutation: live before
+            # the batch iff stored now and not part of the batch.  Interned
+            # rows deleted by an earlier apply_deletions fail this test, so
+            # the delta join never pairs new tuples with deleted ones (and
+            # re-inserting a deleted row counts as a resurrection).
+            return (name, row) not in seen and row in self.database.relation(name)
+
+        for (query_key, token, layout, backend_tag), result in snapshot.items():
+            if token != old_token:
+                continue  # already stale before the insertion
+            if layout is not None:
+                continue  # shard payloads are re-partitioned, not migrated
+            if added == 0:
+                migrated = result
+            else:
+                migrated = delta_insert_result(
+                    result, ref_list, extend_index=extend, row_live=row_live
+                )
+                if migrated is None:
+                    # Vacuum query / row-style result: not incrementally
+                    # extendable -- drop the entry, the next evaluate re-joins.
+                    continue
+            cache.store_raw(
+                self.database, query_key, new_token, migrated, backend=backend_tag
+            )
+        self._counters["insertions_applied"] += added
+        return added
 
     # ------------------------------------------------------------------ #
     # Introspection

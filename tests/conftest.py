@@ -13,6 +13,7 @@ tests:
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List
 
@@ -26,6 +27,39 @@ from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
 
 ATTRIBUTE_POOL = ("A", "B", "C", "D", "E")
+
+#: Fallback seed of the differential/property suites when ``REPRO_TEST_SEED``
+#: is unset.  CI runs the mutation-fuzz job with several explicit seeds.
+DEFAULT_TEST_SEED = 101
+
+
+def repro_test_seed(default: int = DEFAULT_TEST_SEED) -> int:
+    """The seed of the seeded property suites (``REPRO_TEST_SEED`` env knob).
+
+    Shared plumbing with the benchmark harnesses: ``check_regression.py``
+    and ``bench_service.py`` stamp the same value into their ``--record``
+    trajectory entries, so a failing CI leg names the exact seed to export
+    locally for a byte-identical replay.
+    """
+    raw = os.environ.get("REPRO_TEST_SEED", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def pytest_report_header(config) -> str:
+    """Print the active seed so any failure log says how to reproduce it."""
+    return (
+        f"REPRO_TEST_SEED={repro_test_seed()} "
+        "(export REPRO_TEST_SEED=<n> to replay the seeded property suites)"
+    )
+
+
+@pytest.fixture(scope="session")
+def test_seed() -> int:
+    """The resolved ``REPRO_TEST_SEED`` value, as a fixture."""
+    return repro_test_seed()
 
 
 # --------------------------------------------------------------------------- #

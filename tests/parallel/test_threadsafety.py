@@ -92,16 +92,18 @@ def test_concurrent_evaluate_shares_one_interning_pass():
 
 
 def test_mixed_solve_what_if_apply_matches_serial_replay():
-    """Hammer one database with mixed reads + serialized deletions.
+    """Hammer one database with mixed reads + serialized mutations.
 
     The service contract (repro.service.registry): any number of threads
-    may solve/what-if concurrently while apply_deletions takes the write
-    side of a per-database lock.  Under that discipline every observation
-    a reader makes at version ``v`` must be byte-identical to a serial
-    replay that performs the same deletions in the same order.
+    may solve/what-if concurrently while apply_deletions/apply_insertions
+    take the write side of a per-database lock.  Under that discipline
+    every observation a reader makes at version ``v`` must be
+    byte-identical to a serial replay that performs the same mutations in
+    the same order.
     """
     import random
 
+    from repro.data.relation import TupleRef
     from repro.service.registry import ReadWriteLock
     from repro.workloads.queries import Q6
 
@@ -114,13 +116,35 @@ def test_mixed_solve_what_if_apply_matches_serial_replay():
     lock = ReadWriteLock()
     state = {"version": 1}
 
-    # Deterministic deletion batches drawn from the initial instance: three
-    # disjoint slices of the sorted R2 edges (the hammered and the replayed
-    # database delete exactly the same tuples in the same order).
+    # Deterministic mutation batches derived from the initial instance: the
+    # hammered and the replayed database apply exactly the same tuples in
+    # the same order.  Deletions are disjoint slices of the sorted R2
+    # edges; insertions are fresh R2 edges recombined from stored endpoint
+    # values (so they genuinely join).
     initial_refs = sorted(
         (ref for ref in build().all_refs() if ref.relation == "R2"), key=str
     )
-    batches = [initial_refs[0:5], initial_refs[5:10], initial_refs[10:15]]
+    existing_rows = {ref.values for ref in initial_refs}
+
+    def fresh_edges(start, count=4):
+        rows = [ref.values for ref in initial_refs]
+        edges = []
+        i = start
+        while len(edges) < count and i < start + 500:
+            edge = (rows[i % len(rows)][0], rows[(i * 7 + 3) % len(rows)][1])
+            if edge not in existing_rows and edge not in edges:
+                edges.append(edge)
+            i += 1
+        return [TupleRef("R2", edge) for edge in edges]
+
+    batches = [
+        ("delete", initial_refs[0:5]),
+        ("insert", fresh_edges(0)),
+        ("delete", initial_refs[5:10]),
+        ("insert", fresh_edges(100)),
+        ("delete", initial_refs[10:15]),
+        ("insert", fresh_edges(200)),
+    ]
     probe_refs = initial_refs[20:24]
     queries = [QPATH_EXP, Q6]
 
@@ -158,10 +182,13 @@ def test_mixed_solve_what_if_apply_matches_serial_replay():
 
     def writer():
         try:
-            for batch in batches:
+            for op, batch in batches:
                 time.sleep(0.05)  # let readers pile up on this version
                 with lock.write():
-                    session.apply_deletions(batch)
+                    if op == "delete":
+                        session.apply_deletions(batch)
+                    else:
+                        session.apply_insertions(batch)
                     state["version"] += 1
         except Exception as exc:  # pragma: no cover - surfaced by assert
             errors.append(exc)
@@ -180,7 +207,7 @@ def test_mixed_solve_what_if_apply_matches_serial_replay():
     versions_seen = {record[0] for record in observations}
     assert 1 in versions_seen  # readers really raced the writer
 
-    # Serial replay: same database, same deletion sequence, no concurrency.
+    # Serial replay: same database, same mutation sequence, no concurrency.
     replay = Session(build())
     expected = {}
     for version in range(1, len(batches) + 2):
@@ -200,7 +227,11 @@ def test_mixed_solve_what_if_apply_matches_serial_replay():
                     solution.removed, solution.objective,
                 )
         if version <= len(batches):
-            replay.apply_deletions(batches[version - 1])
+            op, batch = batches[version - 1]
+            if op == "delete":
+                replay.apply_deletions(batch)
+            else:
+                replay.apply_insertions(batch)
 
     for version, op, name, k, *payload in observations:
         assert tuple(payload) == expected[(version, op, name, k)]

@@ -1,0 +1,209 @@
+"""Differential mutation fuzzing: interleaved insert/delete parity.
+
+Replays seeded random interleavings of ``apply_insertions`` /
+``apply_deletions`` batches against long-lived sessions and asserts, at
+*every* step, that the incrementally maintained state is indistinguishable
+from a from-scratch rebuild on an identically mutated database: output
+sets, witness ref-sets, witness/output counts, ``participating_refs`` and
+the greedy/drastic solver objectives all match, on both array backends and
+with inline shards K in {1, 2}.  A second family runs the identical trace
+on the python and numpy backends side by side and asserts the packed
+provenance is **byte-identical** between them after every mutation.
+
+The seed comes from the ``REPRO_TEST_SEED`` env knob (see tests/conftest),
+so a failing CI leg is reproducible locally by exporting the seed it
+prints.
+"""
+
+import random
+
+import pytest
+
+from repro.data.relation import TupleRef
+from repro.engine.backend import numpy_available
+from repro.session import Session
+from repro.workloads.queries import Q1, QPATH_EXP
+from repro.workloads.tpch import generate_tpch
+from repro.workloads.zipf import generate_zipf_path
+
+from tests.conftest import (
+    packed_columns,
+    packed_outputs,
+    random_instance,
+    random_query,
+    repro_test_seed,
+)
+
+SEED = repro_test_seed()
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+STEPS = 6
+
+
+def _workloads(seed):
+    rng = random.Random(seed)
+    query = random_query(rng, max_relations=3, max_attributes=3, allow_boolean=False)
+    return [
+        ("zipf", QPATH_EXP, generate_zipf_path(r2_tuples=120, alpha=0.8, seed=seed)),
+        ("tpch", Q1, generate_tpch(total_tuples=100, seed=seed)),
+        ("random-cq", query, random_instance(query, rng, max_tuples_per_relation=6)),
+    ]
+
+
+WORKLOADS = _workloads(SEED)
+IDS = [f"{name}-seed{SEED}" for name, _, _ in WORKLOADS]
+
+
+def _insert_batch(query, database, rng, count=8):
+    """Fresh tuples recombined from stored values (so most of them join)."""
+    refs = []
+    names = list(query.relation_names)
+    for i in range(count):
+        name = rng.choice(names)
+        relation = database.relation(name)
+        rows = sorted(relation.rows, key=repr)
+        values = []
+        for position in range(len(relation.attributes)):
+            if rows and rng.random() < 0.85:
+                values.append(rng.choice(rows)[position])
+            else:
+                values.append(f"f{rng.randrange(10_000)}")
+        refs.append(TupleRef(name, tuple(values)))
+    return refs
+
+
+def _delete_batch(query, database, rng, count=5):
+    """A sample of currently stored tuples of the query's relations."""
+    pool = [
+        ref
+        for name in query.relation_names
+        for ref in sorted(database.relation(name).refs(), key=repr)
+    ]
+    if not pool:
+        return []
+    return rng.sample(pool, min(count, len(pool)))
+
+
+def _mutation_trace(query, database, seed, steps=STEPS):
+    """The interleaving, precomputed against a scratch mirror.
+
+    Computing the batches against a mirror (instead of the live session's
+    database) makes the trace a pure function of the seed: every session
+    under test replays the byte-same batches in the byte-same order.
+    """
+    rng = random.Random(seed)
+    mirror = database.copy()
+    trace = []
+    for step in range(steps):
+        if step % 2 == 0:
+            refs = _insert_batch(query, mirror, rng)
+            trace.append(("insert", refs))
+            mirror.insert_tuples(refs)
+        else:
+            refs = _delete_batch(query, mirror, rng)
+            trace.append(("delete", refs))
+            mirror.remove_tuples(refs)
+    return trace
+
+
+def _apply(session_or_db, op, refs):
+    if op == "insert":
+        return session_or_db.apply_insertions(refs) if isinstance(
+            session_or_db, Session
+        ) else session_or_db.insert_tuples(refs)
+    return session_or_db.apply_deletions(refs) if isinstance(
+        session_or_db, Session
+    ) else session_or_db.remove_tuples(refs)
+
+
+def _witness_refs(result):
+    return {w.refs for w in result.witnesses}
+
+
+def _solver_objectives(session, query, total, seed):
+    """Deterministic greedy/drastic objective pair for the current state."""
+    if total == 0:
+        return None
+    k = max(1, total // 3)
+    out = {}
+    for heuristic in ("greedy", "drastic"):
+        solution = session.solve(query, k, heuristic=heuristic)
+        out[heuristic] = (
+            solution.size, solution.removed_outputs, solution.is_feasible()
+        )
+        assert solution.removed_outputs >= k, (
+            f"seed={seed}: {heuristic} returned an infeasible solution"
+        )
+    return out
+
+
+def _make_session(database, backend, workers):
+    if workers == 1:
+        return Session(database, backend=backend)
+    session = Session(
+        database, backend=backend, workers=workers, parallel_threshold=0
+    )
+    # Inline shards: the pool-less path runs the identical shard/merge
+    # kernels without per-test process startup.
+    session._context.executor()._pool_failed = True
+    return session
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name,query,database", WORKLOADS, ids=IDS)
+def test_interleaved_mutations_match_rebuild(name, query, database, backend, workers):
+    trace = _mutation_trace(query, database, seed=SEED)
+    session = _make_session(database.copy(), backend=backend, workers=workers)
+    mirror = database.copy()
+    with session:
+        session.evaluate(query)  # a resident cache entry to migrate each step
+        for step, (op, refs) in enumerate(trace):
+            changed = _apply(session, op, refs)
+            assert changed == _apply(mirror, op, refs), (
+                f"seed={SEED} step={step}: {op} count diverged"
+            )
+            incremental = session.evaluate(query)
+            with Session(mirror.copy(), backend=backend) as oracle:
+                fresh = oracle.evaluate(query)
+                context = f"seed={SEED} step={step} op={op} [{name}]"
+                assert set(incremental.output_rows) == set(fresh.output_rows), context
+                assert _witness_refs(incremental) == _witness_refs(fresh), context
+                assert incremental.witness_count() == fresh.witness_count(), context
+                assert incremental.output_count() == fresh.output_count(), context
+                assert (
+                    incremental.participating_refs() == fresh.participating_refs()
+                ), context
+                total = incremental.output_count()
+                assert _solver_objectives(session, query, total, SEED) == (
+                    _solver_objectives(oracle, query, total, SEED)
+                ), context
+        # The incremental path genuinely rode the cache, not re-evaluation.
+        assert session.stats.cache_hits >= len(trace)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+@pytest.mark.parametrize("name,query,database", WORKLOADS, ids=IDS)
+def test_mutation_trace_byte_identical_across_backends(name, query, database):
+    """python and numpy replay the same trace into byte-identical packing."""
+    trace = _mutation_trace(query, database, seed=SEED)
+    with Session(database.copy(), backend="python") as py_session, Session(
+        database.copy(), backend="numpy"
+    ) as np_session:
+        py_session.evaluate(query)
+        np_session.evaluate(query)
+        for step, (op, refs) in enumerate(trace):
+            assert _apply(py_session, op, refs) == _apply(np_session, op, refs)
+            py_result = py_session.evaluate(query)
+            np_result = np_session.evaluate(query)
+            context = f"seed={SEED} step={step} op={op} [{name}]"
+            assert packed_columns(np_result.provenance) == packed_columns(
+                py_result.provenance
+            ), context
+            assert packed_outputs(np_result.provenance) == packed_outputs(
+                py_result.provenance
+            ), context
+            assert np_result.output_rows == py_result.output_rows, context
+            assert list(np_result.witness_outputs) == list(
+                py_result.witness_outputs
+            ), context

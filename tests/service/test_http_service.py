@@ -107,6 +107,130 @@ def test_solve_and_what_if_parity_including_version_bumps(service_runner):
         client.close()
 
 
+def _fresh_r2_edges(database, count):
+    """R2 edges absent from ``database``, recombined from stored endpoints."""
+    from repro.data.relation import TupleRef
+
+    rows = sorted(database.relation("R2").rows)
+    stored = set(rows)
+    edges = []
+    i = 0
+    while len(edges) < count and i < 10_000:
+        edge = (rows[i % len(rows)][0], rows[(i * 7 + 3) % len(rows)][1])
+        i += 1
+        if edge in stored or edge in edges:
+            continue
+        edges.append(edge)
+    return [TupleRef("R2", edge) for edge in edges]
+
+
+def test_apply_insertions_round_trip(service_runner):
+    """Insertions over HTTP: version bumps, no-op batches, solver parity,
+    and in-flight solves landing consistently on exactly one version."""
+    runner = service_runner(backend="python", linger_ms=1.0)
+    client = JsonClient("127.0.0.1", runner.port)
+    try:
+        register(client, "zipf", make_zipf())
+        inserted = _fresh_r2_edges(make_zipf(), 6)
+        with Session(make_zipf(), backend="python") as mirror:
+            status, body, _ = client.post(
+                "/v1/solve", {"database": "zipf", "query": QUERY, "k": 3}
+            )
+            assert status == 200 and body["version"] == 1
+
+            status, body, _ = client.post(
+                "/v1/apply_insertions",
+                {"database": "zipf", "refs": refs_to_json(inserted)},
+            )
+            assert status == 200, body
+            assert body["added"] == len(inserted)
+            assert body["version"] == 2
+            assert isinstance(body["elapsed_ms"], float)
+            assert mirror.apply_insertions(inserted) == len(inserted)
+
+            # Post-insertion solves are byte-identical to the mirror.
+            status, body, _ = client.post(
+                "/v1/solve", {"database": "zipf", "query": QUERY, "k": 3}
+            )
+            assert status == 200, body
+            assert body["version"] == 2
+            prepared = mirror.prepare(QUERY)
+            expected = solution_payload(
+                mirror, prepared, mirror.output_size(prepared),
+                mirror.solve(prepared, 3),
+            )
+            assert dumps_canonical(strip_envelope(body)) == dumps_canonical(expected)
+
+            # Re-inserting the same batch is a no-op: the version (and every
+            # cache keyed on it) must stay put.
+            status, body, _ = client.post(
+                "/v1/apply_insertions",
+                {"database": "zipf", "refs": refs_to_json(inserted)},
+            )
+            assert status == 200, body
+            assert body["added"] == 0
+            assert body["version"] == 2
+            # Unknown relations are ignored, not errors (mirror semantics).
+            status, body, _ = client.post(
+                "/v1/apply_insertions",
+                {"database": "zipf", "refs": [["R_unknown", ["x"]]]},
+            )
+            assert status == 200 and body["added"] == 0 and body["version"] == 2
+
+            status, health, _ = client.get("/healthz")
+            assert health["metrics"]["insertions_applied_total"] == len(inserted)
+
+            # An in-flight solve racing a mutation must land on exactly one
+            # version and match that version's serial state byte-for-byte.
+            second = _fresh_r2_edges(mirror.database, 4)
+            with Session(make_zipf(), backend="python") as mirror_v3:
+                mirror_v3.apply_insertions(inserted)
+                mirror_v3.apply_insertions(second)
+                expected_by_version = {}
+                for version, m in ((2, mirror), (3, mirror_v3)):
+                    p = m.prepare(QUERY)
+                    expected_by_version[version] = dumps_canonical(
+                        solution_payload(
+                            m, p, m.output_size(p), m.solve(p, 2)
+                        )
+                    )
+                outcome = {}
+
+                def solve_in_flight():
+                    worker = JsonClient("127.0.0.1", runner.port)
+                    try:
+                        outcome["response"] = worker.post(
+                            "/v1/solve",
+                            {"database": "zipf", "query": QUERY, "k": 2,
+                             "batch": False},
+                        )
+                    finally:
+                        worker.close()
+
+                thread = threading.Thread(target=solve_in_flight)
+                thread.start()
+                status, body, _ = client.post(
+                    "/v1/apply_insertions",
+                    {"database": "zipf", "refs": refs_to_json(second)},
+                )
+                assert status == 200, body
+                assert body["version"] == 3
+                thread.join(timeout=60)
+                status, solve_body, _ = outcome["response"]
+                assert status == 200, solve_body
+                assert solve_body["version"] in (2, 3)
+                assert dumps_canonical(strip_envelope(solve_body)) == (
+                    expected_by_version[solve_body["version"]]
+                )
+
+        # 404 for unknown databases, before any work queues.
+        assert client.post(
+            "/v1/apply_insertions", {"database": "nope", "refs": []}
+        )[0] == 404
+    finally:
+        client.close()
+
+
 def test_batched_and_unbatched_solves_are_identical(service_runner):
     """Coalesced dispatch must not change any solve answer."""
     runner = service_runner(backend="python", linger_ms=25.0, max_batch=8)
