@@ -1,0 +1,90 @@
+"""REP001: NumPy stays behind ``engine/backend.py``.
+
+The array-backend contract (docs/ARCHITECTURE.md, "Array backends") says
+NumPy is optional: every kernel has a pure-Python twin, selection happens
+once at session construction, and downstream code dispatches on the
+*column type*, never on the library.  One stray ``import numpy`` anywhere
+else silently breaks the no-NumPy CI leg and couples a module to an
+optional dependency.  This checker bans
+
+* ``import numpy`` / ``import numpy.x`` / ``from numpy import ...``,
+* dynamic equivalents: ``__import__("numpy")`` and
+  ``importlib.import_module("numpy...")``
+
+everywhere except the configured backend module.  Access through a
+backend handle (``backend.np.concatenate(...)``) is the sanctioned
+pattern and is untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import AnalysisConfig, Checker, Finding, SourceFile
+
+
+def _is_numpy_module(name: str) -> bool:
+    return name == "numpy" or name.startswith("numpy.")
+
+
+class BackendIsolationChecker(Checker):
+    rule_id = "REP001"
+    title = "NumPy imports only in engine/backend.py"
+
+    def check_file(self, source: SourceFile, config: AnalysisConfig) -> Iterable[Finding]:
+        if source.rel == config.backend_module:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_numpy_module(alias.name):
+                        yield self.finding(
+                            source.rel,
+                            node,
+                            f"import of {alias.name!r} outside "
+                            f"{config.backend_module}: go through the array "
+                            "backend (repro.engine.backend) so the "
+                            "pure-Python leg stays green",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and _is_numpy_module(node.module) and node.level == 0:
+                    yield self.finding(
+                        source.rel,
+                        node,
+                        f"'from {node.module} import ...' outside "
+                        f"{config.backend_module}: go through the array "
+                        "backend (repro.engine.backend)",
+                    )
+            elif isinstance(node, ast.Call):
+                target = self._dynamic_import_target(node)
+                if target is not None and _is_numpy_module(target):
+                    yield self.finding(
+                        source.rel,
+                        node,
+                        f"dynamic import of {target!r} outside "
+                        f"{config.backend_module}: go through the array "
+                        "backend (repro.engine.backend)",
+                    )
+
+    @staticmethod
+    def _dynamic_import_target(node: ast.Call) -> "str | None":
+        """The literal module name of ``__import__``/``import_module`` calls."""
+        func = node.func
+        named_import = isinstance(func, ast.Name) and func.id == "__import__"
+        module_import = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "import_module"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "importlib"
+        )
+        if not (named_import or module_import):
+            return None
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                return value
+        return None
+
+
+__all__ = ["BackendIsolationChecker"]

@@ -1,0 +1,81 @@
+"""REP006: the PR-2 deprecated shims are not used from inside ``src/``.
+
+``evaluate(query, database)``, ``compute_adp``, ``set_engine_mode`` and
+the cache helpers survive as ``DeprecationWarning`` shims over implicit
+per-database default sessions -- for *external* callers mid-migration
+(docs/MIGRATION.md).  Internal code reaching back through them would
+route state through the hidden default-session registry, bypassing the
+session the caller actually holds (wrong cache, wrong backend, wrong
+worker pool) and muffling the deprecation signal users rely on.
+
+Flagged outside the whitelist (the shims' own definition modules and the
+compat re-export ``__init__`` surfaces):
+
+* ``from repro.engine.evaluate import evaluate`` (and any shim name, from
+  any ``repro`` module -- re-exports count),
+* attribute calls of a shim through an imported module
+  (``evaluate_module.set_engine_mode(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from repro.analysis.framework import AnalysisConfig, Checker, Finding, SourceFile
+
+#: Modules whose attributes are shim candidates when accessed by name.
+_SHIM_HOMES = ("repro.engine.evaluate", "repro.engine", "repro.core.adp", "repro")
+
+
+class DeprecatedShimChecker(Checker):
+    rule_id = "REP006"
+    title = "no PR-2 deprecated shims inside src/"
+
+    def check_file(self, source: SourceFile, config: AnalysisConfig) -> Iterable[Finding]:
+        if AnalysisConfig.path_matches(source.rel, config.deprecated_whitelist):
+            return
+        deprecated: Dict[str, str] = config.deprecated_names
+        #: local alias -> module path, for ``import repro.engine.evaluate as ev``.
+        module_aliases: Dict[str, str] = {}
+        #: local names bound to a shim by ``from ... import shim [as alias]``.
+        shim_aliases: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _SHIM_HOMES:
+                        module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if not (node.module == "repro" or node.module.startswith("repro.")):
+                    continue
+                for alias in node.names:
+                    if alias.name in deprecated:
+                        shim_aliases.add(alias.asname or alias.name)
+                        yield self.finding(
+                            source.rel,
+                            node,
+                            f"import of deprecated shim {alias.name!r} from "
+                            f"{node.module}; use {deprecated[alias.name]} "
+                            "(see docs/MIGRATION.md)",
+                        )
+            elif isinstance(node, ast.Call):
+                target = node.func
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in deprecated
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in module_aliases
+                ):
+                    yield self.finding(
+                        source.rel,
+                        node,
+                        f"call of deprecated shim "
+                        f"{module_aliases[target.value.id]}.{target.attr}; "
+                        f"use {deprecated[target.attr]} (see "
+                        "docs/MIGRATION.md)",
+                    )
+
+
+__all__ = ["DeprecatedShimChecker"]

@@ -1,0 +1,90 @@
+"""REP005: engine/parallel code is wall-clock- and module-RNG-free.
+
+Everything under ``engine/`` and ``parallel/`` must be a deterministic
+function of its inputs: results are compared byte-for-byte across
+backends, worker counts and incremental-mutation replays, and the
+evaluation cache assumes a (query, database version) pair pins the
+answer.  ``time.time()`` (or any wall/CPU clock) and the *module-level*
+``random`` functions (which mutate hidden global state seeded per
+process) both smuggle ambient nondeterminism into that contract.
+
+Flagged inside the configured paths:
+
+* references to ``time.time`` / ``time.time_ns`` / ``time.monotonic`` /
+  ``time.perf_counter`` (timing belongs in benchmarks and the service
+  tier, not in kernels),
+* ``from time import time`` and friends,
+* module-level ``random.<fn>(...)`` calls and ``from random import ...``.
+
+Seeded contexts stay available: constructing an explicit
+``random.Random(seed)`` instance is allowed (the workload generators'
+pattern) -- only the shared module-global generator is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import AnalysisConfig, Checker, Finding, SourceFile
+
+_CLOCK_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+#: Explicitly-seeded generator constructors (allowed).
+_SEEDED_FACTORIES = frozenset({"Random", "SystemRandom"})
+
+
+class WallClockChecker(Checker):
+    rule_id = "REP005"
+    title = "no wall clock / module-global RNG in engine or parallel code"
+
+    def check_file(self, source: SourceFile, config: AnalysisConfig) -> Iterable[Finding]:
+        if not AnalysisConfig.path_matches(source.rel, config.wallclock_paths):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                receiver = node.value.id
+                if receiver == "time" and node.attr in _CLOCK_ATTRS:
+                    yield self.finding(
+                        source.rel,
+                        node,
+                        f"time.{node.attr} in deterministic engine code: "
+                        "results must be a pure function of the inputs "
+                        "(timing belongs in benchmarks/ or the service tier)",
+                    )
+                elif receiver == "random" and node.attr not in _SEEDED_FACTORIES:
+                    yield self.finding(
+                        source.rel,
+                        node,
+                        f"random.{node.attr} uses the module-global RNG; "
+                        "thread an explicit random.Random(seed) through "
+                        "instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    names = ", ".join(alias.name for alias in node.names)
+                    yield self.finding(
+                        source.rel,
+                        node,
+                        f"'from time import {names}' in deterministic engine "
+                        "code (timing belongs in benchmarks/ or the service "
+                        "tier)",
+                    )
+                elif node.module == "random":
+                    offenders = [
+                        alias.name
+                        for alias in node.names
+                        if alias.name not in _SEEDED_FACTORIES
+                    ]
+                    if offenders:
+                        yield self.finding(
+                            source.rel,
+                            node,
+                            f"'from random import {', '.join(offenders)}' "
+                            "imports the module-global RNG; use an explicit "
+                            "random.Random(seed) instance",
+                        )
+
+
+__all__ = ["WallClockChecker"]

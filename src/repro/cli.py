@@ -13,7 +13,12 @@ without writing any Python:
 * ``serve`` -- run the asyncio ADP query service (:mod:`repro.service`):
   named databases behind an HTTP/JSON API with request batching, versioned
   reads and backpressure.  ``--load name=csv_dir`` preloads databases;
-  clients can also register them at runtime via ``POST /v1/databases``.
+  clients can also register them at runtime via ``POST /v1/databases``;
+* ``analyze`` -- run the invariant linter (:mod:`repro.analysis`) over the
+  package (or a path): backend isolation, append-only interning, lock
+  discipline, deterministic iteration, wall-clock hygiene and deprecated
+  shims, as REP-numbered findings.  Exits 1 when anything fires; CI runs
+  it as a blocking job (see docs/INVARIANTS.md).
 
 ``solve`` runs through a :class:`repro.session.Session` bound to the loaded
 database: ``--engine`` picks the columnar, row-reference or sharded parallel
@@ -34,6 +39,8 @@ Examples
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3 --json
     python -m repro experiments --only fig28
     python -m repro serve --port 8080 --backend auto --load tpch=./tpch_csv
+    python -m repro analyze --format json
+    python -m repro analyze --rules REP003,REP004 src/repro/parallel
 """
 
 from __future__ import annotations
@@ -216,6 +223,77 @@ def _add_serve_parser(subparsers) -> None:
     )
 
 
+def _add_analyze_parser(subparsers) -> None:
+    from repro.analysis.checkers import KNOWN_RULES
+
+    parser = subparsers.add_parser(
+        "analyze", help="run the invariant linter (REP rules) over the package"
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="file or directory to analyze (default: the installed repro "
+        "package, the configuration the REP rules are scoped for)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="REPxxx[,REPxxx...]",
+        help="comma-separated rule subset to run (default: all of "
+        + ", ".join(KNOWN_RULES)
+        + "; REP000 suppression hygiene always runs)",
+    )
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.checkers import KNOWN_RULES, all_checkers
+    from repro.analysis.framework import render_json, render_text, run_analysis
+
+    rules = None
+    if args.rules:
+        rules = tuple(rule.strip().upper() for rule in args.rules.split(",") if rule.strip())
+        unknown = [rule for rule in rules if rule not in KNOWN_RULES]
+        if unknown:
+            print(
+                f"error: unknown rule(s) {', '.join(unknown)} "
+                f"(known: {', '.join(KNOWN_RULES)})",
+                file=sys.stderr,
+            )
+            return 2
+    package_root = Path(repro.__file__).resolve().parent
+    only: tuple = ()
+    if args.path is not None:
+        root = Path(args.path).resolve()
+        if not root.exists():
+            print(f"error: no such path: {args.path}", file=sys.stderr)
+            return 2
+        try:
+            rel = root.relative_to(package_root).as_posix()
+        except ValueError:
+            rel = None
+        if rel is not None and rel != ".":
+            # A subtree of the package: keep paths rooted at the package
+            # directory so the path-scoped rules keep their meaning.
+            only = (rel + "/",) if root.is_dir() else (rel,)
+            root = package_root
+    else:
+        root = package_root
+    report = run_analysis(root, all_checkers(), rules=rules, only=only)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 0 if report.ok else 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -350,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solve_parser(subparsers)
     _add_experiments_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_analyze_parser(subparsers)
     return parser
 
 
@@ -364,6 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiments(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "analyze":
+        return _run_analyze(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -34,15 +34,20 @@ just work).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: A packed column: a plain Python list or a ``numpy.ndarray`` -- typed as
+#: ``Any`` because NumPy is optional and kernels dispatch at runtime via
+#: :func:`is_ndarray`.
+Column = Any
 
 #: Resolved lazily so the module imports cleanly without NumPy and so tests
 #: can monkeypatch it to exercise the fallback.
-_np = None
+_np: Optional[Any] = None
 _NUMPY_CHECKED = False
 
 
-def _load_numpy():
+def _load_numpy() -> Optional[Any]:
     """Import NumPy once, honouring the ``REPRO_NO_NUMPY`` kill switch."""
     global _np, _NUMPY_CHECKED
     if _NUMPY_CHECKED:
@@ -85,11 +90,11 @@ class PythonBackend:
         return list(values)
 
     # -- gathers ------------------------------------------------------------ #
-    def take(self, column, selection) -> List[object]:
+    def take(self, column: Column, selection: Sequence[int]) -> List[object]:
         return [column[i] for i in selection]
 
     # -- counting ----------------------------------------------------------- #
-    def bincount(self, column, size: int) -> List[int]:
+    def bincount(self, column: Column, size: int) -> List[int]:
         counts = [0] * size
         for value in column:
             counts[value] += 1
@@ -109,7 +114,7 @@ class NumpyBackend:
     name = "numpy"
     is_numpy = True
 
-    def __init__(self, gated: bool = False):
+    def __init__(self, gated: bool = False) -> None:
         np = _load_numpy()
         if np is None:
             raise RuntimeError(
@@ -120,26 +125,26 @@ class NumpyBackend:
         self.gated = gated
 
     # -- column constructors ------------------------------------------------ #
-    def id_range(self, n: int):
+    def id_range(self, n: int) -> Column:
         return self.np.arange(n, dtype=self.np.int64)
 
-    def empty_ids(self):
+    def empty_ids(self) -> Column:
         return self.np.empty(0, dtype=self.np.int64)
 
-    def id_column(self, values: Sequence[int]):
+    def id_column(self, values: Sequence[int]) -> Column:
         return self.np.asarray(values, dtype=self.np.int64)
 
-    def object_column(self, values: Sequence[object]):
+    def object_column(self, values: Sequence[object]) -> Column:
         column = self.np.empty(len(values), dtype=object)
         column[:] = values
         return column
 
     # -- gathers ------------------------------------------------------------ #
-    def take(self, column, selection):
+    def take(self, column: Column, selection: Column) -> Column:
         return column.take(selection)
 
     # -- counting ----------------------------------------------------------- #
-    def bincount(self, column, size: int):
+    def bincount(self, column: Column, size: int) -> Column:
         return self.np.bincount(column, minlength=size)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -163,6 +168,9 @@ _NUMPY_BACKEND_AUTO: Optional[NumpyBackend] = None
 
 #: What ``resolve_backend`` accepts.
 BACKEND_NAMES = ("auto", "python", "numpy")
+
+#: A resolved backend instance (what ``resolve_backend`` returns).
+Backend = Union[PythonBackend, NumpyBackend]
 
 BackendLike = Union[str, PythonBackend, NumpyBackend, None]
 
@@ -203,7 +211,7 @@ def resolve_backend(spec: BackendLike) -> Union[PythonBackend, NumpyBackend]:
 # --------------------------------------------------------------------------- #
 # Column-type dispatch for downstream consumers
 # --------------------------------------------------------------------------- #
-def is_ndarray(column) -> bool:
+def is_ndarray(column: Column) -> bool:
     """Whether a packed column is a NumPy array (vs a plain list).
 
     Downstream kernels (provenance index, delta semijoins, set cover,
@@ -215,12 +223,12 @@ def is_ndarray(column) -> bool:
     return np is not None and isinstance(column, np.ndarray)
 
 
-def backend_of_column(column) -> Union[PythonBackend, NumpyBackend]:
+def backend_of_column(column: Column) -> Union[PythonBackend, NumpyBackend]:
     """The backend whose kernels match one packed column's representation."""
     return resolve_backend("numpy") if is_ndarray(column) else _PYTHON_BACKEND
 
 
-def as_id_list(column) -> List[int]:
+def as_id_list(column: Column) -> List[int]:
     """A packed ID column as a plain list of Python ints.
 
     The normalization used at representation boundaries (parity assertions,
@@ -231,7 +239,7 @@ def as_id_list(column) -> List[int]:
     return list(column)
 
 
-def group_positions(column) -> Dict[int, object]:
+def group_positions(column: Column) -> Dict[int, object]:
     """``value -> positions holding it`` for one ID column (postings build).
 
     Positions are ascending within each value.  The Python path returns

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.data.database import Database
 from repro.query.cq import ConjunctiveQuery
@@ -76,7 +76,7 @@ def canonical_query_key(query: ConjunctiveQuery) -> Hashable:
 class EvaluationCache:
     """A per-database LRU of evaluation results (see the module docstring)."""
 
-    def __init__(self, max_entries_per_database: int = MAX_ENTRIES_PER_DATABASE):
+    def __init__(self, max_entries_per_database: int = MAX_ENTRIES_PER_DATABASE) -> None:
         self._per_database: "weakref.WeakKeyDictionary[Database, Dict]" = (
             weakref.WeakKeyDictionary()
         )
@@ -89,10 +89,10 @@ class EvaluationCache:
         self,
         query: ConjunctiveQuery,
         database: Database,
-        query_key=None,
-        layout=None,
-        backend=None,
-    ):
+        query_key: Optional[Hashable] = None,
+        layout: Optional[Hashable] = None,
+        backend: Optional[str] = None,
+    ) -> Optional[Any]:
         """The cached result for ``(query, database, layout, backend)`` or ``None``.
 
         ``query_key`` optionally supplies the precomputed canonical key (a
@@ -127,10 +127,10 @@ class EvaluationCache:
         self,
         query: ConjunctiveQuery,
         database: Database,
-        result,
-        query_key=None,
-        layout=None,
-        backend=None,
+        result: Any,
+        query_key: Optional[Hashable] = None,
+        layout: Optional[Hashable] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Cache one evaluation result (or one shard payload)."""
         if query_key is None:
@@ -157,9 +157,9 @@ class EvaluationCache:
         database: Database,
         query_key: Hashable,
         token: Hashable,
-        result,
-        layout=None,
-        backend=None,
+        result: Any,
+        layout: Optional[Hashable] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Cache one result under a precomputed ``(query key, version token)``.
 
@@ -177,7 +177,7 @@ class EvaluationCache:
             while len(entries) > self._max_entries:
                 entries.pop(next(iter(entries)))
 
-    def take_entries(self, database: Database):
+    def take_entries(self, database: Database) -> Dict[Tuple[Hashable, ...], Any]:
         """Remove and return ``{(query key, token, layout, backend): result}``.
 
         The entries are popped (the cache forgets them); callers that migrate
@@ -197,4 +197,5 @@ class EvaluationCache:
 
     def stats(self) -> Tuple[int, int]:
         """``(hits, misses)`` since the last :meth:`clear`."""
-        return (self.hits, self.misses)
+        with self._lock:
+            return (self.hits, self.misses)

@@ -27,11 +27,13 @@ directly.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Collection, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation, Row, TupleRef
 from repro.engine.backend import (
+    Backend,
+    Column,
     as_id_list,
     backend_of_column,
     group_positions,
@@ -71,7 +73,7 @@ class RelationIndex:
         "_hash_groups",
     )
 
-    def __init__(self, relation: Relation):
+    def __init__(self, relation: Relation) -> None:
         self.name = relation.name
         self.attributes: Tuple[str, ...] = relation.attributes
         self.rows: List[Row] = list(relation)
@@ -126,7 +128,7 @@ class RelationIndex:
             self._ref_view = view
         return view
 
-    def value_column(self, position: int, backend):
+    def value_column(self, position: int, backend: Backend) -> Column:
         """The ``tid -> value`` column of one attribute, as a backend column.
 
         NumPy sessions gather new value columns with ``take`` over a
@@ -142,7 +144,7 @@ class RelationIndex:
             self._value_columns[position] = column
         return column
 
-    def value_codes(self, position: int, backend):
+    def value_codes(self, position: int, backend: Backend) -> Tuple[Column, int]:
         """``(codes, radix)``: dense value interning of one attribute.
 
         ``codes[tid]`` is the dense ID of ``rows[tid][position]``'s *value*
@@ -170,7 +172,7 @@ class RelationIndex:
             self._value_codes[position] = entry
         return entry
 
-    def hash_groups(self, positions: Tuple[int, ...], backend):
+    def hash_groups(self, positions: Tuple[int, ...], backend: Backend) -> object:
         """The build side of one hash-join step, cached per key attributes.
 
         For the Python backend: ``{key: [tids]}`` with tids ascending (the
@@ -275,7 +277,7 @@ class ColumnarProvenance:
         output_rows: List[Row],
         output_index: Optional[Dict[Row, int]] = None,
         vacuum_refs: Tuple[TupleRef, ...] = (),
-    ):
+    ) -> None:
         self.query = query
         self.atom_names = atom_names
         self.indexes: List[RelationIndex] = list(indexes)
@@ -341,7 +343,7 @@ class ColumnarProvenance:
         (``Session.what_if``) pay for the scan once -- the role indexes play
         on the paper's PostgreSQL connection.
         """
-        postings = self._postings[position]
+        postings = self._postings[position]  # repro: noqa REP003 -- double-checked lazy build: the GIL makes this list-slot read atomic, and the slow path re-reads under the lock before building
         if postings is None:
             with self._postings_lock:
                 postings = self._postings[position]
@@ -483,7 +485,7 @@ class ColumnarProvenance:
         return masks
 
 
-def distinct_ids(column):
+def distinct_ids(column: Column) -> Collection[int]:
     """The distinct values of one ID column (Python ints either way)."""
     if is_ndarray(column):
         return backend_of_column(column).np.unique(column).tolist()
@@ -501,7 +503,7 @@ def empty_provenance(
     atoms: Sequence[Atom],
     database: Database,
     index_for: Optional[IndexSupplier] = None,
-    backend=None,
+    backend: Optional[Backend] = None,
 ) -> ColumnarProvenance:
     """A provenance payload with no witnesses (empty query result)."""
     build = index_for or RelationIndex
@@ -518,7 +520,16 @@ def empty_provenance(
     )
 
 
-def _probe_gids_numpy(backend, rindex, shared, shared_positions, bound, ref_columns, binding, indexes):
+def _probe_gids_numpy(
+    backend: Backend,
+    rindex: RelationIndex,
+    shared: Tuple[str, ...],
+    shared_positions: Tuple[int, ...],
+    bound: Dict[str, Column],
+    ref_columns: List[Column],
+    binding: Dict[str, int],
+    indexes: Sequence[RelationIndex],
+) -> Column:
     """Per-probe-row build-bucket ids for one join step (NumPy backend).
 
     Key matching uses Python equality exactly like the Python backend, but
@@ -573,7 +584,12 @@ def _probe_gids_numpy(backend, rindex, shared, shared_positions, bound, ref_colu
     return gid_per_group[inverse]
 
 
-def _expand_matches_numpy(backend, rindex, shared_positions, gids):
+def _expand_matches_numpy(
+    backend: Backend,
+    rindex: RelationIndex,
+    shared_positions: Tuple[int, ...],
+    gids: Column,
+) -> Tuple[Column, Column]:
     """Expand per-probe-row bucket ids into ``(selection, tids)``.
 
     Produces the identical pair the Python probe loop appends row by row:
@@ -601,7 +617,7 @@ def join_columns(
     max_witnesses: Optional[int] = None,
     query_name: str = "Q",
     index_for: Optional[IndexSupplier] = None,
-    backend=None,
+    backend: Optional[Backend] = None,
 ) -> Tuple[Dict[str, List[object]], List[List[int]], List[RelationIndex]]:
     """Left-deep hash join over interned ID columns.
 

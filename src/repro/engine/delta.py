@@ -32,10 +32,11 @@ has no packed provenance (row engine).
 from __future__ import annotations
 
 from itertools import compress
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.data.relation import Row, TupleRef
 from repro.engine.backend import (
+    Column,
     as_id_list,
     backend_of_column,
     group_positions,
@@ -46,7 +47,9 @@ from repro.engine.columnar import ColumnarProvenance, RelationIndex
 from repro.engine.evaluate import QueryResult, Witness
 
 
-def _dead_witnesses(provenance: ColumnarProvenance, removed: Iterable[TupleRef]):
+def _dead_witnesses(
+    provenance: ColumnarProvenance, removed: Iterable[TupleRef]
+) -> Optional[Union[Set[int], Column]]:
     """Witness positions killed by ``removed``; ``None`` = *all* witnesses.
 
     ``None`` is the vacuum-deletion case (a removed vacuum tuple guards away
@@ -95,7 +98,9 @@ def _dead_witnesses(provenance: ColumnarProvenance, removed: Iterable[TupleRef])
     return dead
 
 
-def _alive_mask(provenance: ColumnarProvenance, dead):
+def _alive_mask(
+    provenance: ColumnarProvenance, dead: Union[Set[int], Column]
+) -> Union[bytearray, Column]:
     """A boolean alive mask over the witness positions.
 
     A NumPy ``bool`` array when the provenance is ndarray-packed (so the
@@ -425,7 +430,7 @@ def _discover_new_witnesses(
     new_columns: List[List[int]] = [[] for _ in range(n)]
     assignments: List[Dict[str, object]] = []
 
-    def dead(q: int, tid: int, rows_q) -> bool:
+    def dead(q: int, tid: int, rows_q: Sequence[Row]) -> bool:
         """Interned but deleted before this batch (and not in the batch)."""
         if tid in delta_tids[q]:
             return False
@@ -548,7 +553,7 @@ def _migrated_postings(
     provenance: ColumnarProvenance,
     new_columns: List[List[int]],
     vectorized: bool,
-):
+) -> List[Optional[Dict[int, List[int]]]]:
     """Extend the parent's already-built postings with the new witnesses.
 
     Unbuilt atoms stay ``None`` (lazy as before).  Parent lists/arrays are

@@ -63,19 +63,43 @@ import warnings
 import weakref
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.data.database import Database
 from repro.data.relation import Relation, Row, TupleRef
-from repro.engine.backend import MIN_VECTOR_TUPLES, python_backend, resolve_backend
+from repro.engine.backend import (
+    MIN_VECTOR_TUPLES,
+    Backend,
+    BackendLike,
+    Column,
+    NumpyBackend,
+    python_backend,
+    resolve_backend,
+)
 from repro.engine.cache import EvaluationCache
 from repro.engine.columnar import (
     ColumnarProvenance,
+    IndexSupplier,
     RelationIndex,
     empty_provenance,
     join_columns,
 )
 from repro.query.cq import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import ParallelExecutor
+    from repro.query.atoms import Atom
 
 
 class Witness:
@@ -89,7 +113,7 @@ class Witness:
 
     __slots__ = ("refs",)
 
-    def __init__(self, refs: Tuple[TupleRef, ...]):
+    def __init__(self, refs: Tuple[TupleRef, ...]) -> None:
         self.refs = refs
 
     def as_dict(self) -> Dict[str, TupleRef]:
@@ -100,10 +124,10 @@ class Witness:
         """Whether this witness contains the given input tuple."""
         return ref in self.refs
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TupleRef]:
         return iter(self.refs)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Witness) and self.refs == other.refs
 
     def __hash__(self) -> int:
@@ -143,7 +167,7 @@ class QueryResult:
         witness_outputs: Optional[List[int]] = None,
         output_index: Optional[Dict[Row, int]] = None,
         provenance: Optional[ColumnarProvenance] = None,
-    ):
+    ) -> None:
         self.query = query
         self.output_rows = output_rows
         self.witness_outputs: List[int] = (
@@ -247,7 +271,7 @@ def _join_order(query: ConjunctiveQuery) -> List[int]:
     while remaining:
         # Prefer an atom sharing attributes with what is already joined.
         candidates = [
-            i for i in remaining if atoms[i].attribute_set & joined_attrs
+            i for i in sorted(remaining) if atoms[i].attribute_set & joined_attrs
         ]
         if not candidates:
             # Start a new connected component: pick the first remaining atom
@@ -335,8 +359,8 @@ class EngineContext:
         cache: Optional[EvaluationCache] = None,
         workers: int = 1,
         parallel_threshold: Optional[int] = None,
-        backend: object = "auto",
-    ):
+        backend: BackendLike = "auto",
+    ) -> None:
         if mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {mode!r}")
         self.mode = mode
@@ -381,11 +405,11 @@ class EngineContext:
                 self._executor.close()
                 self._executor = None
 
-    def executor(self):
+    def executor(self) -> "Optional[ParallelExecutor]":
         """The parallel executor (``None`` unless the mode is ``parallel``)."""
-        if self.mode != "parallel":
-            return None
         with self._lock:
+            if self.mode != "parallel":
+                return None
             if self._executor is None:
                 from repro.parallel.executor import ParallelExecutor
 
@@ -433,7 +457,7 @@ class EngineContext:
         max_witnesses: Optional[int] = None,
         use_cache: bool = True,
         order: Optional[Sequence[int]] = None,
-        query_key=None,
+        query_key: Optional[Hashable] = None,
         partition_key: Optional[str] = None,
     ) -> QueryResult:
         """Evaluate within this context (see :func:`evaluate` for semantics).
@@ -447,7 +471,9 @@ class EngineContext:
         is byte-identical to the serial engine's, so it is cached under the
         same canonical key.
         """
-        if self.mode == "row":
+        with self._lock:
+            mode = self.mode
+        if mode == "row":
             self.evaluations += 1
             return evaluate_rows(query, database, max_witnesses)
         cacheable = use_cache and max_witnesses is None
@@ -459,16 +485,20 @@ class EngineContext:
             if cached is not None:
                 return cached
         result = None
-        if self.mode == "parallel" and max_witnesses is None:
-            result = self.executor().evaluate(
-                self,
-                query,
-                database,
-                order=order,
-                query_key=query_key,
-                partition_key=partition_key,
-                use_cache=use_cache,
-            )
+        if mode == "parallel" and max_witnesses is None:
+            # executor() re-checks the mode under the lock; a concurrent
+            # set_mode("serial"/"columnar") makes it None and we fall back.
+            executor = self.executor()
+            if executor is not None:
+                result = executor.evaluate(
+                    self,
+                    query,
+                    database,
+                    order=order,
+                    query_key=query_key,
+                    partition_key=partition_key,
+                    use_cache=use_cache,
+                )
         if result is None:
             result = evaluate_columnar(
                 query,
@@ -495,7 +525,7 @@ _ACTIVE_CONTEXT: "ContextVar[Optional[EngineContext]]" = ContextVar(
 
 
 @contextmanager
-def use_context(context: EngineContext):
+def use_context(context: EngineContext) -> "Iterator[EngineContext]":
     """Make ``context`` the ambient engine context within the ``with`` block."""
     token = _ACTIVE_CONTEXT.set(context)
     try:
@@ -682,7 +712,14 @@ def evaluate(
     return evaluate_in_context(query, database, max_witnesses, use_cache)
 
 
-def _factorize_outputs_numpy(backend, head, ordered_atoms, bound, ref_columns, indexes):
+def _factorize_outputs_numpy(
+    backend: NumpyBackend,
+    head: Sequence[str],
+    ordered_atoms: "Sequence[Atom]",
+    bound: Dict[str, Column],
+    ref_columns: Sequence[Column],
+    indexes: Sequence[RelationIndex],
+) -> Tuple[Column, List[Row]]:
     """First-occurrence output factorization over interned value codes.
 
     In a self-join-free natural join every head attribute's value is a
@@ -743,8 +780,8 @@ def evaluate_columnar(
     database: Database,
     max_witnesses: Optional[int] = None,
     order: Optional[Sequence[int]] = None,
-    index_for=None,
-    backend=None,
+    index_for: Optional[IndexSupplier] = None,
+    backend: Optional[Backend] = None,
 ) -> QueryResult:
     """The columnar engine: one uncached evaluation.
 

@@ -33,10 +33,10 @@ The index is also the basis of solution verification
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.data.relation import TupleRef
-from repro.engine.backend import backend_of_column, is_ndarray
+from repro.engine.backend import Column, backend_of_column, is_ndarray
 from repro.engine.evaluate import QueryResult
 
 
@@ -56,11 +56,11 @@ class _CsrView:
 
     __slots__ = ("flat", "offsets")
 
-    def __init__(self, flat, offsets):
+    def __init__(self, flat: Column, offsets: Column) -> None:
         self.flat = flat
         self.offsets = offsets
 
-    def __getitem__(self, rid: int):
+    def __getitem__(self, rid: int) -> Column:
         offsets = self.offsets
         return self.flat[offsets[rid]:offsets[rid + 1]]
 
@@ -81,7 +81,7 @@ class ProvenanceIndex:
     this down.
     """
 
-    def __init__(self, result: QueryResult):
+    def __init__(self, result: QueryResult) -> None:
         self.result = result
         #: dense rid -> TupleRef (participating tuples only, vacuum included)
         self._refs: List[TupleRef] = []
@@ -165,7 +165,7 @@ class ProvenanceIndex:
                 for wids in witness_rids:
                     wids.append(rid)
 
-    def _build_from_columnar_numpy(self, result: QueryResult, np) -> None:
+    def _build_from_columnar_numpy(self, result: QueryResult, np: Any) -> None:
         """Vectorized build: factorize each packed column into dense rids.
 
         Produces the exact state ``_build_from_columnar`` would: rids in
@@ -346,7 +346,7 @@ class ProvenanceIndex:
         removed = self._removed_flags
         return [0 if removed[rid] else gain[rid] for rid in rids]
 
-    def profits_for(self, rids):
+    def profits_for(self, rids: Sequence[int]) -> Optional[List[int]]:
         """Batched :meth:`profit_id` for many rids (one group-by), or ``None``.
 
         ``None`` signals the caller to fall back to per-rid queries (Python
@@ -546,7 +546,7 @@ class ProvenanceIndex:
             if count == total_per_output[out]
         )
 
-    def _total_witnesses_per_output(self):
+    def _total_witnesses_per_output(self) -> Column:
         totals = self._totals
         if totals is None:
             np = self._np

@@ -27,6 +27,7 @@ from typing import Dict, Set, Tuple
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.evaluate import evaluate_in_context as evaluate
+from repro.query.atoms import Atom
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -115,12 +116,12 @@ def remove_dangling_tuples(
     return Database(relations), removed
 
 
-def _project(relation: Relation, atom, attributes: Tuple[str, ...]) -> Set[tuple]:
+def _project(relation: Relation, atom: Atom, attributes: Tuple[str, ...]) -> Set[tuple]:
     positions = [relation.attribute_index(a) for a in attributes]
     return {tuple(row[i] for i in positions) for row in relation}
 
 
-def _key_of(relation: Relation, atom, row: tuple, attributes: Tuple[str, ...]) -> tuple:
+def _key_of(relation: Relation, atom: Atom, row: tuple, attributes: Tuple[str, ...]) -> tuple:
     positions = [relation.attribute_index(a) for a in attributes]
     return tuple(row[i] for i in positions)
 

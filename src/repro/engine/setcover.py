@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.engine.backend import as_id_list
+from repro.engine.columnar import ColumnarProvenance
 
 
 @dataclass
@@ -180,7 +181,9 @@ def sets_from_witnesses(
     return {key: frozenset(value) for key, value in sets.items()}
 
 
-def sets_from_packed_provenance(provenance) -> Dict[Hashable, FrozenSet[Hashable]]:
+def sets_from_packed_provenance(
+    provenance: ColumnarProvenance,
+) -> Dict[Hashable, FrozenSet[Hashable]]:
     """Build the Theorem 5 PSC sets straight from packed provenance columns.
 
     Equivalent to :func:`sets_from_witnesses` over the materialized witness
@@ -205,7 +208,7 @@ def sets_from_packed_provenance(provenance) -> Dict[Hashable, FrozenSet[Hashable
     return sets
 
 
-def max_frequency_from_provenance(provenance) -> int:
+def max_frequency_from_provenance(provenance: ColumnarProvenance) -> int:
     """The PSC instance's maximum element frequency, without building sets.
 
     For the Theorem 5 reduction every element (output tuple of a full CQ)

@@ -215,7 +215,9 @@ class ExperimentResult:
 
     def add(self, row: Dict[str, object]) -> None:
         """Append one row."""
-        self.rows.append(row)
+        # ExperimentResult.rows is this result table's own list of figure
+        # rows, not an interned relation column; nothing shares it.
+        self.rows.append(row)  # repro: noqa REP002 -- local result table, not an interned column
 
     def columns(self) -> List[str]:
         """Column names, in first-seen order across all rows."""

@@ -28,16 +28,19 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.data.database import Database
+from repro.engine.backend import Backend
 from repro.engine.cache import canonical_query_key
 from repro.engine.columnar import RelationIndex
 from repro.parallel.merge import merge_shard_results
 from repro.parallel.partition import (
     MIN_PARTITION_TUPLES,
+    PartitionPlan,
     ShardDatabase,
     ShardRelation,
+    ShardResult,
     evaluate_shard,
     partition_index,
     partition_plan,
@@ -50,11 +53,15 @@ from repro.parallel.pool import (
 )
 from repro.query.cq import ConjunctiveQuery
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.evaluate import EngineContext, QueryResult
+    from repro.query.atoms import Atom
+
 
 class ParallelExecutor:
     """Partitioned evaluation for one engine context (see module docstring)."""
 
-    def __init__(self, workers: int, threshold: Optional[int] = None):
+    def __init__(self, workers: int, threshold: Optional[int] = None) -> None:
         self.workers = max(2, int(workers))
         self.threshold = MIN_PARTITION_TUPLES if threshold is None else int(threshold)
         self._pool: Optional[WorkerPool] = None
@@ -144,7 +151,7 @@ class ParallelExecutor:
         key: str,
         shards: int,
         partitioned: bool,
-        backend,
+        backend: Backend,
     ) -> List[Tuple[list, Optional[List[int]], tuple]]:
         """``(rows, tid_map, skey)`` per shard for one join atom (cached).
 
@@ -191,14 +198,14 @@ class ParallelExecutor:
     # ------------------------------------------------------------------ #
     def evaluate(
         self,
-        context,
+        context: "EngineContext",
         query: ConjunctiveQuery,
         database: Database,
         order: Optional[Sequence[int]] = None,
-        query_key=None,
+        query_key: Optional[Hashable] = None,
         partition_key: Optional[str] = None,
         use_cache: bool = True,
-    ):
+    ) -> "Optional[QueryResult]":
         """Partitioned evaluation, or ``None`` when the cost model says serial.
 
         ``partition_key`` lets a prepared plan supply the recorded key (no
@@ -311,13 +318,13 @@ class ParallelExecutor:
         query: ConjunctiveQuery,
         order: Tuple[int, ...],
         ordered_names: Tuple[str, ...],
-        query_key,
+        query_key: Hashable,
         shards: int,
-        shards_per_atom,
-        attributes_per_atom,
+        shards_per_atom: "List[List[Tuple[list, Optional[List[int]], tuple]]]",
+        attributes_per_atom: Sequence[Tuple[str, ...]],
         use_cache: bool = True,
         backend_name: str = "python",
-    ):
+    ) -> List[object]:
         """One ``evaluate_shard`` task per shard, routed by ``shard % size``.
 
         Shard batches (rows + tid map) ship only on a worker's first sight
@@ -363,17 +370,17 @@ class ParallelExecutor:
 
     def _run_inline(
         self,
-        context,
+        context: "EngineContext",
         query: ConjunctiveQuery,
         database: Database,
-        ordered_atoms,
-        indexes,
-        ordered_names,
-        query_key,
-        plan,
-        shards_per_atom,
+        ordered_atoms: "Sequence[Atom]",
+        indexes: Sequence[RelationIndex],
+        ordered_names: Tuple[str, ...],
+        query_key: Hashable,
+        plan: PartitionPlan,
+        shards_per_atom: "List[List[Tuple[list, Optional[List[int]], tuple]]]",
         use_cache: bool = True,
-    ):
+    ) -> List[ShardResult]:
         """Run every shard in-process (pool unavailable or failed).
 
         Each shard's result is memoized in the context's evaluation cache

@@ -24,17 +24,25 @@ produced.
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.relation import Row, TupleRef
-from repro.engine.backend import is_ndarray, python_backend
+from repro.engine.backend import (
+    Backend,
+    Column,
+    NumpyBackend,
+    is_ndarray,
+    python_backend,
+)
 from repro.engine.columnar import ColumnarProvenance, RelationIndex
 from repro.engine.evaluate import QueryResult
 from repro.parallel.partition import ShardResult
 from repro.query.cq import ConjunctiveQuery
 
 
-def _merge_numpy(backend, shard_results):
+def _merge_numpy(
+    backend: NumpyBackend, shard_results: Sequence[ShardResult]
+) -> Optional[Tuple[List[Column], List[Row]]]:
     """Vectorized merge: concatenate shard matrices, lexsort by tid tuple.
 
     Returns ``(sorted columns, per-witness output rows in sorted order)``.
@@ -67,7 +75,7 @@ def merge_shard_results(
     indexes: Sequence[RelationIndex],
     shard_results: Sequence[ShardResult],
     vacuum_refs: Tuple[TupleRef, ...] = (),
-    backend=None,
+    backend: Optional[Backend] = None,
 ) -> QueryResult:
     """One serial-identical :class:`QueryResult` from per-shard results.
 

@@ -24,11 +24,13 @@ no shared mutable state).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.data.database import Database
 from repro.data.relation import Row
-from repro.engine.backend import is_ndarray, python_backend
-from repro.engine.columnar import RelationIndex, join_columns
+from repro.engine.backend import Backend, Column, is_ndarray, python_backend
+from repro.engine.columnar import IndexSupplier, RelationIndex, join_columns
+from repro.query.atoms import Atom
 from repro.query.cq import ConjunctiveQuery
 
 #: Cost-model floor: a query whose partitioned relations hold fewer input
@@ -88,7 +90,7 @@ def choose_partition_key(query: ConjunctiveQuery) -> Optional[str]:
         return min(universal)
     coverage: Dict[str, int] = {}
     for atom in non_vacuum:
-        for attribute in atom.attribute_set:
+        for attribute in sorted(atom.attribute_set):
             coverage[attribute] = coverage.get(attribute, 0) + 1
     return min(coverage, key=lambda a: (-coverage[a], a))
 
@@ -123,7 +125,10 @@ class PartitionPlan:
 
 
 def partition_plan(
-    query: ConjunctiveQuery, database, shards: int, key: Optional[str] = None
+    query: ConjunctiveQuery,
+    database: Database,
+    shards: int,
+    key: Optional[str] = None,
 ) -> Optional[PartitionPlan]:
     """The :class:`PartitionPlan` for ``query`` over ``database``.
 
@@ -162,8 +167,11 @@ def partition_plan(
 
 
 def partition_index(
-    index: RelationIndex, key: str, shards: int, backend=None
-) -> List[Tuple[List[Row], List[int]]]:
+    index: RelationIndex,
+    key: str,
+    shards: int,
+    backend: Optional[Backend] = None,
+) -> List[Tuple[List[Row], Column]]:
     """Split an interned relation into ``shards`` disjoint row batches.
 
     Returns one ``(rows, tid_map)`` pair per shard: ``rows[i]`` is the
@@ -216,12 +224,14 @@ class ShardRelation:
 
     __slots__ = ("name", "attributes", "rows")
 
-    def __init__(self, name: str, attributes: Tuple[str, ...], rows: Sequence[Row]):
+    def __init__(
+        self, name: str, attributes: Tuple[str, ...], rows: Sequence[Row]
+    ) -> None:
         self.name = name
         self.attributes = tuple(attributes)
         self.rows = list(rows)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Row]":
         return iter(self.rows)
 
     def __len__(self) -> int:
@@ -236,7 +246,7 @@ class ShardDatabase:
 
     __slots__ = ("_relations",)
 
-    def __init__(self, relations: Sequence[ShardRelation]):
+    def __init__(self, relations: Sequence[ShardRelation]) -> None:
         self._relations = {relation.name: relation for relation in relations}
 
     def relation(self, name: str) -> ShardRelation:
@@ -248,7 +258,9 @@ class ShardDatabase:
 ShardResult = Tuple[List[List[int]], List[Row], List[int]]
 
 
-def _translate_tids(column, tid_map, backend):
+def _translate_tids(
+    column: Column, tid_map: Optional[Column], backend: Backend
+) -> Column:
     """Map one shard-local tid column back to the parent's global tids."""
     if tid_map is None:
         return column
@@ -267,11 +279,11 @@ def _translate_tids(column, tid_map, backend):
 
 def evaluate_shard(
     query: ConjunctiveQuery,
-    ordered_atoms: Sequence,
+    ordered_atoms: Sequence[Atom],
     shard_db: ShardDatabase,
-    tid_maps: Sequence[Optional[List[int]]],
-    index_for=None,
-    backend=None,
+    tid_maps: Sequence[Optional[Column]],
+    index_for: Optional[IndexSupplier] = None,
+    backend: Optional[Backend] = None,
 ) -> ShardResult:
     """Run the columnar join over one shard and translate tids to global.
 

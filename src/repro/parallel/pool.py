@@ -41,10 +41,11 @@ are plain functions.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import threading
 import traceback
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Mirrored FIFO bounds (parent bookkeeping == worker stores; see module doc).
 MAX_SHARD_ENTRIES = 512
@@ -72,7 +73,7 @@ class WorkerStoreMiss(RuntimeError):
     them and retry once, which re-ships the full payloads.
     """
 
-    def __init__(self, misses):
+    def __init__(self, misses: Iterable[Tuple[int, str, object]]) -> None:
         super().__init__(f"worker store misses: {misses!r}")
         self.misses = list(misses)
 
@@ -84,7 +85,7 @@ class PoolBrokenError(RuntimeError):
 class _StoreMiss(Exception):
     """Worker-internal: a key-only payload referenced absent state."""
 
-    def __init__(self, keys):
+    def __init__(self, keys: Iterable[Tuple[str, object]]) -> None:
         super().__init__(repr(keys))
         self.keys = list(keys)  # (namespace, key) pairs
 
@@ -92,7 +93,7 @@ class _StoreMiss(Exception):
 class WorkerPool:
     """N persistent worker processes plus the parent-side bookkeeping."""
 
-    def __init__(self, workers: int, start_method: Optional[str] = None):
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
         if workers < 1:
             raise ValueError(f"worker pool needs >= 1 worker, got {workers}")
         if start_method is None:
@@ -276,9 +277,10 @@ class WorkerPool:
                 conn.close()
             except OSError:  # pragma: no cover - already gone
                 pass
-        self._known.clear()
+        with self._known_lock:
+            self._known.clear()
 
-    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown best effort
         try:
             self.close()
         except Exception:
@@ -288,7 +290,9 @@ class WorkerPool:
 # --------------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------------- #
-def _bounded_insert(store: "OrderedDict", key, value, bound: int) -> None:
+def _bounded_insert(
+    store: "OrderedDict", key: object, value: object, bound: int
+) -> None:
     if key in store:
         store[key] = value
         return
@@ -297,7 +301,9 @@ def _bounded_insert(store: "OrderedDict", key, value, bound: int) -> None:
         store.popitem(last=False)
 
 
-def _handle_evaluate_shard(msg: dict, shard_store, eval_cache):
+def _handle_evaluate_shard(
+    msg: dict, shard_store: "OrderedDict", eval_cache: "OrderedDict"
+) -> object:
     """Evaluate one shard of one query, reusing cached interning tables."""
     from repro.engine.backend import resolve_backend
     from repro.engine.columnar import RelationIndex
@@ -361,7 +367,7 @@ def _handle_evaluate_shard(msg: dict, shard_store, eval_cache):
     return result
 
 
-def _handle_solve_group(msg: dict, db_store):
+def _handle_solve_group(msg: dict, db_store: "OrderedDict") -> dict:
     """Solve one query group (shared evaluation + one curve, many targets)."""
     from repro.data.database import Database
     from repro.data.relation import Relation
@@ -422,7 +428,7 @@ def _handle_solve_group(msg: dict, db_store):
     return {"solutions": solutions, "joins": context.evaluations - joins_before}
 
 
-def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
+def _worker_main(conn: "multiprocessing.connection.Connection") -> None:  # pragma: no cover - runs in a subprocess
     """The worker loop: one task in, one ``("ok"| "error", value)`` out."""
     shard_store: "OrderedDict" = OrderedDict()
     eval_cache: "OrderedDict" = OrderedDict()

@@ -25,7 +25,7 @@ from typing import Optional
 class Overloaded(Exception):
     """The service is at capacity; retry after ``retry_after_s`` seconds."""
 
-    def __init__(self, pending: int, limit: int, retry_after_s: float):
+    def __init__(self, pending: int, limit: int, retry_after_s: float) -> None:
         super().__init__(
             f"admission queue full ({pending}/{limit} pending); "
             f"retry after {retry_after_s:g}s"
@@ -44,7 +44,7 @@ class Deadline:
 
     __slots__ = ("budget_ms", "_expires_at")
 
-    def __init__(self, budget_ms: Optional[float]):
+    def __init__(self, budget_ms: Optional[float]) -> None:
         self.budget_ms = budget_ms
         self._expires_at = (
             None if budget_ms is None else time.monotonic() + budget_ms / 1000.0
@@ -77,7 +77,7 @@ class AdmissionController:
     solver threads.
     """
 
-    def __init__(self, max_pending: int = 64, retry_after_s: float = 1.0):
+    def __init__(self, max_pending: int = 64, retry_after_s: float = 1.0) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.max_pending = int(max_pending)
@@ -113,7 +113,7 @@ class AdmissionController:
         self.acquire()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.release()
 
 

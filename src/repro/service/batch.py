@@ -57,7 +57,7 @@ class MicroBatcher:
         linger_ms: float = 2.0,
         enabled: bool = True,
         on_dispatch: Optional[Callable[[int], None]] = None,
-    ):
+    ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if linger_ms < 0:

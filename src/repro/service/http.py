@@ -37,9 +37,14 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.adp import ADPSolver, ratio_target
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.solution import ADPSolution
+    from repro.data.relation import TupleRef
+    from repro.session import PreparedQuery, Session
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.service.admission import (
@@ -115,7 +120,7 @@ class ApiError(Exception):
     """An error with a definite HTTP status (raised by handlers)."""
 
     def __init__(self, status: int, message: str,
-                 headers: Optional[Dict[str, str]] = None):
+                 headers: Optional[Dict[str, str]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
@@ -128,7 +133,7 @@ class _SolveItem:
     __slots__ = ("query", "k", "ratio", "method", "counting_only", "deadline")
 
     def __init__(self, query: str, k: Optional[int], ratio: Optional[float],
-                 method: str, counting_only: bool, deadline: Deadline):
+                 method: str, counting_only: bool, deadline: Deadline) -> None:
         self.query = query
         self.k = k
         self.ratio = ratio
@@ -142,7 +147,7 @@ class _Failure:
 
     __slots__ = ("status", "message")
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str) -> None:
         self.status = status
         self.message = message
 
@@ -150,7 +155,7 @@ class _Failure:
 class AdpService:
     """The service: registry + batcher + admission + metrics + HTTP."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None):
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.registry = SessionRegistry(
             self.config.max_databases,
@@ -414,7 +419,7 @@ class AdpService:
             if not isinstance(attributes, list):
                 raise ApiError(400, f"schema[{relation_name}] must be a list")
 
-        def job():
+        def job() -> "Tuple[RegisteredDatabase, Database]":
             # Row materialization and (on LRU overflow) the evicted entry's
             # Session.close() -- which drains that entry's in-flight solves
             # -- must not run on the event loop.
@@ -452,7 +457,7 @@ class AdpService:
         entry = self._entry(_require_str(body, "database"))
         query = _require_str(body, "query")
 
-        def job():
+        def job() -> dict:
             with entry.lock.read():
                 if entry.session.closed:
                     raise ApiError(
@@ -520,8 +525,10 @@ class AdpService:
             raise ApiError(400, f"deadline_ms must be a number, got {raw!r}")
         return Deadline(float(raw))
 
-    async def _dispatch_batch(self, key, items: List[_SolveItem]) -> List[object]:
-        name = key[0]
+    async def _dispatch_batch(
+        self, key: Hashable, items: List[_SolveItem]
+    ) -> List[object]:
+        name = key[0]  # type: ignore[index]  # batch keys are (name, ...) tuples
         try:
             entry = self.registry.get(name)
         except KeyError:
@@ -608,7 +615,15 @@ class AdpService:
                     )
             return outcomes
 
-    def _success(self, session, prepared, total, solution, name, version) -> dict:
+    def _success(
+        self,
+        session: "Session",
+        prepared: "PreparedQuery",
+        total: int,
+        solution: "Optional[ADPSolution]",
+        name: str,
+        version: int,
+    ) -> dict:
         payload = solution_payload(session, prepared, total, solution)
         payload.update({"database": name, "version": version, "batched": False})
         return payload
@@ -631,7 +646,13 @@ class AdpService:
         payload["elapsed_ms"] = elapsed_ms(start, time.perf_counter())
         return 200, payload, {}
 
-    def _what_if_job(self, entry, query, refs, include_after) -> dict:
+    def _what_if_job(
+        self,
+        entry: RegisteredDatabase,
+        query: str,
+        refs: "List[TupleRef]",
+        include_after: bool,
+    ) -> dict:
         with entry.lock.read():
             if entry.session.closed:
                 raise ApiError(503, f"database {entry.name!r} has been evicted")
@@ -700,7 +721,7 @@ class ServiceRunner:
     everything down (sessions and worker pools included).
     """
 
-    def __init__(self, config: Optional[ServiceConfig] = None):
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.service = AdpService(config)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -758,7 +779,7 @@ class ServiceRunner:
     def __enter__(self) -> "ServiceRunner":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

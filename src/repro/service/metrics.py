@@ -115,7 +115,9 @@ class ServiceMetrics:
         with self._lock:
             lines: List[str] = []
 
-            def counter(name: str, value, help_text: str, labels: str = "") -> None:
+            def counter(
+                name: str, value: object, help_text: str, labels: str = ""
+            ) -> None:
                 lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
                 lines.append(f"# TYPE {_PREFIX}_{name} counter")
                 lines.append(f"{_PREFIX}_{name}{labels} {value}")

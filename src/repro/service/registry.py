@@ -31,9 +31,10 @@ import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from repro.data.database import Database
+from repro.data.relation import TupleRef
 from repro.session import Session
 
 
@@ -85,7 +86,7 @@ class ReadWriteLock:
             self._cond.notify_all()
 
     @contextmanager
-    def read(self):
+    def read(self) -> Iterator["ReadWriteLock"]:
         self.acquire_read()
         try:
             yield self
@@ -93,7 +94,7 @@ class ReadWriteLock:
             self.release_read()
 
     @contextmanager
-    def write(self):
+    def write(self) -> Iterator["ReadWriteLock"]:
         self.acquire_write()
         try:
             yield self
@@ -106,7 +107,7 @@ class RegisteredDatabase:
 
     __slots__ = ("name", "database", "session", "version", "lock", "created_at")
 
-    def __init__(self, name: str, database: Database, session: Session):
+    def __init__(self, name: str, database: Database, session: Session) -> None:
         self.name = name
         self.database = database
         self.session = session
@@ -133,7 +134,7 @@ class SessionRegistry:
         engine: str = "columnar",
         backend: str = "auto",
         workers: int = 1,
-    ):
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"registry capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
@@ -237,7 +238,9 @@ class SessionRegistry:
     # ------------------------------------------------------------------ #
     # Mutation bookkeeping
     # ------------------------------------------------------------------ #
-    def apply_deletions(self, name: str, refs) -> "tuple[int, int]":
+    def apply_deletions(
+        self, name: str, refs: Iterable[TupleRef]
+    ) -> "tuple[int, int]":
         """Delete ``refs`` from the named database under its write lock.
 
         Returns ``(removed count, resulting version)``.  The version bumps
@@ -255,7 +258,9 @@ class SessionRegistry:
                 entry.version += 1
             return removed, entry.version
 
-    def apply_insertions(self, name: str, refs) -> "tuple[int, int]":
+    def apply_insertions(
+        self, name: str, refs: Iterable[TupleRef]
+    ) -> "tuple[int, int]":
         """Insert ``refs`` into the named database under its write lock.
 
         Returns ``(added count, resulting version)``.  The version bumps

@@ -18,12 +18,22 @@ coercion.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.data.relation import TupleRef
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.solution import ADPSolution
+    from repro.data.database import Database
+    from repro.session import PreparedQuery, Session, WhatIfEntry
 
-def solution_payload(session, prepared, total: int, solution) -> dict:
+
+def solution_payload(
+    session: "Session",
+    prepared: "PreparedQuery",
+    total: int,
+    solution: "Optional[ADPSolution]",
+) -> dict:
     """The stable JSON schema of one solve (shared CLI/service serializer).
 
     ``solution`` may be ``None`` for the empty-result case (``|Q(D)| = 0``
@@ -49,7 +59,7 @@ def solution_payload(session, prepared, total: int, solution) -> dict:
     }
 
 
-def prepare_payload(prepared) -> dict:
+def prepare_payload(prepared: "PreparedQuery") -> dict:
     """The stable JSON schema of one prepared query (``POST /v1/prepare``)."""
     return {
         "query": str(prepared.query),
@@ -114,7 +124,7 @@ def elapsed_ms(start: float, end: float) -> float:
     return round((end - start) * 1000.0, 3)
 
 
-def database_to_wire(database) -> dict:
+def database_to_wire(database: "Database") -> dict:
     """A database as a ``POST /v1/databases`` body fragment.
 
     The client-side counterpart of :func:`_handle_register`'s parsing:
@@ -128,8 +138,8 @@ def database_to_wire(database) -> dict:
     }
 
 
-def database_payload(name: str, version: int, database, *, backend: str,
-                     engine: str, workers: int) -> dict:
+def database_payload(name: str, version: int, database: "Database", *,
+                     backend: str, engine: str, workers: int) -> dict:
     """The JSON schema of one registry entry (``GET /v1/databases``)."""
     return {
         "name": name,
@@ -142,7 +152,7 @@ def database_payload(name: str, version: int, database, *, backend: str,
     }
 
 
-def what_if_payload(entry, *, include_after: bool = False) -> dict:
+def what_if_payload(entry: "WhatIfEntry", *, include_after: bool = False) -> dict:
     """The JSON schema of one what-if entry (``POST /v1/what_if``).
 
     ``include_after`` additionally materializes the post-deletion result

@@ -1,0 +1,13 @@
+"""REP005 bad fixture: wall clock and module-global RNG in engine code."""
+
+import random
+import time
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random() + perf_counter()

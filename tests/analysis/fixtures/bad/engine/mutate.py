@@ -1,0 +1,8 @@
+"""REP002 bad fixture: four in-place mutations of interned/packed columns."""
+
+
+def corrupt(index, packed):
+    index.rows.append(("a", "b"))
+    del index.ids[0]
+    packed.ref_columns[0] = []
+    packed.witness_outputs = []

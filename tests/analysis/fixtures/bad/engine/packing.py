@@ -1,0 +1,17 @@
+"""REP001 bad fixture: five distinct illegal routes to NumPy."""
+
+import importlib
+
+import numpy
+import numpy as np
+from numpy import asarray
+
+
+def direct():
+    return numpy.arange(3), np.zeros(2), asarray([1])
+
+
+def dynamic():
+    linalg = importlib.import_module("numpy.linalg")
+    dunder = __import__("numpy")
+    return linalg, dunder

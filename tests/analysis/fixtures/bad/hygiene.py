@@ -1,0 +1,4 @@
+"""REP000 bad fixture: suppressions without rules or without justification."""
+
+BLANKET = 1  # repro: noqa
+UNJUSTIFIED = 2  # repro: noqa REP002

@@ -1,0 +1,17 @@
+"""REP004 bad fixture: set-order iteration feeding ordered results."""
+
+
+def merge_keys(shards):
+    seen = set()
+    for shard in shards:
+        seen = seen | set(shard)
+    ordered = []
+    for key in seen:
+        ordered.append(key)
+    labels = [str(key) for key in {"a", "b"}]
+    mapping = {key: True for key in seen}
+    return ordered, labels, list(mapping)
+
+
+def shard_attrs(atom):
+    return [attribute for attribute in atom.attribute_set]

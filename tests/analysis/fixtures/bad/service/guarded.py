@@ -1,0 +1,30 @@
+"""REP003 bad fixture: unlocked guarded-field access and await-under-lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.table = {}
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+            self.table["total"] = self.hits
+
+    def peek(self):
+        return self.hits
+
+    def reset(self):
+        self.table.clear()
+
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def wait(self, event):
+        with self._lock:
+            await event.wait()

@@ -1,0 +1,9 @@
+"""REP006 bad fixture: internal code reaching back through the PR-2 shims."""
+
+import repro.engine.evaluate as legacy
+from repro.engine.evaluate import evaluate
+
+
+def run(query, database):
+    legacy.set_engine_mode("parallel")
+    return evaluate(query, database)

@@ -1,0 +1,13 @@
+"""REP003 bad fixture: two call paths acquire the same locks in opposite order."""
+
+
+def forward(alpha_lock, beta_lock):
+    with alpha_lock:
+        with beta_lock:
+            return True
+
+
+def backward(alpha_lock, beta_lock):
+    with beta_lock:
+        with alpha_lock:
+            return False

@@ -1,0 +1,9 @@
+"""REP001 good fixture: the backend module itself may import NumPy."""
+
+import numpy
+import numpy as np
+from numpy import asarray
+
+
+def arrays():
+    return numpy.arange(3), np.zeros(2), asarray([1])

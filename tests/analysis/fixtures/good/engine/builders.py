@@ -1,0 +1,14 @@
+"""REP002 good fixture: locals and constructor fields are fair game."""
+
+
+class Builder:
+    def __init__(self):
+        self.rows = []
+        self.ids = {}
+
+    def build(self, source):
+        rows = []
+        for row in source:
+            rows.append(row)
+        ids = {row: position for position, row in enumerate(rows)}
+        return rows, ids

@@ -1,0 +1,8 @@
+"""REP005 good fixture: explicit seeded generators are the sanctioned RNG."""
+
+from random import Random
+
+
+def sample(seed, population):
+    rng = Random(seed)
+    return rng.choice(sorted(population))

@@ -1,0 +1,8 @@
+"""REP002 good fixture: the whitelisted append sites may mutate columns."""
+
+
+def extend(index, packed, new_rows):
+    for row in new_rows:
+        index.rows.append(row)
+        index.ids[row] = len(index.rows) - 1
+    packed.ref_columns[0] = list(packed.ref_columns[0])

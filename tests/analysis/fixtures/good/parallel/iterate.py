@@ -1,0 +1,17 @@
+"""REP004 good fixture: order-insensitive or sorted uses of sets."""
+
+
+def merge_keys(shards):
+    seen = set()
+    for shard in shards:
+        seen = seen | set(shard)
+    ordered = [key for key in sorted(seen)]
+    smallest = min(seen) if seen else None
+    count = len(seen)
+    subset = {key for key in seen if key}
+    present = "a" in seen
+    return ordered, smallest, count, subset, present
+
+
+def shard_attrs(atom):
+    return sorted(atom.attribute_set)

@@ -1,0 +1,40 @@
+"""REP003 good fixture: every guarded access stays under its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+
+    def peek(self):
+        with self._lock:
+            return self.hits
+
+
+def forward(alpha_lock, beta_lock):
+    with alpha_lock:
+        with beta_lock:
+            return True
+
+
+def also_forward(alpha_lock, beta_lock):
+    with alpha_lock:
+        with beta_lock:
+            return False
+
+
+class AsyncSafe:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def wait(self, event):
+        with self._lock:
+            snapshot = object()
+        await event.wait()
+        return snapshot

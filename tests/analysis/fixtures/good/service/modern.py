@@ -1,0 +1,8 @@
+"""REP006 good fixture: internal code uses sessions, not the shims."""
+
+from repro.session import Session
+
+
+def run(query, database):
+    with Session(database) as session:
+        return session.evaluate(query)

@@ -1,0 +1,7 @@
+"""REP000 good fixture: a justified single-rule suppression is honoured."""
+
+from repro.engine.evaluate import evaluate  # repro: noqa REP006 -- fixture exercising the documented migration example
+
+
+def run(query, database):
+    return evaluate(query, database)

@@ -1,0 +1,7 @@
+"""REP005 good fixture: the service tier may read the wall clock."""
+
+import time
+
+
+def now_ms():
+    return time.time() * 1000.0

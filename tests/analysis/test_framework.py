@@ -1,0 +1,116 @@
+"""Unit tests for the analysis framework itself: suppression parsing,
+rule filtering, path selection and the renderers."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.checkers import all_checkers
+from repro.analysis.framework import (
+    AnalysisConfig,
+    Finding,
+    SourceFile,
+    render_json,
+    render_text,
+    run_analysis,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _source(text: str) -> SourceFile:
+    return SourceFile(Path("synthetic.py"), "synthetic.py", text)
+
+
+class TestNoqaParsing:
+    def test_justified_single_rule_registers(self):
+        source = _source("x = 1  # repro: noqa REP001 -- the reason\n")
+        assert not source.bad_suppressions
+        directive = source.suppressions[1]
+        assert directive.rules == ("REP001",)
+        assert directive.justification == "the reason"
+
+    def test_multiple_rules_one_directive(self):
+        source = _source("x = 1  # repro: noqa REP001, REP003 -- both fine here\n")
+        assert source.suppressions[1].rules == ("REP001", "REP003")
+
+    def test_blanket_noqa_is_rep000(self):
+        source = _source("x = 1  # repro: noqa\n")
+        assert not source.suppressions
+        assert [finding.rule for finding in source.bad_suppressions] == ["REP000"]
+
+    def test_missing_justification_is_rep000(self):
+        source = _source("x = 1  # repro: noqa REP004\n")
+        assert not source.suppressions
+        assert [finding.rule for finding in source.bad_suppressions] == ["REP000"]
+
+    def test_docstring_mention_is_not_a_directive(self):
+        text = '"""Docs showing the syntax: # repro: noqa REPxxx -- why."""\nx = 1\n'
+        source = _source(text)
+        assert not source.suppressions
+        assert not source.bad_suppressions
+
+    def test_suppresses_matches_line_and_rule(self):
+        source = _source("x = 1  # repro: noqa REP001 -- why\n")
+        hit = Finding("synthetic.py", 1, 0, "REP001", "error", "m")
+        other_rule = Finding("synthetic.py", 1, 0, "REP002", "error", "m")
+        other_line = Finding("synthetic.py", 2, 0, "REP001", "error", "m")
+        assert source.suppresses(hit)
+        assert not source.suppresses(other_rule)
+        assert not source.suppresses(other_line)
+
+
+class TestPathMatching:
+    def test_trailing_slash_is_a_prefix(self):
+        assert AnalysisConfig.path_matches("engine/cache.py", ("engine/",))
+        assert not AnalysisConfig.path_matches("service/http.py", ("engine/",))
+
+    def test_bare_path_is_exact(self):
+        assert AnalysisConfig.path_matches("engine/backend.py", ("engine/backend.py",))
+        assert not AnalysisConfig.path_matches(
+            "engine/backend_extra.py", ("engine/backend.py",)
+        )
+
+
+class TestRunAnalysis:
+    def test_rules_filter_restricts_checkers(self):
+        report = run_analysis(FIXTURES / "bad", all_checkers(), rules=("REP001",))
+        fired = {finding.rule for finding in report.findings}
+        assert "REP001" in fired
+        assert fired <= {"REP001", "REP000"}
+
+    def test_rep000_survives_any_rules_filter(self):
+        report = run_analysis(FIXTURES / "bad", all_checkers(), rules=("REP001",))
+        hygiene = [f for f in report.findings if f.path == "hygiene.py"]
+        assert hygiene and all(f.rule == "REP000" for f in hygiene)
+
+    def test_skip_excludes_a_subtree(self):
+        report = run_analysis(FIXTURES / "bad", all_checkers(), skip=("engine/",))
+        assert not any(f.path.startswith("engine/") for f in report.findings)
+
+    def test_only_restricts_to_a_subtree(self):
+        report = run_analysis(FIXTURES / "bad", all_checkers(), only=("engine/",))
+        assert report.findings
+        assert all(f.path.startswith("engine/") for f in report.findings)
+
+    def test_findings_are_sorted(self):
+        report = run_analysis(FIXTURES / "bad", all_checkers())
+        assert report.findings == sorted(report.findings)
+
+
+class TestRenderers:
+    def test_text_summary_line(self):
+        report = run_analysis(FIXTURES / "good", all_checkers())
+        text = render_text(report)
+        assert text.endswith("(1 suppressed)")
+        assert "0 findings" in text
+
+    def test_json_schema(self):
+        report = run_analysis(FIXTURES / "bad", all_checkers())
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == report.files_checked
+        assert set(payload["rules"]) == set(report.rules)
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "severity", "message"}

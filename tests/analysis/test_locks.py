@@ -1,0 +1,155 @@
+"""Focused tests for the REP003 lock analyses: the acquisition graph and
+cycle detection over synthetic sources, plus guarded-field edge cases."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.framework import AnalysisConfig, Finding, SourceFile
+
+
+def _run(*texts: str) -> List[Finding]:
+    checker = LockDisciplineChecker()
+    config = AnalysisConfig()
+    checker.begin(config)
+    findings: List[Finding] = []
+    for position, text in enumerate(texts):
+        rel = f"module_{position}.py"
+        source = SourceFile(Path(rel), rel, text)
+        findings.extend(checker.check_file(source, config))
+    findings.extend(checker.finish(config))
+    return findings
+
+
+class TestLockOrderCycles:
+    def test_two_lock_cycle_is_reported_once(self):
+        findings = _run(
+            "def forward(a_lock, b_lock):\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n",
+            "def backward(a_lock, b_lock):\n"
+            "    with b_lock:\n"
+            "        with a_lock:\n"
+            "            pass\n",
+        )
+        cycles = [f for f in findings if "lock-order cycle" in f.message]
+        assert len(cycles) == 1
+        assert "a_lock" in cycles[0].message and "b_lock" in cycles[0].message
+
+    def test_consistent_order_has_no_cycle(self):
+        findings = _run(
+            "def one(a_lock, b_lock):\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n",
+            "def two(a_lock, b_lock):\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n",
+        )
+        assert not findings
+
+    def test_three_lock_cycle_across_files(self):
+        findings = _run(
+            "def ab(a_lock, b_lock):\n    with a_lock:\n        with b_lock:\n            pass\n",
+            "def bc(b_lock, c_lock):\n    with b_lock:\n        with c_lock:\n            pass\n",
+            "def ca(c_lock, a_lock):\n    with c_lock:\n        with a_lock:\n            pass\n",
+        )
+        cycles = [f for f in findings if "lock-order cycle" in f.message]
+        assert len(cycles) == 1
+        for name in ("a_lock", "b_lock", "c_lock"):
+            assert name in cycles[0].message
+
+    def test_self_locks_are_scoped_by_class(self):
+        # Pool._a -> Pool._b in one method, reversed in another: a cycle on
+        # the canonical ``Pool._a`` / ``Pool._b`` keys.
+        findings = _run(
+            "import threading\n"
+            "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._a_lock = threading.Lock()\n"
+            "        self._b_lock = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self._a_lock:\n"
+            "            with self._b_lock:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self._b_lock:\n"
+            "            with self._a_lock:\n"
+            "                pass\n"
+        )
+        cycles = [f for f in findings if "lock-order cycle" in f.message]
+        assert len(cycles) == 1
+        assert "Pool._a_lock" in cycles[0].message
+
+    def test_linear_acquire_builds_edges(self):
+        findings = _run(
+            "def one(a_lock, b_lock):\n"
+            "    with a_lock:\n"
+            "        b_lock.acquire()\n"
+            "        b_lock.release()\n",
+            "def two(a_lock, b_lock):\n"
+            "    with b_lock:\n"
+            "        with a_lock:\n"
+            "            pass\n",
+        )
+        cycles = [f for f in findings if "lock-order cycle" in f.message]
+        assert len(cycles) == 1
+
+
+class TestGuardedFields:
+    def test_subscript_store_counts_as_guarded_write(self):
+        findings = _run(
+            "import threading\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._slots = {}\n"
+            "    def put(self, key, value):\n"
+            "        with self._lock:\n"
+            "            self._slots[key] = value\n"
+            "    def get(self, key):\n"
+            "        return self._slots.get(key)\n"
+        )
+        assert any("_slots" in f.message and "read of" in f.message for f in findings)
+
+    def test_constructor_writes_are_exempt(self):
+        findings = _run(
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.value = 0\n"
+            "    def set(self, value):\n"
+            "        with self._lock:\n"
+            "            self.value = value\n"
+            "    def get(self):\n"
+            "        with self._lock:\n"
+            "            return self.value\n"
+        )
+        assert not findings
+
+    def test_await_under_sync_lock(self):
+        findings = _run(
+            "import threading\n"
+            "class Gate:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    async def wait(self, event):\n"
+            "        with self._lock:\n"
+            "            await event.wait()\n"
+        )
+        assert any("'await' while holding sync lock" in f.message for f in findings)
+
+    def test_unlocked_class_is_ignored(self):
+        findings = _run(
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.value = 0\n"
+            "    def bump(self):\n"
+            "        self.value += 1\n"
+        )
+        assert not findings
