@@ -22,11 +22,23 @@ committed trajectory file ``benchmarks/BENCH_fig12.json``; CI records one
 entry per run and uploads the file as a workflow artifact, so the perf
 history accumulates instead of evaporating with each runner.
 
+``--obs-overhead`` runs a separate relative gate for the tracing layer
+(:mod:`repro.obs`): the same greedy solve is timed with no tracer installed
+and with an installed-but-unsampled tracer (``Tracer(enabled=False)`` --
+the configuration every instrumentation point must treat as a no-op), and
+the check fails when the unsampled path costs more than
+``OBS_OVERHEAD_LIMIT`` (2%, plus a small absolute grace so sub-millisecond
+jitter cannot fail the gate).  The two variants are interleaved so clock
+drift hits both sides equally.  With ``--record`` the run also appends an
+``obs`` section (overhead ratio + per-stage span totals from one enabled
+traced solve) to the trajectory file.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py          # check
     PYTHONPATH=src python benchmarks/check_regression.py --update # re-baseline
     PYTHONPATH=src python benchmarks/check_regression.py --record # + trajectory
+    PYTHONPATH=src python benchmarks/check_regression.py --obs-overhead
 """
 
 from __future__ import annotations
@@ -74,6 +86,13 @@ PARALLEL_WORKERS = 2
 #: NumPy solve path itself (and, in the trajectory, the python/numpy gap).
 BACKEND_R2_TUPLES = 8_000
 BACKEND_RATIO = 0.1
+
+#: Allowed relative cost of the installed-but-unsampled tracer path.
+OBS_OVERHEAD_LIMIT = 1.02
+#: Absolute grace (seconds) under which the overhead gate never fails:
+#: at small workload durations, 2% is below timer/scheduler jitter.
+OBS_ABS_GRACE_S = 0.010
+OBS_REPEATS = 5
 
 
 def calibrate() -> float:
@@ -191,6 +210,63 @@ def measure() -> dict:
     return timings
 
 
+def measure_obs_overhead() -> dict:
+    """The tracing-layer overhead probe (zipf-8000 greedy solve).
+
+    Returns baseline/unsampled seconds (best-of, interleaved), their
+    ratio, and the per-stage span totals of one fully traced solve
+    (the stage-level timings ``--record`` persists).
+    """
+    from repro.experiments.harness import target_from_ratio
+    from repro.obs.render import aggregate_stage_ms
+    from repro.obs.trace import Tracer, use_tracer
+    from repro.query.parser import parse_query
+    from repro.session import Session
+    from repro.workloads.zipf import generate_zipf_path
+
+    qhard = parse_query("Qhard(A) :- R1(A), R2(A, B), R3(B)")
+    database = generate_zipf_path(
+        r2_tuples=BACKEND_R2_TUPLES, alpha=1.1, seed=13
+    )
+    with Session(database) as sizing:
+        with sizing.activate():
+            k = target_from_ratio(qhard, database, BACKEND_RATIO)
+
+    def plain() -> None:
+        with Session(database) as session:
+            session.solve(qhard, k, heuristic="greedy")
+
+    def unsampled() -> None:
+        with use_tracer(Tracer(enabled=False)):
+            plain()
+
+    plain()  # warm-up (imports, allocator): outside both timed variants
+    baseline = float("inf")
+    with_tracer = float("inf")
+    for _ in range(OBS_REPEATS):
+        start = time.perf_counter()
+        plain()
+        baseline = min(baseline, time.perf_counter() - start)
+        start = time.perf_counter()
+        unsampled()
+        with_tracer = min(with_tracer, time.perf_counter() - start)
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("bench.obs_overhead", workload="zipf_greedy"):
+            plain()
+    stage_ms = {
+        name: round(total, 3)
+        for name, total in sorted(aggregate_stage_ms(tracer.export()).items())
+    }
+    return {
+        "baseline_s": round(baseline, 6),
+        "unsampled_s": round(with_tracer, 6),
+        "overhead_ratio": round(with_tracer / baseline, 4),
+        "stage_ms": stage_ms,
+    }
+
+
 def _load_trajectory(path: Path) -> dict:
     """The trajectory file, recreated when missing, corrupt or malformed."""
     bench_dir = str(Path(__file__).resolve().parent)
@@ -205,12 +281,16 @@ def _load_trajectory(path: Path) -> dict:
     })
 
 
-def record_trajectory(path: Path, calibration: float, timings: dict) -> None:
+def record_trajectory(
+    path: Path, calibration: float, timings: dict = None, obs: dict = None
+) -> None:
     """Append one run to the committed perf-trajectory JSON.
 
     Identical re-runs (same measurements, interpreter and NumPy -- only
     the timestamp differs) are deduplicated: re-invoking ``--record``
-    without re-measuring must not inflate the history.
+    without re-measuring must not inflate the history.  ``--obs-overhead``
+    runs record an ``obs`` section (overhead ratio + stage timings)
+    instead of the ``methods`` map.
     """
     try:
         import numpy
@@ -225,8 +305,11 @@ def record_trajectory(path: Path, calibration: float, timings: dict) -> None:
         "numpy": numpy_version,
         "seed": repro_test_seed(),
         "calibration_seconds": round(calibration, 6),
-        "methods": {k: round(v, 6) for k, v in timings.items()},
     }
+    if timings is not None:
+        entry["methods"] = {k: round(v, 6) for k, v in timings.items()}
+    if obs is not None:
+        entry["obs"] = obs
     runs = trajectory["runs"]
 
     def sans_timestamp(run: object) -> object:
@@ -259,7 +342,37 @@ def main(argv=None) -> int:
         help="append this run to the perf-trajectory JSON "
         f"(default: {TRAJECTORY_PATH.name})",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="gate the tracing layer instead: fail when the installed-but-"
+        f"unsampled tracer costs more than {(OBS_OVERHEAD_LIMIT - 1) * 100:g}%% "
+        "over no tracer at all",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        calibration = calibrate()
+        result = measure_obs_overhead()
+        print(
+            f"obs overhead: baseline {result['baseline_s'] * 1e3:.2f}ms, "
+            f"unsampled tracer {result['unsampled_s'] * 1e3:.2f}ms "
+            f"(x{result['overhead_ratio']:.4f})"
+        )
+        for stage, ms in result["stage_ms"].items():
+            print(f"  stage {stage}: {ms:.3f}ms")
+        if args.record:
+            record_trajectory(Path(args.record), calibration, obs=result)
+        budget = result["baseline_s"] * OBS_OVERHEAD_LIMIT + OBS_ABS_GRACE_S
+        if result["unsampled_s"] > budget:
+            print(
+                "FAILED: disabled tracing costs "
+                f"x{result['overhead_ratio']:.4f} "
+                f"(limit x{OBS_OVERHEAD_LIMIT} + {OBS_ABS_GRACE_S * 1e3:g}ms grace)"
+            )
+            return 1
+        print("obs overhead ok")
+        return 0
 
     calibration = calibrate()
     timings = measure()

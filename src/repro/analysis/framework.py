@@ -174,6 +174,10 @@ class AnalysisConfig:
     )
     #: REP005: engine code that must stay wall-clock- and RNG-free.
     wallclock_paths: Tuple[str, ...] = ("engine/", "parallel/")
+    #: REP005 relaxed scope: monotonic clocks are the whole point of the
+    #: tracing layer, but wall time (``time.time``, ``datetime.now``)
+    #: stays banned so span offsets never depend on ambient state.
+    wallclock_relaxed_paths: Tuple[str, ...] = ("obs/",)
     #: REP006: the PR-2 deprecated shims and their replacements.
     deprecated_names: Dict[str, str] = dataclasses.field(
         default_factory=lambda: {

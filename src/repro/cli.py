@@ -8,6 +8,9 @@ without writing any Python:
 * ``solve`` -- solve ``ADP(Q, D, k)`` on a database stored as a directory of
   CSV files (one file per relation, written by
   :func:`repro.data.csvio.save_database_csv` or by hand);
+* ``trace`` -- render a recorded span tree (written by ``solve --trace-out``
+  or fetched from the service's ``GET /v1/debug/slow``) as an indented text
+  profile;
 * ``experiments`` -- regenerate one or all of the paper's figures and print
   the tidy tables;
 * ``serve`` -- run the asyncio ADP query service (:mod:`repro.service`):
@@ -37,6 +40,8 @@ Examples
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --ratio 0.5 --method drastic
     python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3 --json
+    python -m repro solve "Q(A, B) :- R1(A), R2(A, B)" ./my_csv_dir --k 3 --trace
+    python -m repro trace profile.json
     python -m repro experiments --only fig28
     python -m repro serve --port 8080 --backend auto --load tpch=./tpch_csv
     python -m repro analyze --format json
@@ -117,6 +122,30 @@ def _add_solve_parser(subparsers) -> None:
         "--json",
         action="store_true",
         help="emit a machine-readable JSON summary instead of text",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree for the solve and print the text profile "
+        "to stderr (stdout stays parseable with --json)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the recorded trace as JSON to FILE (implies tracing; "
+        "render it later with 'repro trace FILE')",
+    )
+
+
+def _add_trace_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace", help="render a recorded trace (JSON) as an indented profile"
+    )
+    parser.add_argument(
+        "file",
+        help="trace JSON: a bare span list, a 'solve --trace-out' envelope, "
+        "or one entry of the service's /v1/debug/slow log",
     )
 
 
@@ -221,6 +250,32 @@ def _add_serve_parser(subparsers) -> None:
         metavar="NAME=CSV_DIR",
         help="preload a CSV-directory database under NAME (repeatable)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace solver jobs: per-stage latency histograms at /metrics "
+        "and span trees in the slow-query log (GET /v1/debug/slow)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="slow-query log threshold (requests slower than this are kept)",
+    )
+    parser.add_argument(
+        "--slow-log-capacity",
+        type=int,
+        default=32,
+        metavar="N",
+        help="how many slow requests the ring buffer retains",
+    )
+    parser.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="emit one '[access]' line per request "
+        "(trace id, route, db, status, latency)",
+    )
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -318,6 +373,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         max_databases=args.max_databases,
         default_deadline_ms=args.deadline_ms,
+        trace=args.trace,
+        slow_ms=args.slow_ms,
+        slow_log_capacity=args.slow_log_capacity,
+        log_requests=args.log_requests,
     )
     try:
         asyncio.run(serve(config, preload))
@@ -347,17 +406,50 @@ def _json_summary(session, prepared, total, solution, started: float) -> str:
     same request (one serializer, :mod:`repro.service.serialize`); the CLI
     adds wall-clock ``elapsed_ms`` the same way the service envelope does.
     """
-    from repro.service.serialize import elapsed_ms, solution_payload
+    from repro.obs.trace import span
 
-    payload = solution_payload(session, prepared, total, solution)
-    payload["elapsed_ms"] = elapsed_ms(started, time.perf_counter())
-    return json.dumps(payload, indent=2, sort_keys=True)
+    # The serialize import is deferred (it pulls the service package in);
+    # under --trace its one-time cost lands in the render span instead of
+    # disappearing into unattributed root time.
+    with span("cli.render"):
+        from repro.service.serialize import elapsed_ms, solution_payload
+
+        payload = solution_payload(session, prepared, total, solution)
+        payload["elapsed_ms"] = elapsed_ms(started, time.perf_counter())
+        return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _run_solve(args: argparse.Namespace) -> int:
+    if not (args.trace or args.trace_out):
+        return _solve_impl(args)
+    # Record one span tree for the whole solve.  The profile goes to
+    # stderr so --json output on stdout stays machine-parseable.
+    from repro.obs.render import render_span_tree
+    from repro.obs.trace import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span(
+            "cli.solve", query=args.query, method=args.method,
+            engine=args.engine, workers=args.workers,
+        ):
+            code = _solve_impl(args)
+    print(render_span_tree(tracer.export(), tracer.trace_id), file=sys.stderr)
+    if args.trace_out:
+        envelope = {"trace_id": tracer.trace_id, "spans": tracer.export()}
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return code
+
+
+def _solve_impl(args: argparse.Namespace) -> int:
+    from repro.obs.trace import span
+
     started = time.perf_counter()
     query = parse_query(args.query)
-    database = load_database_csv(args.database)
+    with span("cli.load", database=args.database):
+        database = load_database_csv(args.database)
     heuristic = "greedy" if args.method == "auto" else args.method
     solver = ADPSolver(heuristic=heuristic, counting_only=args.counting_only)
 
@@ -368,9 +460,11 @@ def _run_solve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    session = Session(
-        database, engine=args.engine, workers=args.workers, backend=args.backend
-    )
+    with span("session.init", engine=args.engine, workers=args.workers):
+        session = Session(
+            database, engine=args.engine, workers=args.workers,
+            backend=args.backend,
+        )
     prepared = session.prepare(query)
     total = session.output_size(prepared)
     if total == 0:
@@ -401,6 +495,24 @@ def _run_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.obs.render import load_trace, render_span_tree
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        trace_id, spans = load_trace(payload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_span_tree(spans, trace_id))
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import harness
 
@@ -426,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_classify_parser(subparsers)
     _add_solve_parser(subparsers)
+    _add_trace_parser(subparsers)
     _add_experiments_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_analyze_parser(subparsers)
@@ -439,6 +552,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_classify(args)
     if args.command == "solve":
         return _run_solve(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "experiments":
         return _run_experiments(args)
     if args.command == "serve":

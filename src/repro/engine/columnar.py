@@ -40,6 +40,7 @@ from repro.engine.backend import (
     is_ndarray,
     python_backend,
 )
+from repro.obs.trace import span
 from repro.query.atoms import Atom
 from repro.query.cq import ConjunctiveQuery
 
@@ -351,7 +352,13 @@ class ColumnarProvenance:
                     # Backend-dispatched: one stable argsort + zero-copy
                     # splits on ndarray columns, the classic setdefault loop
                     # on lists.
-                    postings = group_positions(self.ref_columns[position])
+                    with span("engine.provenance.postings") as psp:
+                        postings = group_positions(self.ref_columns[position])
+                        if psp:
+                            psp.set(
+                                relation=self.atom_names[position],
+                                tuples=len(postings),
+                            )
                     self._postings[position] = postings
         return postings
 
@@ -677,108 +684,119 @@ def join_columns(
     count: Optional[int] = None  # None = the single empty partial row
 
     for step, (atom, rindex) in enumerate(zip(ordered_atoms, indexes)):
-        rel_position = {a: rindex.attributes.index(a) for a in atom.attributes}
-        shared = [a for a in atom.attributes if a in bound]
-        rows = rindex.rows
-        needed = needed_after[step]
+        step_span = span("engine.join.atom")
+        with step_span:
+            rel_position = {a: rindex.attributes.index(a) for a in atom.attributes}
+            shared = [a for a in atom.attributes if a in bound]
+            rows = rindex.rows
+            needed = needed_after[step]
+            probed = len(rows) if count is None else count
 
-        if shared:
-            shared_positions = tuple(rel_position[a] for a in shared)
-            if vector:
-                gids = _probe_gids_numpy(
-                    backend, rindex, shared, shared_positions,
-                    bound, ref_columns, binding, indexes,
-                )
-                selection, tids = _expand_matches_numpy(
-                    backend, rindex, shared_positions, gids
-                )
-                bound = {
-                    a: column.take(selection)
-                    for a, column in bound.items()
-                    if a in needed
-                }
-                ref_columns = [column.take(selection) for column in ref_columns]
-            else:
-                # Build: hash the relation on the shared attributes (cached
-                # on the interning table).  Probe: selection vector over the
-                # existing partials plus the matching tid per produced row.
-                if len(shared) == 1:
-                    probe_keys: Sequence[object] = bound[shared[0]]
-                else:
-                    probe_keys = zip(*(bound[a] for a in shared))
-                table = rindex.hash_groups(shared_positions, backend)
-                selection: List[int] = []
-                tids: List[int] = []
-                get = table.get
-                for i, key in enumerate(probe_keys):
-                    matches = get(key)
-                    if matches:
-                        for tid in matches:
-                            selection.append(i)
-                            tids.append(tid)
-                bound = {
-                    a: [column[i] for i in selection]
-                    for a, column in bound.items()
-                    if a in needed
-                }
-                ref_columns = [
-                    [column[i] for i in selection] for column in ref_columns
-                ]
-        elif count is None:
-            # First atom (or first of the whole join): every tuple starts a
-            # partial row.
-            tids = backend.id_range(len(rows))
-        else:
-            # Disconnected component: cross product with the partials so far,
-            # partial-major to match the row engine's witness order.
-            if vector:
-                np = backend.np
-                selection = np.repeat(
-                    np.arange(count, dtype=np.int64), len(rows)
-                )
-                tids = np.tile(np.arange(len(rows), dtype=np.int64), count)
-                bound = {
-                    a: column.take(selection)
-                    for a, column in bound.items()
-                    if a in needed
-                }
-                ref_columns = [column.take(selection) for column in ref_columns]
-            else:
-                tid_range = range(len(rows))
-                selection = [i for i in range(count) for _ in tid_range]
-                tids = [tid for _ in range(count) for tid in tid_range]
-                bound = {
-                    a: [column[i] for i in selection]
-                    for a, column in bound.items()
-                    if a in needed
-                }
-                ref_columns = [
-                    [column[i] for i in selection] for column in ref_columns
-                ]
-
-        # Materialize the value columns of newly bound attributes that some
-        # later atom (or the head) still needs.
-        for a in atom.attributes:
-            if a not in binding:
-                binding[a] = step
-            if a not in shared and a in needed:
-                p = rel_position[a]
+            if shared:
+                shared_positions = tuple(rel_position[a] for a in shared)
                 if vector:
-                    bound[a] = rindex.value_column(p, backend).take(tids)
+                    gids = _probe_gids_numpy(
+                        backend, rindex, shared, shared_positions,
+                        bound, ref_columns, binding, indexes,
+                    )
+                    selection, tids = _expand_matches_numpy(
+                        backend, rindex, shared_positions, gids
+                    )
+                    bound = {
+                        a: column.take(selection)
+                        for a, column in bound.items()
+                        if a in needed
+                    }
+                    ref_columns = [column.take(selection) for column in ref_columns]
                 else:
-                    bound[a] = [rows[tid][p] for tid in tids]
-        ref_columns.append(tids)
-        count = len(tids)
+                    # Build: hash the relation on the shared attributes (cached
+                    # on the interning table).  Probe: selection vector over the
+                    # existing partials plus the matching tid per produced row.
+                    if len(shared) == 1:
+                        probe_keys: Sequence[object] = bound[shared[0]]
+                    else:
+                        probe_keys = zip(*(bound[a] for a in shared))
+                    table = rindex.hash_groups(shared_positions, backend)
+                    selection: List[int] = []
+                    tids: List[int] = []
+                    get = table.get
+                    for i, key in enumerate(probe_keys):
+                        matches = get(key)
+                        if matches:
+                            for tid in matches:
+                                selection.append(i)
+                                tids.append(tid)
+                    bound = {
+                        a: [column[i] for i in selection]
+                        for a, column in bound.items()
+                        if a in needed
+                    }
+                    ref_columns = [
+                        [column[i] for i in selection] for column in ref_columns
+                    ]
+            elif count is None:
+                # First atom (or first of the whole join): every tuple starts a
+                # partial row.
+                tids = backend.id_range(len(rows))
+            else:
+                # Disconnected component: cross product with the partials so far,
+                # partial-major to match the row engine's witness order.
+                if vector:
+                    np = backend.np
+                    selection = np.repeat(
+                        np.arange(count, dtype=np.int64), len(rows)
+                    )
+                    tids = np.tile(np.arange(len(rows), dtype=np.int64), count)
+                    bound = {
+                        a: column.take(selection)
+                        for a, column in bound.items()
+                        if a in needed
+                    }
+                    ref_columns = [column.take(selection) for column in ref_columns]
+                else:
+                    tid_range = range(len(rows))
+                    selection = [i for i in range(count) for _ in tid_range]
+                    tids = [tid for _ in range(count) for tid in tid_range]
+                    bound = {
+                        a: [column[i] for i in selection]
+                        for a, column in bound.items()
+                        if a in needed
+                    }
+                    ref_columns = [
+                        [column[i] for i in selection] for column in ref_columns
+                    ]
 
-        if max_witnesses is not None and count > max_witnesses:
-            raise RuntimeError(
-                f"join of {query_name} exceeded max_witnesses={max_witnesses}"
-            )
-        if count == 0:
-            # Empty intermediate result: short-circuit with all-empty columns.
-            bound = {a: backend.object_column([]) for a in bound}
-            ref_columns = [backend.empty_ids() for _ in ordered_atoms]
-            break
+            # Materialize the value columns of newly bound attributes that some
+            # later atom (or the head) still needs.
+            for a in atom.attributes:
+                if a not in binding:
+                    binding[a] = step
+                if a not in shared and a in needed:
+                    p = rel_position[a]
+                    if vector:
+                        bound[a] = rindex.value_column(p, backend).take(tids)
+                    else:
+                        bound[a] = [rows[tid][p] for tid in tids]
+            ref_columns.append(tids)
+            count = len(tids)
+            if step_span:
+                step_span.set(
+                    relation=atom.name,
+                    rows=len(rows),
+                    probed=probed,
+                    witnesses=count,
+                )
+
+            if max_witnesses is not None and count > max_witnesses:
+                raise RuntimeError(
+                    f"join of {query_name} exceeded max_witnesses={max_witnesses}"
+                )
+            if count == 0:
+                # Empty intermediate result: short-circuit with all-empty
+                # columns.
+                bound = {a: backend.object_column([]) for a in bound}
+                ref_columns = [backend.empty_ids() for _ in ordered_atoms]
+                break
 
     if len(ref_columns) < len(ordered_atoms):  # pragma: no cover - break above
         ref_columns.extend(

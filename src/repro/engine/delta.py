@@ -45,6 +45,7 @@ from repro.engine.backend import (
 )
 from repro.engine.columnar import ColumnarProvenance, RelationIndex
 from repro.engine.evaluate import QueryResult, Witness
+from repro.obs.trace import span
 
 
 def _dead_witnesses(
@@ -132,30 +133,32 @@ def delta_counts(
     outputs.  Matches ``delta_filter_result`` (and hence a fresh
     evaluation) exactly.
     """
-    provenance = result.provenance
-    if provenance is None:
-        filtered = _delta_filter_witnesses(result, set(removed))
-        return (
-            result.witness_count() - filtered.witness_count(),
-            result.output_count() - filtered.output_count(),
-        )
-    dead = _dead_witnesses(provenance, removed)
-    if dead is None:
-        return (provenance.witness_count(), provenance.output_count())
-    if len(dead) == 0:
-        return (0, 0)
-    count = provenance.witness_count()
-    output_count = provenance.output_count()
-    if output_count == count:
-        # Bijection (no projection sharing): outputs die with their witness.
-        return (len(dead), len(dead))
-    alive = _alive_mask(provenance, dead)
-    if is_ndarray(provenance.witness_outputs):
-        np = backend_of_column(provenance.witness_outputs).np
-        surviving_count = np.unique(provenance.witness_outputs[alive]).size
-        return (len(dead), output_count - int(surviving_count))
-    surviving = set(compress(provenance.witness_outputs, alive))
-    return (len(dead), output_count - len(surviving))
+    with span("engine.delta.counts"):
+        provenance = result.provenance
+        if provenance is None:
+            filtered = _delta_filter_witnesses(result, set(removed))
+            return (
+                result.witness_count() - filtered.witness_count(),
+                result.output_count() - filtered.output_count(),
+            )
+        dead = _dead_witnesses(provenance, removed)
+        if dead is None:
+            return (provenance.witness_count(), provenance.output_count())
+        if len(dead) == 0:
+            return (0, 0)
+        count = provenance.witness_count()
+        output_count = provenance.output_count()
+        if output_count == count:
+            # Bijection (no projection sharing): outputs die with their
+            # witness.
+            return (len(dead), len(dead))
+        alive = _alive_mask(provenance, dead)
+        if is_ndarray(provenance.witness_outputs):
+            np = backend_of_column(provenance.witness_outputs).np
+            surviving_count = np.unique(provenance.witness_outputs[alive]).size
+            return (len(dead), output_count - int(surviving_count))
+        surviving = set(compress(provenance.witness_outputs, alive))
+        return (len(dead), output_count - len(surviving))
 
 
 def _compact_outputs(
@@ -303,24 +306,26 @@ def delta_filter_result(
     witness sets, output sets and all provenance counts are identical --
     the property the parity tests pin down.
     """
-    provenance = result.provenance
-    if provenance is None:
-        # Row-style witnesses carry vacuum refs inline, so plain intersection
-        # filtering covers the vacuum-deletion case too.
-        return _delta_filter_witnesses(result, set(removed))
-    filtered = delta_filter_provenance(provenance, removed)
-    if filtered is provenance:
-        return result
-    return QueryResult(
-        filtered.query,
-        filtered.output_rows,
-        None,
-        # The public QueryResult field stays a plain list on every backend;
-        # the packed (possibly ndarray) column lives on the provenance.
-        as_id_list(filtered.witness_outputs),
-        None,
-        provenance=filtered,
-    )
+    with span("engine.delta.filter"):
+        provenance = result.provenance
+        if provenance is None:
+            # Row-style witnesses carry vacuum refs inline, so plain
+            # intersection filtering covers the vacuum-deletion case too.
+            return _delta_filter_witnesses(result, set(removed))
+        filtered = delta_filter_provenance(provenance, removed)
+        if filtered is provenance:
+            return result
+        return QueryResult(
+            filtered.query,
+            filtered.output_rows,
+            None,
+            # The public QueryResult field stays a plain list on every
+            # backend; the packed (possibly ndarray) column lives on the
+            # provenance.
+            as_id_list(filtered.witness_outputs),
+            None,
+            provenance=filtered,
+        )
 
 
 def outputs_delta(result: QueryResult, removed: Iterable[TupleRef]) -> int:
@@ -734,26 +739,28 @@ def delta_insert_result(
     object when the insertion is irrelevant to the query, and ``None``
     (caller must re-evaluate) for row-style results and vacuum queries.
     """
-    provenance = result.provenance
-    if provenance is None:
-        return None
-    updated = delta_insert_provenance(
-        provenance, inserted, extend_index=extend_index, row_live=row_live
-    )
-    if updated is None:
-        return None
-    if updated is provenance:
-        return result
-    return QueryResult(
-        updated.query,
-        updated.output_rows,
-        None,
-        # The public QueryResult field stays a plain list on every backend;
-        # the packed (possibly ndarray) column lives on the provenance.
-        as_id_list(updated.witness_outputs),
-        None,
-        provenance=updated,
-    )
+    with span("engine.delta.insert"):
+        provenance = result.provenance
+        if provenance is None:
+            return None
+        updated = delta_insert_provenance(
+            provenance, inserted, extend_index=extend_index, row_live=row_live
+        )
+        if updated is None:
+            return None
+        if updated is provenance:
+            return result
+        return QueryResult(
+            updated.query,
+            updated.output_rows,
+            None,
+            # The public QueryResult field stays a plain list on every
+            # backend; the packed (possibly ndarray) column lives on the
+            # provenance.
+            as_id_list(updated.witness_outputs),
+            None,
+            provenance=updated,
+        )
 
 
 __all__ = [

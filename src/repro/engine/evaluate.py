@@ -95,6 +95,7 @@ from repro.engine.columnar import (
     empty_provenance,
     join_columns,
 )
+from repro.obs.trace import span
 from repro.query.cq import ConjunctiveQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -478,42 +479,49 @@ class EngineContext:
             return evaluate_rows(query, database, max_witnesses)
         cacheable = use_cache and max_witnesses is None
         backend_tag = self.backend.name
-        if cacheable:
-            cached = self.cache.lookup(
-                query, database, query_key=query_key, backend=backend_tag
-            )
-            if cached is not None:
-                return cached
-        result = None
-        if mode == "parallel" and max_witnesses is None:
-            # executor() re-checks the mode under the lock; a concurrent
-            # set_mode("serial"/"columnar") makes it None and we fall back.
-            executor = self.executor()
-            if executor is not None:
-                result = executor.evaluate(
-                    self,
+        with span("engine.evaluate") as esp:
+            if esp:
+                esp.set(mode=mode, backend=backend_tag, atoms=len(query.atoms))
+            if cacheable:
+                cached = self.cache.lookup(
+                    query, database, query_key=query_key, backend=backend_tag
+                )
+                if cached is not None:
+                    if esp:
+                        esp.set(cache="hit", witnesses=len(cached.witness_outputs))
+                    return cached
+            result = None
+            if mode == "parallel" and max_witnesses is None:
+                # executor() re-checks the mode under the lock; a concurrent
+                # set_mode("serial"/"columnar") makes it None and we fall back.
+                executor = self.executor()
+                if executor is not None:
+                    result = executor.evaluate(
+                        self,
+                        query,
+                        database,
+                        order=order,
+                        query_key=query_key,
+                        partition_key=partition_key,
+                        use_cache=use_cache,
+                    )
+            if result is None:
+                result = evaluate_columnar(
                     query,
                     database,
+                    max_witnesses,
                     order=order,
-                    query_key=query_key,
-                    partition_key=partition_key,
-                    use_cache=use_cache,
+                    index_for=self.interned,
+                    backend=self.backend,
                 )
-        if result is None:
-            result = evaluate_columnar(
-                query,
-                database,
-                max_witnesses,
-                order=order,
-                index_for=self.interned,
-                backend=self.backend,
-            )
-        self.evaluations += 1
-        if cacheable:
-            self.cache.store(
-                query, database, result, query_key=query_key, backend=backend_tag
-            )
-        return result
+            self.evaluations += 1
+            if cacheable:
+                self.cache.store(
+                    query, database, result, query_key=query_key, backend=backend_tag
+                )
+            if esp:
+                esp.set(cache="miss", witnesses=len(result.witness_outputs))
+            return result
 
 
 #: The context evaluations route through when a session is active.  Session
@@ -835,10 +843,17 @@ def evaluate_columnar(
         if total_tuples < MIN_VECTOR_TUPLES:
             backend = python_backend()
 
-    bound, ref_columns, indexes = join_columns(
-        ordered_atoms, database, query.head, max_witnesses, query.name,
-        index_for=index_for, backend=backend,
-    )
+    with span("engine.join") as jsp:
+        bound, ref_columns, indexes = join_columns(
+            ordered_atoms, database, query.head, max_witnesses, query.name,
+            index_for=index_for, backend=backend,
+        )
+        if jsp:
+            jsp.set(
+                atoms=len(ordered_atoms),
+                backend=backend.name,
+                witnesses=len(ref_columns[0]) if ref_columns else 0,
+            )
     atom_names = tuple(atom.name for atom in ordered_atoms)
     count = len(ref_columns[0]) if ref_columns else 0
 
@@ -853,33 +868,36 @@ def evaluate_columnar(
     output_rows: List[Row] = []
     output_index: Optional[Dict[Row, int]] = {}
     witness_outputs: List[int] = []
-    if head and backend.is_numpy:
-        # Vectorized first-occurrence factorization over interned value
-        # codes: no per-witness Python work, no object-tuple hashing.  The
-        # reverse output_index is derived lazily by the result classes.
-        packed_outputs, output_rows = _factorize_outputs_numpy(
-            backend, head, ordered_atoms, bound, ref_columns, indexes
-        )
-        witness_outputs = packed_outputs.tolist()
-        output_index = None
-    elif head:
-        # First-occurrence factorization of output rows.  Rows are tuples of
-        # arbitrary Python objects, so this dict loop stays Python.
-        out_columns = [bound[a] for a in head]
-        get = output_index.get
-        for row in zip(*out_columns):
-            index = get(row)
-            if index is None:
-                index = len(output_rows)
-                output_index[row] = index
-                output_rows.append(row)
-            witness_outputs.append(index)
-        packed_outputs = backend.id_column(witness_outputs)
-    else:
-        output_rows = [()]
-        output_index = {(): 0}
-        witness_outputs = [0] * count
-        packed_outputs = backend.id_column(witness_outputs)
+    with span("engine.factorize") as fsp:
+        if head and backend.is_numpy:
+            # Vectorized first-occurrence factorization over interned value
+            # codes: no per-witness Python work, no object-tuple hashing.  The
+            # reverse output_index is derived lazily by the result classes.
+            packed_outputs, output_rows = _factorize_outputs_numpy(
+                backend, head, ordered_atoms, bound, ref_columns, indexes
+            )
+            witness_outputs = packed_outputs.tolist()
+            output_index = None
+        elif head:
+            # First-occurrence factorization of output rows.  Rows are tuples
+            # of arbitrary Python objects, so this dict loop stays Python.
+            out_columns = [bound[a] for a in head]
+            get = output_index.get
+            for row in zip(*out_columns):
+                index = get(row)
+                if index is None:
+                    index = len(output_rows)
+                    output_index[row] = index
+                    output_rows.append(row)
+                witness_outputs.append(index)
+            packed_outputs = backend.id_column(witness_outputs)
+        else:
+            output_rows = [()]
+            output_index = {(): 0}
+            witness_outputs = [0] * count
+            packed_outputs = backend.id_column(witness_outputs)
+        if fsp:
+            fsp.set(witnesses=count, outputs=len(output_rows))
 
     provenance = ColumnarProvenance(
         query,

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tup
 
 from repro.engine.backend import as_id_list
 from repro.engine.columnar import ColumnarProvenance
+from repro.obs.trace import span
 
 
 @dataclass
@@ -100,24 +101,29 @@ def greedy_partial_cover(instance: PartialSetCoverInstance) -> List[Hashable]:
     deterministic.  Raises ``ValueError`` when the instance is infeasible.
     """
     instance.validate()
-    uncovered_needed = instance.target
-    covered: Set[Hashable] = set()
-    chosen: List[Hashable] = []
-    remaining = dict(instance.sets)
-    while len(covered) < instance.target:
-        best_key = None
-        best_gain = 0
-        for key in sorted(remaining, key=repr):
-            gain = len(remaining[key] - covered)
-            if gain > best_gain:
-                best_gain = gain
-                best_key = key
-        if best_key is None:
-            raise ValueError("instance is infeasible: cannot reach the target")
-        chosen.append(best_key)
-        covered |= remaining.pop(best_key)
-    del uncovered_needed
-    return chosen
+    with span("solver.setcover.greedy") as gsp:
+        if gsp:
+            gsp.set(sets=len(instance.sets), target=instance.target)
+        uncovered_needed = instance.target
+        covered: Set[Hashable] = set()
+        chosen: List[Hashable] = []
+        remaining = dict(instance.sets)
+        while len(covered) < instance.target:
+            best_key = None
+            best_gain = 0
+            for key in sorted(remaining, key=repr):
+                gain = len(remaining[key] - covered)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_key = key
+            if best_key is None:
+                raise ValueError("instance is infeasible: cannot reach the target")
+            chosen.append(best_key)
+            covered |= remaining.pop(best_key)
+        del uncovered_needed
+        if gsp:
+            gsp.set(chosen=len(chosen))
+        return chosen
 
 
 def primal_dual_partial_cover(instance: PartialSetCoverInstance) -> List[Hashable]:
@@ -130,39 +136,44 @@ def primal_dual_partial_cover(instance: PartialSetCoverInstance) -> List[Hashabl
     if instance.target == 0:
         return []
 
-    sorted_keys = sorted(instance.sets, key=repr)
-    # Elements sorted deterministically for reproducible element picking.
-    best: Optional[List[Hashable]] = None
+    with span("solver.setcover.primal_dual") as psp:
+        if psp:
+            psp.set(sets=len(instance.sets), target=instance.target)
+        sorted_keys = sorted(instance.sets, key=repr)
+        # Elements sorted deterministically for reproducible element picking.
+        best: Optional[List[Hashable]] = None
 
-    # index: element -> sets containing it
-    containing: Dict[Hashable, List[Hashable]] = {}
-    for key in sorted_keys:
-        for element in instance.sets[key]:
-            containing.setdefault(element, []).append(key)
+        # index: element -> sets containing it
+        containing: Dict[Hashable, List[Hashable]] = {}
+        for key in sorted_keys:
+            for element in instance.sets[key]:
+                containing.setdefault(element, []).append(key)
 
-    for guess in sorted_keys:
-        chosen: List[Hashable] = [guess]
-        covered: Set[Hashable] = set(instance.sets[guess])
-        if len(covered) < instance.target:
-            # Primal-dual phase: pick an uncovered element, buy every set
-            # containing it (raising its dual until all of them are tight).
-            for element in sorted(containing, key=repr):
-                if len(covered) >= instance.target:
-                    break
-                if element in covered:
-                    continue
-                for key in containing[element]:
-                    if key not in chosen:
-                        chosen.append(key)
-                        covered |= instance.sets[key]
-                        if len(covered) >= instance.target:
-                            break
-        if len(covered) >= instance.target:
-            if best is None or len(chosen) < len(best):
-                best = chosen
-    if best is None:
-        raise ValueError("instance is infeasible: cannot reach the target")
-    return best
+        for guess in sorted_keys:
+            chosen: List[Hashable] = [guess]
+            covered: Set[Hashable] = set(instance.sets[guess])
+            if len(covered) < instance.target:
+                # Primal-dual phase: pick an uncovered element, buy every set
+                # containing it (raising its dual until all of them are tight).
+                for element in sorted(containing, key=repr):
+                    if len(covered) >= instance.target:
+                        break
+                    if element in covered:
+                        continue
+                    for key in containing[element]:
+                        if key not in chosen:
+                            chosen.append(key)
+                            covered |= instance.sets[key]
+                            if len(covered) >= instance.target:
+                                break
+            if len(covered) >= instance.target:
+                if best is None or len(chosen) < len(best):
+                    best = chosen
+        if best is None:
+            raise ValueError("instance is infeasible: cannot reach the target")
+        if psp:
+            psp.set(chosen=len(best))
+        return best
 
 
 def sets_from_witnesses(

@@ -1,0 +1,89 @@
+"""Rendering and aggregation over serialized span trees.
+
+Everything here consumes the plain-dict shape produced by
+:meth:`repro.obs.trace.Tracer.export` (``repro solve --trace`` writes it,
+``repro trace <file>`` reads it back, the slow-query log stores it), so the
+renderer works identically on live and persisted traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.trace import SpanDict
+
+#: Column where durations are right-aligned in the text profile.
+_DUR_COLUMN = 48
+
+
+def _format_attrs(attrs: Mapping[str, object]) -> str:
+    return " ".join(f"{key}={attrs[key]}" for key in attrs)
+
+
+def _render_one(node: SpanDict, depth: int, lines: List[str]) -> None:
+    label = "  " * depth + str(node.get("name", "?"))
+    dur = f"{float(node.get('dur_ms', 0.0)):10.3f} ms"
+    pad = max(1, _DUR_COLUMN - len(label))
+    line = f"{label}{' ' * pad}{dur}"
+    attrs = node.get("attrs")
+    if attrs:
+        line += "  " + _format_attrs(attrs)
+    lines.append(line)
+    for child in node.get("children", ()):
+        _render_one(child, depth + 1, lines)
+
+
+def render_span_tree(spans: Sequence[SpanDict], trace_id: str = "") -> str:
+    """The indented text profile (``repro solve --trace`` / ``repro trace``)."""
+    lines: List[str] = []
+    if trace_id:
+        total = sum(float(node.get("dur_ms", 0.0)) for node in spans)
+        lines.append(f"trace {trace_id} ({total:.3f} ms)")
+    for node in spans:
+        _render_one(node, 0, lines)
+    return "\n".join(lines)
+
+
+def _walk(spans: Sequence[SpanDict]) -> List[SpanDict]:
+    out: List[SpanDict] = []
+    stack = list(spans)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.get("children", ()))
+    return out
+
+
+def aggregate_stage_ms(spans: Sequence[SpanDict]) -> Dict[str, float]:
+    """Total duration per span name over the whole forest.
+
+    Nested spans of the same stage each contribute their own duration (a
+    stage's total is *inclusive* of its children -- the service histograms
+    and the benchmark recorder both document that convention).
+    """
+    totals: Dict[str, float] = {}
+    for node in _walk(spans):
+        name = str(node.get("name", "?"))
+        totals[name] = totals.get(name, 0.0) + float(node.get("dur_ms", 0.0))
+    return totals
+
+
+def load_trace(payload: Any) -> Tuple[str, List[SpanDict]]:
+    """Normalize a persisted trace to ``(trace_id, spans)``.
+
+    Accepts the ``repro solve --trace-out`` envelope
+    (``{"trace_id": ..., "spans": [...]}``), a slow-query-log entry (same
+    keys plus forensics), or a bare span list.
+    """
+    if isinstance(payload, list):
+        return "", [node for node in payload if isinstance(node, dict)]
+    if isinstance(payload, dict):
+        spans = payload.get("spans", [])
+        if not isinstance(spans, list):
+            raise ValueError("trace 'spans' must be a list of span dicts")
+        trace_id = str(payload.get("trace_id", "") or "")
+        return trace_id, [node for node in spans if isinstance(node, dict)]
+    raise ValueError(f"unrecognized trace payload of type {type(payload).__name__}")
+
+
+__all__ = ["aggregate_stage_ms", "load_trace", "render_span_tree"]

@@ -45,6 +45,7 @@ from repro.parallel.partition import (
     partition_index,
     partition_plan,
 )
+from repro.obs.trace import span, tracing_active
 from repro.parallel.pool import (
     PoolBrokenError,
     WorkerPool,
@@ -238,19 +239,22 @@ class ParallelExecutor:
             context.interned(database.relation(atom.name)) for atom in ordered_atoms
         ]
         backend = context.backend
-        shards_per_atom = [
-            self._shards_for_atom(
-                did,
-                atom.name,
-                index,
-                database.relation(atom.name).version,
-                plan.key,
-                plan.shards,
-                plan.key in atom.attribute_set,
-                backend,
-            )
-            for atom, index in zip(ordered_atoms, indexes)
-        ]
+        with span("parallel.partition") as psp:
+            shards_per_atom = [
+                self._shards_for_atom(
+                    did,
+                    atom.name,
+                    index,
+                    database.relation(atom.name).version,
+                    plan.key,
+                    plan.shards,
+                    plan.key in atom.attribute_set,
+                    backend,
+                )
+                for atom, index in zip(ordered_atoms, indexes)
+            ]
+            if psp:
+                psp.set(key=plan.key, shards=plan.shards, atoms=len(ordered_atoms))
 
         if query_key is None:
             query_key = canonical_query_key(query)
@@ -265,6 +269,7 @@ class ParallelExecutor:
         shard_results = None
         pool = self.pool()
         if pool is not None:
+            worker_spans: List[Optional[List[dict]]] = []
             dispatch = lambda: self._run_pool(  # noqa: E731 - two-call retry
                 pool,
                 query,
@@ -276,25 +281,36 @@ class ParallelExecutor:
                 attributes_per_atom,
                 use_cache,
                 backend.name,
+                worker_spans,
             )
-            try:
+            with span("parallel.dispatch") as dsp:
+                if dsp:
+                    dsp.set(shards=plan.shards, workers=pool.size)
                 try:
-                    shard_results = dispatch()
-                except WorkerStoreMiss as miss:
-                    # A worker evicted predicted state: drop the stale
-                    # predictions and retry once -- the rebuild ships full
-                    # payloads for the forgotten keys.
-                    for worker, namespace, key in miss.misses:
-                        pool.forget(worker, namespace, key)
-                    shard_results = dispatch()
-            except PoolBrokenError:
-                self.mark_pool_failed()
-                shard_results = None
-            except (WorkerTaskError, WorkerStoreMiss):
-                # The workers are healthy; run this evaluation inline (a
-                # deterministic task error will resurface with its real
-                # traceback there) and keep the pool for later calls.
-                shard_results = None
+                    try:
+                        shard_results = dispatch()
+                    except WorkerStoreMiss as miss:
+                        # A worker evicted predicted state: drop the stale
+                        # predictions and retry once -- the rebuild ships full
+                        # payloads for the forgotten keys.
+                        for worker, namespace, key in miss.misses:
+                            pool.forget(worker, namespace, key)
+                        shard_results = dispatch()
+                except PoolBrokenError:
+                    self.mark_pool_failed()
+                    shard_results = None
+                except (WorkerTaskError, WorkerStoreMiss):
+                    # The workers are healthy; run this evaluation inline (a
+                    # deterministic task error will resurface with its real
+                    # traceback there) and keep the pool for later calls.
+                    shard_results = None
+                if dsp:
+                    dsp.set(pooled=shard_results is not None)
+                    # Graft each worker's serialized span forest under this
+                    # dispatch span: a straggling shard is visible by name.
+                    for forest in worker_spans:
+                        if forest:
+                            dsp.graft(forest)
         if shard_results is None:
             shard_results = self._run_inline(
                 context,
@@ -308,9 +324,10 @@ class ParallelExecutor:
                 shards_per_atom,
                 use_cache,
             )
-        return merge_shard_results(
-            query, ordered_names, indexes, shard_results, (), backend=backend
-        )
+        with span("parallel.merge", shards=plan.shards):
+            return merge_shard_results(
+                query, ordered_names, indexes, shard_results, (), backend=backend
+            )
 
     def _run_pool(
         self,
@@ -324,13 +341,22 @@ class ParallelExecutor:
         attributes_per_atom: Sequence[Tuple[str, ...]],
         use_cache: bool = True,
         backend_name: str = "python",
+        spans_out: Optional[List[Optional[List[dict]]]] = None,
     ) -> List[object]:
         """One ``evaluate_shard`` task per shard, routed by ``shard % size``.
 
         Shard batches (rows + tid map) ship only on a worker's first sight
         of the shard key; afterwards the key alone suffices (the pool
         mirrors the workers' store eviction, so it knows what they hold).
+
+        With tracing active, every payload carries a ``"trace"`` context
+        (shard + worker index) and ``spans_out`` is (re)filled with one
+        serialized worker span forest per task -- reset on entry so the
+        store-miss retry never double-grafts the first attempt's spans.
         """
+        collect = spans_out is not None and tracing_active()
+        if spans_out is not None:
+            del spans_out[:]
         tasks = []
         for s in range(shards):
             worker = s % pool.size
@@ -352,20 +378,21 @@ class ParallelExecutor:
                         }
                     )
                     pool.remember(worker, "shard", skey)
-            tasks.append(
-                (
-                    worker,
-                    {
-                        "kind": "evaluate_shard",
-                        "query": query,
-                        "order": order,
-                        "atoms": specs,
-                        "backend": backend_name,
-                        "cache_key": (query_key, ordered_names, tuple(skeys)),
-                        "use_cache": use_cache,
-                    },
-                )
-            )
+            payload = {
+                "kind": "evaluate_shard",
+                "query": query,
+                "order": order,
+                "atoms": specs,
+                "backend": backend_name,
+                "cache_key": (query_key, ordered_names, tuple(skeys)),
+                "use_cache": use_cache,
+            }
+            if collect:
+                payload["trace"] = {"shard": s, "worker": worker}
+            tasks.append((worker, payload))
+        if spans_out is not None:
+            spans_out.extend([None] * len(tasks))
+            return pool.run(tasks, spans_out)
         return pool.run(tasks)
 
     def _run_inline(
@@ -400,55 +427,60 @@ class ParallelExecutor:
             # worker-side cache keys on the same names; the backend tag
             # keeps list payloads and ndarray payloads apart.)
             layout = ("shard", plan.key, plan.shards, ordered_names, s)
-            if use_cache:
-                cached = context.cache.lookup(
-                    query,
-                    database,
-                    query_key=query_key,
-                    layout=layout,
-                    backend=backend.name,
-                )
-                if cached is not None:
-                    results.append(cached)
-                    continue
-            relations = []
-            indexes_by_name = {}
-            tid_maps = []
-            for atom, atom_shards, parent_index in zip(
-                ordered_atoms, shards_per_atom, indexes
-            ):
-                rows, tid_map, _skey = atom_shards[s]
-                if tid_map is None:
-                    # Broadcast: the parent's index *is* this shard's index
-                    # (RelationIndex quacks as the relation view too: name,
-                    # attributes, rows).
-                    relations.append(parent_index)
-                    indexes_by_name[atom.name] = parent_index
-                else:
-                    relation = ShardRelation(
-                        atom.name, database.relation(atom.name).attributes, rows
+            with span("parallel.shard", shard=s) as ssp:
+                if use_cache:
+                    cached = context.cache.lookup(
+                        query,
+                        database,
+                        query_key=query_key,
+                        layout=layout,
+                        backend=backend.name,
                     )
-                    relations.append(relation)
-                    indexes_by_name[atom.name] = RelationIndex(relation)
-                tid_maps.append(tid_map)
-            result = evaluate_shard(
-                query,
-                ordered_atoms,
-                ShardDatabase(relations),
-                tid_maps,
-                index_for=lambda relation: indexes_by_name[relation.name],
-                backend=backend,
-            )
-            if use_cache:
-                context.cache.store(
+                    if cached is not None:
+                        if ssp:
+                            ssp.set(cache="hit")
+                        results.append(cached)
+                        continue
+                relations = []
+                indexes_by_name = {}
+                tid_maps = []
+                for atom, atom_shards, parent_index in zip(
+                    ordered_atoms, shards_per_atom, indexes
+                ):
+                    rows, tid_map, _skey = atom_shards[s]
+                    if tid_map is None:
+                        # Broadcast: the parent's index *is* this shard's index
+                        # (RelationIndex quacks as the relation view too: name,
+                        # attributes, rows).
+                        relations.append(parent_index)
+                        indexes_by_name[atom.name] = parent_index
+                    else:
+                        relation = ShardRelation(
+                            atom.name, database.relation(atom.name).attributes, rows
+                        )
+                        relations.append(relation)
+                        indexes_by_name[atom.name] = RelationIndex(relation)
+                    tid_maps.append(tid_map)
+                result = evaluate_shard(
                     query,
-                    database,
-                    result,
-                    query_key=query_key,
-                    layout=layout,
-                    backend=backend.name,
+                    ordered_atoms,
+                    ShardDatabase(relations),
+                    tid_maps,
+                    index_for=lambda relation: indexes_by_name[relation.name],
+                    backend=backend,
                 )
-            results.append(result)
+                if use_cache:
+                    context.cache.store(
+                        query,
+                        database,
+                        result,
+                        query_key=query_key,
+                        layout=layout,
+                        backend=backend.name,
+                    )
+                if ssp:
+                    ssp.set(cache="miss", rows=len(result[1]))
+                results.append(result)
         return results
 
 

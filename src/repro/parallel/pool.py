@@ -36,6 +36,16 @@ fall back for this call only) vs :class:`WorkerStoreMiss` (retryable).
 Callers (the :class:`~repro.parallel.executor.ParallelExecutor`) always
 have the inline serial path available because shard evaluation and merge
 are plain functions.
+
+Tracing: a payload may carry a ``"trace"`` key -- a small dict of span
+attributes (shard index, worker index, group id) that the parent's tracer
+wants stamped on the worker-side root span.  The worker then runs the task
+under a fresh :class:`repro.obs.Tracer` with a ``worker.task`` root span
+and replies ``("ok+trace", (serialized spans, value))``; the parent grafts
+the serialized subtree under its dispatch span (see
+:meth:`WorkerPool.run`'s ``spans_out``).  Payloads without the key follow
+the plain ``("ok", value)`` protocol unchanged, so tracing never affects
+results -- only an extra, separately-carried forest of dicts.
 """
 
 from __future__ import annotations
@@ -173,8 +183,16 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
-    def run(self, tasks: List[Tuple[int, dict]]) -> List[object]:
+    def run(
+        self,
+        tasks: List[Tuple[int, dict]],
+        spans_out: Optional[List[Optional[List[dict]]]] = None,
+    ) -> List[object]:
         """Run ``(worker index, payload)`` tasks; results in task order.
+
+        ``spans_out``, when given, must be a list with one slot per task;
+        slots of tasks whose payload carried a ``"trace"`` key are filled
+        with the worker's serialized span forest (``None`` otherwise).
 
         Raises :class:`PoolBrokenError` when a worker died or a pipe broke
         (stop using the pool), :class:`WorkerTaskError` when a task failed
@@ -201,6 +219,11 @@ class WorkerPool:
                         status, value = conn.recv()
                         if status == "ok":
                             results[position] = value
+                        elif status == "ok+trace":
+                            spans, value = value
+                            results[position] = value
+                            if spans_out is not None:
+                                spans_out[position] = spans
                         elif status == "miss":
                             # The worker is fine; it just evicted state the
                             # parent predicted.  Keep draining this worker's
@@ -429,10 +452,33 @@ def _handle_solve_group(msg: dict, db_store: "OrderedDict") -> dict:
 
 
 def _worker_main(conn: "multiprocessing.connection.Connection") -> None:  # pragma: no cover - runs in a subprocess
-    """The worker loop: one task in, one ``("ok"| "error", value)`` out."""
+    """The worker loop: one task in, one ``("ok"| "error", value)`` out.
+
+    A payload carrying a ``"trace"`` dict runs under a fresh worker-side
+    tracer (root span ``worker.task`` stamped with the shipped attributes)
+    and is answered with ``("ok+trace", (serialized spans, value))`` so the
+    parent can graft the subtree under its dispatch span.
+    """
+    from repro.obs.trace import Tracer, use_tracer
+
     shard_store: "OrderedDict" = OrderedDict()
     eval_cache: "OrderedDict" = OrderedDict()
     db_store: "OrderedDict" = OrderedDict()
+
+    def dispatch(kind: Optional[str], msg: dict) -> object:
+        if kind == "evaluate_shard":
+            return _handle_evaluate_shard(msg, shard_store, eval_cache)
+        if kind == "solve_group":
+            return _handle_solve_group(msg, db_store)
+        if kind == "clear_caches":
+            eval_cache.clear()
+            for _database, session in db_store.values():
+                session.clear_cache()
+            return "cleared"
+        if kind == "ping":
+            return "pong"
+        raise ValueError(f"unknown task kind {kind!r}")
+
     while True:
         try:
             msg = conn.recv()
@@ -441,21 +487,16 @@ def _worker_main(conn: "multiprocessing.connection.Connection") -> None:  # prag
         kind = msg.get("kind")
         if kind == "shutdown":
             break
+        trace_attrs = msg.pop("trace", None)
         try:
-            if kind == "evaluate_shard":
-                value = _handle_evaluate_shard(msg, shard_store, eval_cache)
-            elif kind == "solve_group":
-                value = _handle_solve_group(msg, db_store)
-            elif kind == "clear_caches":
-                eval_cache.clear()
-                for _database, session in db_store.values():
-                    session.clear_cache()
-                value = "cleared"
-            elif kind == "ping":
-                value = "pong"
+            if trace_attrs is None:
+                conn.send(("ok", dispatch(kind, msg)))
             else:
-                raise ValueError(f"unknown task kind {kind!r}")
-            conn.send(("ok", value))
+                tracer = Tracer()
+                with use_tracer(tracer):
+                    with tracer.span("worker.task", kind=kind, **trace_attrs):
+                        value = dispatch(kind, msg)
+                conn.send(("ok+trace", (tracer.export(), value)))
         except _StoreMiss as miss:
             try:
                 conn.send(("miss", miss.keys))

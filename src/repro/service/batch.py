@@ -98,6 +98,15 @@ class MicroBatcher:
     def pending_keys(self) -> Tuple[Hashable, ...]:
         return tuple(self._pending)
 
+    @property
+    def depth(self) -> int:
+        """Requests waiting in open (unflushed) windows right now."""
+        return sum(
+            len(batch.items)
+            for batch in self._pending.values()
+            if not batch.flushed
+        )
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

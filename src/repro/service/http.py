@@ -21,7 +21,14 @@ Endpoints (all bodies JSON; see ``docs/ARCHITECTURE.md`` for the schema):
 ``POST /v1/what_if``     ``{database, query, refs[, include_after]}``
 ``POST /v1/apply_deletions``  ``{database, refs}`` -- bumps the version
 ``POST /v1/apply_insertions``  ``{database, refs}`` -- bumps the version
+``GET  /v1/debug/slow``  ring buffer of over-threshold requests
 =======================  ====================================================
+
+Every request is stamped with a ``trace_id`` (echoed in JSON payloads and
+the ``X-Trace-Id`` header).  With ``ServiceConfig.trace`` on, solver jobs
+run under a :class:`~repro.obs.trace.Tracer`: span durations feed the
+per-stage latency histograms at ``/metrics`` and requests slower than
+``slow_ms`` land in the slow-query log with their full span tree.
 
 Status codes: 400 malformed/invalid request, 404 unknown database or
 route, 409 name conflict, 413 oversized body, 429 overloaded (with
@@ -32,6 +39,7 @@ deadline expired.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 import time
@@ -53,6 +61,9 @@ from repro.service.admission import (
     DeadlineExpired,
     Overloaded,
 )
+from repro.obs.render import aggregate_stage_ms
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer, new_trace_id, use_tracer
 from repro.service.batch import MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import (
@@ -84,7 +95,15 @@ SOLVE_METHODS = ("auto", "greedy", "drastic")
 KNOWN_ENDPOINTS = frozenset({
     "/healthz", "/metrics", "/v1/databases", "/v1/prepare", "/v1/solve",
     "/v1/what_if", "/v1/apply_deletions", "/v1/apply_insertions",
+    "/v1/debug/slow",
 })
+
+#: The trace id of the request being served (set per request in _respond;
+#: handlers pass it explicitly into thread-pool jobs, which do not inherit
+#: the event loop's context).
+_TRACE_ID: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_service_trace_id", default=None
+)
 
 
 @dataclass
@@ -114,6 +133,14 @@ class ServiceConfig:
     default_deadline_ms: float = 30_000.0
     #: Reject request bodies larger than this (bulk row uploads included).
     max_body_bytes: int = 64 * 1024 * 1024
+    #: Run solver jobs under a tracer: span durations feed the per-stage
+    #: histograms at /metrics, and slow requests keep their span tree.
+    trace: bool = False
+    #: Requests slower than this land in the slow-query log.
+    slow_ms: float = 250.0
+    slow_log_capacity: int = 32
+    #: Emit one ``[access]`` log line per finished request.
+    log_requests: bool = False
 
 
 class ApiError(Exception):
@@ -176,6 +203,10 @@ class AdpService:
             max_batch=self.config.max_batch,
             linger_ms=self.config.linger_ms,
             on_dispatch=self.metrics.batch_dispatched,
+        )
+        self.slow_log = SlowQueryLog(
+            capacity=self.config.slow_log_capacity,
+            threshold_ms=self.config.slow_ms,
         )
         self.started_at = time.time()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -308,44 +339,60 @@ class AdpService:
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, object, Dict[str, str]]:
         start = time.perf_counter()
+        trace_id = new_trace_id()
+        token = _TRACE_ID.set(trace_id)
         self.metrics.request_started()
         status = 500
+        payload: object = None
         extra: Dict[str, str] = {}
         try:
-            status, payload, extra = await self._route(method, path, body)
+            try:
+                status, payload, extra = await self._route(method, path, body)
+            except Overloaded as exc:
+                self.metrics.rejected()
+                status = 429
+                payload = error_payload(str(exc), retry_after_s=exc.retry_after_s)
+                extra = {"Retry-After": f"{exc.retry_after_s:g}"}
+            except DeadlineExpired as exc:
+                self.metrics.deadline_missed()
+                status, payload, extra = 504, error_payload(str(exc)), {}
+            except ApiError as exc:
+                status = exc.status
+                payload, extra = error_payload(exc.message), dict(exc.headers)
+            except KeyError as exc:
+                # Registry misses are mapped to 404 by _entry(); a KeyError
+                # that reaches this point is a bad request (e.g. unknown
+                # relation).
+                status = 400
+                payload = error_payload(str(exc.args[0] if exc.args else exc))
+                extra = {}
+            except ValueError as exc:
+                status, payload, extra = 400, error_payload(str(exc)), {}
+            except Exception as exc:  # pragma: no cover - last-resort 500
+                status = 500
+                payload, extra = error_payload(f"internal error: {exc!r}"), {}
+            if isinstance(payload, dict):
+                payload["trace_id"] = trace_id
+            extra.setdefault("X-Trace-Id", trace_id)
             return status, payload, extra
-        except Overloaded as exc:
-            self.metrics.rejected()
-            status = 429
-            extra = {"Retry-After": f"{exc.retry_after_s:g}"}
-            return status, error_payload(
-                str(exc), retry_after_s=exc.retry_after_s
-            ), extra
-        except DeadlineExpired as exc:
-            self.metrics.deadline_missed()
-            status = 504
-            return status, error_payload(str(exc)), {}
-        except ApiError as exc:
-            status = exc.status
-            return status, error_payload(exc.message), dict(exc.headers)
-        except KeyError as exc:
-            # Registry misses are mapped to 404 by _entry(); a KeyError that
-            # reaches this point is a bad request (e.g. unknown relation).
-            status = 400
-            return status, error_payload(str(exc.args[0] if exc.args else exc)), {}
-        except ValueError as exc:
-            status = 400
-            return status, error_payload(str(exc)), {}
-        except Exception as exc:  # pragma: no cover - last-resort 500
-            status = 500
-            return status, error_payload(f"internal error: {exc!r}"), {}
         finally:
+            _TRACE_ID.reset(token)
             # Unknown paths share one label: per-path labels for arbitrary
             # client-chosen strings would grow the metrics maps unboundedly.
             endpoint = path if path in KNOWN_ENDPOINTS else "other"
-            self.metrics.request_finished(
-                endpoint, status, elapsed_ms(start, time.perf_counter())
-            )
+            elapsed = elapsed_ms(start, time.perf_counter())
+            self.metrics.request_finished(endpoint, status, elapsed)
+            if self.config.log_requests:
+                database = version = "-"
+                if isinstance(payload, dict):
+                    database = str(payload.get("database", "-"))
+                    version = str(payload.get("version", "-"))
+                print(
+                    f"[access] trace={trace_id} method={method} route={path} "
+                    f"db={database} version={version} status={status} "
+                    f"elapsed_ms={elapsed:.3f}",
+                    flush=True,
+                )
 
     async def _route(
         self, method: str, path: str, body: bytes
@@ -356,11 +403,16 @@ class AdpService:
             gauges = {
                 "pending_requests": self.admission.pending,
                 "databases_resident": len(self.registry),
+                "databases_capacity": self.registry.capacity,
+                "batcher_queue_depth": self.batcher.depth,
             }
-            text = self.metrics.render(gauges).encode("utf-8")
+            counters = {"registry_evictions_total": self.registry.evictions_total}
+            text = self.metrics.render(gauges, counters).encode("utf-8")
             return 200, text, {"content-type": "text/plain; version=0.0.4"}
         if path == "/v1/databases" and method == "GET":
             return 200, self._list_databases(), {}
+        if path == "/v1/debug/slow" and method == "GET":
+            return 200, self.slow_log.snapshot(), {}
         post_routes = {
             "/v1/databases": self._handle_register,
             "/v1/prepare": self._handle_prepare,
@@ -507,7 +559,8 @@ class AdpService:
                 loop = asyncio.get_running_loop()
                 outcome = (
                     await loop.run_in_executor(
-                        self.executor, self._solve_batch_job, entry, [item]
+                        self.executor, self._solve_batch_job, entry, [item],
+                        _TRACE_ID.get(),
                     )
                 )[0]
         if isinstance(outcome, _Failure):
@@ -546,9 +599,65 @@ class AdpService:
         return outcomes
 
     def _solve_batch_job(
-        self, entry: RegisteredDatabase, items: List[_SolveItem]
+        self,
+        entry: RegisteredDatabase,
+        items: List[_SolveItem],
+        trace_id: Optional[str] = None,
     ) -> List[object]:
         """Thread-pool body: validate, group, ``solve_many``, serialize.
+
+        With tracing on, the whole batch runs under one tracer (batches
+        coalesce several requests, so the batch keeps its own trace id
+        unless a singleton dispatch hands down the request's).  Span
+        durations feed the stage histograms; over-threshold batches land
+        in the slow-query log with their span tree.
+        """
+        if not self.config.trace:
+            return self._solve_batch_inner(entry, items)
+        tracer = Tracer(trace_id)
+        plans: List[str] = []
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            with tracer.span("service.solve_batch", requests=len(items)):
+                outcomes = self._solve_batch_inner(entry, items, plans)
+        self._observe_trace(
+            tracer, "/v1/solve", entry, plans,
+            elapsed_ms(start, time.perf_counter()),
+        )
+        return outcomes
+
+    def _observe_trace(
+        self,
+        tracer: Tracer,
+        route: str,
+        entry: RegisteredDatabase,
+        plans: List[str],
+        elapsed: float,
+    ) -> None:
+        """Feed one traced job into the stage histograms and the slow log."""
+        spans = tracer.export()
+        for stage, total in aggregate_stage_ms(spans).items():
+            self.metrics.stage_observed(stage, total)
+        if self.slow_log.should_record(elapsed):
+            self.metrics.slow_request()
+            self.slow_log.record({
+                "trace_id": tracer.trace_id,
+                "route": route,
+                "database": entry.name,
+                "version": entry.version,
+                "plans": sorted(set(plans)),
+                "elapsed_ms": round(elapsed, 3),
+                "recorded_at": round(time.time(), 3),
+                "spans": spans,
+            })
+
+    def _solve_batch_inner(
+        self,
+        entry: RegisteredDatabase,
+        items: List[_SolveItem],
+        plans_out: Optional[List[str]] = None,
+    ) -> List[object]:
+        """The untraced batch body: validate, group, ``solve_many``, serialize.
 
         Per-item failures (bad query, infeasible target, expired deadline)
         become :class:`_Failure` outcomes -- one bad request must never
@@ -577,6 +686,8 @@ class AdpService:
                     continue
                 try:
                     prepared = session.prepare(item.query)
+                    if plans_out is not None:
+                        plans_out.append(prepared.plan_fingerprint)
                     total = session.output_size(prepared)
                     if total == 0:
                         outcomes[i] = self._success(
@@ -642,11 +753,33 @@ class AdpService:
             payload = await loop.run_in_executor(
                 self.executor,
                 self._what_if_job, entry, query, refs, include_after,
+                _TRACE_ID.get(),
             )
         payload["elapsed_ms"] = elapsed_ms(start, time.perf_counter())
         return 200, payload, {}
 
     def _what_if_job(
+        self,
+        entry: RegisteredDatabase,
+        query: str,
+        refs: "List[TupleRef]",
+        include_after: bool,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        if not self.config.trace:
+            return self._what_if_inner(entry, query, refs, include_after)
+        tracer = Tracer(trace_id)
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            with tracer.span("service.what_if", refs=len(refs)):
+                payload = self._what_if_inner(entry, query, refs, include_after)
+        self._observe_trace(
+            tracer, "/v1/what_if", entry, [],
+            elapsed_ms(start, time.perf_counter()),
+        )
+        return payload
+
+    def _what_if_inner(
         self,
         entry: RegisteredDatabase,
         query: str,

@@ -3,6 +3,12 @@
 One :class:`ServiceMetrics` per service.  Everything is guarded by one
 lock: updates come from the event loop *and* from solver threads, and a
 metrics scrape must never observe a torn histogram.
+
+The exposition follows the Prometheus text format (version 0.0.4):
+label values are escaped (backslash, double quote, newline), every
+histogram carries cumulative buckets ending in ``+Inf`` plus ``_sum`` and
+``_count`` series, and each metric name gets exactly one ``# HELP`` /
+``# TYPE`` pair regardless of how many label sets it spans.
 """
 
 from __future__ import annotations
@@ -18,6 +24,44 @@ LATENCY_BUCKETS_MS: Tuple[float, ...] = (
 )
 
 _PREFIX = "repro_service"
+
+#: HELP text for the gauges the service passes into :meth:`render`.
+_GAUGE_HELP = {
+    "pending_requests": "Solve-class requests admitted and not yet finished.",
+    "databases_resident": "Databases currently resident in the registry LRU.",
+    "databases_capacity": "Registry LRU capacity (resident database bound).",
+    "batcher_queue_depth": "Solve requests waiting in open micro-batch windows.",
+}
+
+#: HELP text for the counters the service passes into :meth:`render`.
+_COUNTER_HELP = {
+    "registry_evictions_total": "Databases evicted by registry LRU overflow.",
+}
+
+#: One latency histogram: (observation count, sum of ms, cumulative buckets).
+_Histogram = Tuple[int, float, List[int]]
+
+
+def _escape_label(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _observe(store: Dict[str, _Histogram], key: str, elapsed_ms: float) -> None:
+    """Record one observation into the histogram stored under ``key``."""
+    count, total, buckets = store.get(
+        key, (0, 0.0, [0] * len(LATENCY_BUCKETS_MS))
+    )
+    buckets = list(buckets)
+    for i, bound in enumerate(LATENCY_BUCKETS_MS):
+        if elapsed_ms <= bound:
+            buckets[i] += 1
+    store[key] = (count + 1, total + elapsed_ms, buckets)
 
 
 class ServiceMetrics:
@@ -36,8 +80,11 @@ class ServiceMetrics:
         self.solves_total = 0
         self.deletions_applied_total = 0
         self.insertions_applied_total = 0
+        self.slow_requests_total = 0
         #: endpoint -> (count, sum_ms, cumulative bucket counts).
-        self._latency: Dict[str, Tuple[int, float, List[int]]] = {}
+        self._latency: Dict[str, _Histogram] = {}
+        #: span/stage name -> (count, sum_ms, cumulative bucket counts).
+        self._stage_latency: Dict[str, _Histogram] = {}
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -50,14 +97,12 @@ class ServiceMetrics:
         with self._lock:
             self.in_flight -= 1
             self.requests_total[(endpoint, status)] += 1
-            count, total, buckets = self._latency.get(
-                endpoint, (0, 0.0, [0] * len(LATENCY_BUCKETS_MS))
-            )
-            buckets = list(buckets)
-            for i, bound in enumerate(LATENCY_BUCKETS_MS):
-                if elapsed_ms <= bound:
-                    buckets[i] += 1
-            self._latency[endpoint] = (count + 1, total + elapsed_ms, buckets)
+            _observe(self._latency, endpoint, elapsed_ms)
+
+    def stage_observed(self, stage: str, elapsed_ms: float) -> None:
+        """One traced span completed: feed the per-stage latency histogram."""
+        with self._lock:
+            _observe(self._stage_latency, stage, elapsed_ms)
 
     def rejected(self) -> None:
         with self._lock:
@@ -66,6 +111,11 @@ class ServiceMetrics:
     def deadline_missed(self) -> None:
         with self._lock:
             self.deadline_missed_total += 1
+
+    def slow_request(self) -> None:
+        """One request crossed the slow-query threshold (and was logged)."""
+        with self._lock:
+            self.slow_requests_total += 1
 
     def batch_dispatched(self, size: int) -> None:
         """A micro-batch of ``size`` coalesced requests hit ``solve_many``."""
@@ -108,9 +158,14 @@ class ServiceMetrics:
                 "solves_total": self.solves_total,
                 "deletions_applied_total": self.deletions_applied_total,
                 "insertions_applied_total": self.insertions_applied_total,
+                "slow_requests_total": self.slow_requests_total,
             }
 
-    def render(self, extra_gauges: Optional[Dict[str, float]] = None) -> str:
+    def render(
+        self,
+        extra_gauges: Optional[Dict[str, float]] = None,
+        extra_counters: Optional[Dict[str, int]] = None,
+    ) -> str:
         """The Prometheus text exposition served at ``/metrics``."""
         with self._lock:
             lines: List[str] = []
@@ -122,17 +177,40 @@ class ServiceMetrics:
                 lines.append(f"# TYPE {_PREFIX}_{name} counter")
                 lines.append(f"{_PREFIX}_{name}{labels} {value}")
 
+            def histogram(base: str, help_text: str, label: str,
+                          store: Dict[str, _Histogram]) -> None:
+                if not store:
+                    return
+                # One HELP/TYPE per metric name (the text format forbids
+                # repeating them per label set).
+                lines.append(f"# HELP {base} {help_text}")
+                lines.append(f"# TYPE {base} histogram")
+                for key, (count, total, buckets) in sorted(store.items()):
+                    escaped = _escape_label(key)
+                    for bound, cumulative in zip(LATENCY_BUCKETS_MS, buckets):
+                        lines.append(
+                            f'{base}_bucket{{{label}="{escaped}",le="{bound}"}}'
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f'{base}_bucket{{{label}="{escaped}",le="+Inf"}} {count}'
+                    )
+                    lines.append(f'{base}_sum{{{label}="{escaped}"}} {round(total, 3)}')
+                    lines.append(f'{base}_count{{{label}="{escaped}"}} {count}')
+
             lines.append(f"# HELP {_PREFIX}_requests_total Completed HTTP requests.")
             lines.append(f"# TYPE {_PREFIX}_requests_total counter")
             for (endpoint, status), count in sorted(self.requests_total.items()):
                 lines.append(
-                    f'{_PREFIX}_requests_total{{endpoint="{endpoint}",'
+                    f'{_PREFIX}_requests_total{{endpoint="{_escape_label(endpoint)}",'
                     f'status="{status}"}} {count}'
                 )
             lines.append(f"# HELP {_PREFIX}_in_flight Requests currently being served.")
             lines.append(f"# TYPE {_PREFIX}_in_flight gauge")
             lines.append(f"{_PREFIX}_in_flight {self.in_flight}")
             for name, value in sorted((extra_gauges or {}).items()):
+                help_text = _GAUGE_HELP.get(name, f"Gauge {name}.")
+                lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
                 lines.append(f"# TYPE {_PREFIX}_{name} gauge")
                 lines.append(f"{_PREFIX}_{name} {value}")
             counter("rejected_total", self.rejected_total,
@@ -150,22 +228,15 @@ class ServiceMetrics:
                     "Input tuples removed by /v1/apply_deletions.")
             counter("insertions_applied_total", self.insertions_applied_total,
                     "Input tuples added by /v1/apply_insertions.")
-            base = f"{_PREFIX}_request_latency_ms"
-            if self._latency:
-                # One HELP/TYPE per metric name (the text format forbids
-                # repeating them per label set).
-                lines.append(f"# HELP {base} Request latency per endpoint.")
-                lines.append(f"# TYPE {base} histogram")
-            for endpoint, (count, total, buckets) in sorted(self._latency.items()):
-                for bound, cumulative in zip(LATENCY_BUCKETS_MS, buckets):
-                    lines.append(
-                        f'{base}_bucket{{endpoint="{endpoint}",le="{bound}"}} {cumulative}'
-                    )
-                lines.append(
-                    f'{base}_bucket{{endpoint="{endpoint}",le="+Inf"}} {count}'
-                )
-                lines.append(f'{base}_sum{{endpoint="{endpoint}"}} {round(total, 3)}')
-                lines.append(f'{base}_count{{endpoint="{endpoint}"}} {count}')
+            counter("slow_requests_total", self.slow_requests_total,
+                    "Requests recorded in the slow-query log.")
+            for name, value in sorted((extra_counters or {}).items()):
+                counter(name, value, _COUNTER_HELP.get(name, f"Counter {name}."))
+            histogram(f"{_PREFIX}_request_latency_ms",
+                      "Request latency per endpoint.", "endpoint", self._latency)
+            histogram(f"{_PREFIX}_stage_latency_ms",
+                      "Traced span duration per stage (solver threads).",
+                      "stage", self._stage_latency)
             return "\n".join(lines) + "\n"
 
 

@@ -144,6 +144,9 @@ class SessionRegistry:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, RegisteredDatabase]" = OrderedDict()
         self._closed = False
+        #: Entries closed by LRU overflow (scraped at ``/metrics``).
+        #: Mutated under ``_lock``; reads are single int loads (atomic).
+        self.evictions_total = 0
 
     # ------------------------------------------------------------------ #
     # CRUD
@@ -199,6 +202,7 @@ class SessionRegistry:
             while len(self._entries) > self.capacity:
                 _lru_name, lru = self._entries.popitem(last=False)
                 evicted.append(lru)
+                self.evictions_total += 1
         # Close outside the registry lock: close() drains the entry's
         # in-flight readers, and those readers never touch the registry
         # lock while running, so this cannot deadlock -- but holding the

@@ -75,6 +75,7 @@ True
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import weakref
 from dataclasses import dataclass
 from typing import (
@@ -110,6 +111,7 @@ from repro.engine.evaluate import (
     join_order_plan,
     use_context,
 )
+from repro.obs.trace import span, tracing_active
 from repro.parallel.partition import choose_partition_key
 from repro.query.cq import ConjunctiveQuery
 from repro.query.graph import QueryGraph
@@ -161,6 +163,7 @@ class PreparedQuery:
         "is_singleton",
         "universal_attributes",
         "is_connected",
+        "plan_fingerprint",
     )
 
     def __init__(self, query: Union[str, ConjunctiveQuery]):
@@ -176,6 +179,13 @@ class PreparedQuery:
         self.is_singleton: bool = is_singleton(query)
         self.universal_attributes: FrozenSet[str] = query.universal_attributes()
         self.is_connected: bool = QueryGraph(query).is_connected()
+        #: A short stable digest of (canonical key, join order, partition
+        #: key) -- what the slow-query log and the trace profiles report as
+        #: the *plan identity* of a request, so operators can group slow
+        #: requests by plan without shipping whole query objects around.
+        self.plan_fingerprint: str = hashlib.sha1(
+            repr((self.canonical_key, self.join_order, self.partition_key)).encode()
+        ).hexdigest()[:12]
 
     # Convenience views ------------------------------------------------- #
     @property
@@ -541,7 +551,12 @@ class Session:
         key = canonical_query_key(query)
         prepared = self._prepared.get(key)
         if prepared is None:
-            prepared = PreparedQuery(query)
+            with span("session.prepare") as psp:
+                prepared = PreparedQuery(query)
+                if psp:
+                    psp.set(
+                        query=prepared.name, plan=prepared.plan_fingerprint
+                    )
             self._prepared[key] = prepared
             self._counters["prepares"] += 1
         return prepared
@@ -618,7 +633,11 @@ class Session:
         prepared = self.prepare(query)
         chosen = self._solver(solver, config, overrides)
         self._counters["solves"] += 1
-        with self.activate():
+        with self.activate(), span("session.solve") as ssp:
+            if ssp:
+                ssp.set(
+                    query=prepared.name, k=k, plan=prepared.plan_fingerprint
+                )
             result = self._context.evaluate(
                 prepared.query,
                 self.database,
@@ -695,41 +714,44 @@ class Session:
 
         solutions: List[Optional[ADPSolution]] = [None] * len(request_list)
         remaining = groups
-        if self._context.mode == "parallel" and self._context.workers > 1:
-            leaf_groups = {
-                key: positions
-                for key, positions in groups.items()
-                if _is_leaf_group(request_list[positions[0]][0])
-            }
-            if len(leaf_groups) > 1 and self._solve_groups_in_pool(
-                request_list, leaf_groups, chosen, solutions
-            ):
-                remaining = {
+        with span("session.solve_many") as msp:
+            if msp:
+                msp.set(requests=len(request_list), groups=len(groups))
+            if self._context.mode == "parallel" and self._context.workers > 1:
+                leaf_groups = {
                     key: positions
                     for key, positions in groups.items()
-                    if key not in leaf_groups
+                    if _is_leaf_group(request_list[positions[0]][0])
                 }
-        with self.activate():
-            for positions in remaining.values():
-                prepared = request_list[positions[0]][0]
-                targets = [request_list[p][1] for p in positions]
-                kmax = max(targets)
-                result = self._context.evaluate(
-                    prepared.query,
-                    self.database,
-                    order=prepared.join_order,
-                    query_key=prepared.canonical_key,
-                    partition_key=prepared.partition_key,
-                )
-                curve = chosen.curve(prepared.query, self.database, kmax)
-                for position, k in zip(positions, targets):
-                    solutions[position] = chosen.solve_in_context(
+                if len(leaf_groups) > 1 and self._solve_groups_in_pool(
+                    request_list, leaf_groups, chosen, solutions
+                ):
+                    remaining = {
+                        key: positions
+                        for key, positions in groups.items()
+                        if key not in leaf_groups
+                    }
+            with self.activate():
+                for positions in remaining.values():
+                    prepared = request_list[positions[0]][0]
+                    targets = [request_list[p][1] for p in positions]
+                    kmax = max(targets)
+                    result = self._context.evaluate(
                         prepared.query,
                         self.database,
-                        k,
-                        result=result,
-                        curve=curve,
+                        order=prepared.join_order,
+                        query_key=prepared.canonical_key,
+                        partition_key=prepared.partition_key,
                     )
+                    curve = chosen.curve(prepared.query, self.database, kmax)
+                    for position, k in zip(positions, targets):
+                        solutions[position] = chosen.solve_in_context(
+                            prepared.query,
+                            self.database,
+                            k,
+                            result=result,
+                            curve=curve,
+                        )
         return [solution for solution in solutions if solution is not None]
 
     def _solve_groups_in_pool(
@@ -768,6 +790,7 @@ class Session:
         )
 
         group_items = list(groups.items())
+        collect = tracing_active()
 
         def build_tasks():
             tasks = []
@@ -782,6 +805,12 @@ class Session:
                     "solver": chosen,
                     "backend": self._context.backend.name,
                 }
+                if collect:
+                    payload["trace"] = {
+                        "group": index,
+                        "worker": worker,
+                        "query": prepared.name,
+                    }
                 if not pool.has_key(worker, "db", dbkey):
                     # Ship rows in this session's interned order, so worker
                     # witness order (and heuristic tie-breaking) matches the
@@ -797,25 +826,36 @@ class Session:
                 tasks.append((worker, payload))
             return tasks
 
-        try:
+        with span("parallel.solve_groups") as gsp:
+            if gsp:
+                gsp.set(groups=len(group_items), workers=pool.size)
+            spans_out = [None] * len(group_items) if collect else None
             try:
-                results = pool.run(build_tasks())
-            except WorkerStoreMiss as miss:
-                # A worker evicted its copy of the database: drop the stale
-                # prediction, rebuild (re-shipping the rows) and retry once.
-                for worker, namespace, key in miss.misses:
-                    pool.forget(worker, namespace, key)
-                results = pool.run(build_tasks())
-        except PoolBrokenError:
-            executor.mark_pool_failed()
-            return False
-        except (WorkerTaskError, WorkerStoreMiss):
-            # A task failed inside a healthy worker -- e.g. an infeasible
-            # target raised by the solver, or an unpicklable payload (the
-            # pipe pickles inside WorkerPool.run, surfacing those as
-            # WorkerTaskError too).  Re-run serially so the real exception
-            # surfaces to the caller -- and keep the pool.
-            return False
+                try:
+                    results = pool.run(build_tasks(), spans_out)
+                except WorkerStoreMiss as miss:
+                    # A worker evicted its copy of the database: drop the
+                    # stale prediction, rebuild (re-shipping the rows) and
+                    # retry once.
+                    for worker, namespace, key in miss.misses:
+                        pool.forget(worker, namespace, key)
+                    if spans_out is not None:
+                        spans_out = [None] * len(group_items)
+                    results = pool.run(build_tasks(), spans_out)
+            except PoolBrokenError:
+                executor.mark_pool_failed()
+                return False
+            except (WorkerTaskError, WorkerStoreMiss):
+                # A task failed inside a healthy worker -- e.g. an infeasible
+                # target raised by the solver, or an unpicklable payload (the
+                # pipe pickles inside WorkerPool.run, surfacing those as
+                # WorkerTaskError too).  Re-run serially so the real exception
+                # surfaces to the caller -- and keep the pool.
+                return False
+            if gsp and spans_out is not None:
+                for forest in spans_out:
+                    if forest:
+                        gsp.graft(forest)
         for (_gkey, positions), outcome in zip(group_items, results):
             self._context.evaluations += outcome["joins"]
             for position, solution in zip(positions, outcome["solutions"]):
@@ -885,7 +925,9 @@ class Session:
                 )
         self._counters["what_if_calls"] += 1
         entries: Dict[PreparedQuery, WhatIfEntry] = {}
-        with self.activate():
+        with self.activate(), span("session.what_if") as wsp:
+            if wsp:
+                wsp.set(refs=len(frozen), queries=len(targets))
             for prepared in targets:
                 before = self._context.evaluate(
                     prepared.query,
@@ -909,22 +951,25 @@ class Session:
         """
         self._check_open()
         ref_list = list(refs)
-        cache = self._context.cache
-        snapshot = cache.take_entries(self.database)
-        old_token = self.database.version_token()
-        removed = self.database.remove_tuples(ref_list)
-        new_token = self.database.version_token()
-        for (query_key, token, layout, backend_tag), result in snapshot.items():
-            if token != old_token:
-                continue  # already stale before the deletion
-            if layout is not None:
-                continue  # shard payloads are re-partitioned, not migrated
-            migrated = (
-                result if removed == 0 else delta_filter_result(result, ref_list)
-            )
-            cache.store_raw(
-                self.database, query_key, new_token, migrated, backend=backend_tag
-            )
+        with span("session.apply_deletions") as dsp:
+            cache = self._context.cache
+            snapshot = cache.take_entries(self.database)
+            old_token = self.database.version_token()
+            removed = self.database.remove_tuples(ref_list)
+            new_token = self.database.version_token()
+            for (query_key, token, layout, backend_tag), result in snapshot.items():
+                if token != old_token:
+                    continue  # already stale before the deletion
+                if layout is not None:
+                    continue  # shard payloads are re-partitioned, not migrated
+                migrated = (
+                    result if removed == 0 else delta_filter_result(result, ref_list)
+                )
+                cache.store_raw(
+                    self.database, query_key, new_token, migrated, backend=backend_tag
+                )
+            if dsp:
+                dsp.set(refs=len(ref_list), removed=removed, migrated=len(snapshot))
         self._counters["deletions_applied"] += removed
         return removed
 
@@ -967,64 +1012,72 @@ class Session:
             fresh_rows.setdefault(ref.relation, []).append(row)
             ref_list.append(TupleRef(ref.relation, row))
 
-        context = self._context
-        cache = context.cache
-        snapshot = cache.take_entries(self.database)
-        old_token = self.database.version_token()
+        with span("session.apply_insertions") as isp:
+            context = self._context
+            cache = context.cache
+            snapshot = cache.take_entries(self.database)
+            old_token = self.database.version_token()
 
-        # One extended interning table per parent index, shared across every
-        # migrated cache entry and seeded into the context afterwards.
-        memo: Dict[int, Tuple[RelationIndex, RelationIndex]] = {}
+            # One extended interning table per parent index, shared across
+            # every migrated cache entry and seeded into the context
+            # afterwards.
+            memo: Dict[int, Tuple[RelationIndex, RelationIndex]] = {}
 
-        def extend(parent: RelationIndex) -> RelationIndex:
-            entry = memo.get(id(parent))
-            if entry is None:
-                entry = (
-                    parent,
-                    RelationIndex.extended(
-                        parent, fresh_rows.get(parent.name, ())
-                    ),
+            def extend(parent: RelationIndex) -> RelationIndex:
+                entry = memo.get(id(parent))
+                if entry is None:
+                    entry = (
+                        parent,
+                        RelationIndex.extended(
+                            parent, fresh_rows.get(parent.name, ())
+                        ),
+                    )
+                    memo[id(parent)] = entry
+                return entry[1]
+
+            seeds = []
+            if fresh_rows:
+                for name in fresh_rows:
+                    relation = self.database.relation(name)
+                    seeds.append((relation, extend(context.interned(relation))))
+
+            added = self.database.insert_tuples(ref_list)
+            new_token = self.database.version_token()
+            for relation, index in seeds:
+                context.seed_index(relation, index)
+
+            def row_live(name: str, row: tuple) -> bool:
+                # Pre-insertion liveness, answered post-mutation: live before
+                # the batch iff stored now and not part of the batch.  Interned
+                # rows deleted by an earlier apply_deletions fail this test, so
+                # the delta join never pairs new tuples with deleted ones (and
+                # re-inserting a deleted row counts as a resurrection).
+                return (
+                    (name, row) not in seen
+                    and row in self.database.relation(name)
                 )
-                memo[id(parent)] = entry
-            return entry[1]
 
-        seeds = []
-        if fresh_rows:
-            for name in fresh_rows:
-                relation = self.database.relation(name)
-                seeds.append((relation, extend(context.interned(relation))))
-
-        added = self.database.insert_tuples(ref_list)
-        new_token = self.database.version_token()
-        for relation, index in seeds:
-            context.seed_index(relation, index)
-
-        def row_live(name: str, row: tuple) -> bool:
-            # Pre-insertion liveness, answered post-mutation: live before
-            # the batch iff stored now and not part of the batch.  Interned
-            # rows deleted by an earlier apply_deletions fail this test, so
-            # the delta join never pairs new tuples with deleted ones (and
-            # re-inserting a deleted row counts as a resurrection).
-            return (name, row) not in seen and row in self.database.relation(name)
-
-        for (query_key, token, layout, backend_tag), result in snapshot.items():
-            if token != old_token:
-                continue  # already stale before the insertion
-            if layout is not None:
-                continue  # shard payloads are re-partitioned, not migrated
-            if added == 0:
-                migrated = result
-            else:
-                migrated = delta_insert_result(
-                    result, ref_list, extend_index=extend, row_live=row_live
+            for (query_key, token, layout, backend_tag), result in snapshot.items():
+                if token != old_token:
+                    continue  # already stale before the insertion
+                if layout is not None:
+                    continue  # shard payloads are re-partitioned, not migrated
+                if added == 0:
+                    migrated = result
+                else:
+                    migrated = delta_insert_result(
+                        result, ref_list, extend_index=extend, row_live=row_live
+                    )
+                    if migrated is None:
+                        # Vacuum query / row-style result: not incrementally
+                        # extendable -- drop the entry, the next evaluate
+                        # re-joins.
+                        continue
+                cache.store_raw(
+                    self.database, query_key, new_token, migrated, backend=backend_tag
                 )
-                if migrated is None:
-                    # Vacuum query / row-style result: not incrementally
-                    # extendable -- drop the entry, the next evaluate re-joins.
-                    continue
-            cache.store_raw(
-                self.database, query_key, new_token, migrated, backend=backend_tag
-            )
+            if isp:
+                isp.set(refs=len(ref_list), added=added, migrated=len(snapshot))
         self._counters["insertions_applied"] += added
         return added
 

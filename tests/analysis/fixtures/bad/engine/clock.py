@@ -1,5 +1,6 @@
 """REP005 bad fixture: wall clock and module-global RNG in engine code."""
 
+import datetime
 import random
 import time
 from time import perf_counter
@@ -7,6 +8,10 @@ from time import perf_counter
 
 def stamp():
     return time.time()
+
+
+def today():
+    return datetime.datetime.now()
 
 
 def jitter():

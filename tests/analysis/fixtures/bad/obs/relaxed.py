@@ -1,0 +1,12 @@
+"""REP005 bad fixture: wall time is banned even in the tracing layer."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def label():
+    return datetime.now().isoformat()

@@ -1,0 +1,12 @@
+"""REP005 good fixture: monotonic clocks are sanctioned in the tracing layer."""
+
+import time
+from time import monotonic
+
+
+def tick():
+    return time.monotonic_ns()
+
+
+def tock():
+    return monotonic() + time.perf_counter()

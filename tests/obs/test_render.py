@@ -1,0 +1,65 @@
+"""The text profile renderer, stage aggregation and trace loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.render import aggregate_stage_ms, load_trace, render_span_tree
+
+FOREST = [
+    {
+        "name": "session.solve",
+        "offset_ms": 0.0,
+        "dur_ms": 10.0,
+        "attrs": {"query": "Q1", "k": 3},
+        "children": [
+            {"name": "engine.evaluate", "offset_ms": 0.2, "dur_ms": 6.0,
+             "children": [
+                 {"name": "engine.join", "offset_ms": 0.1, "dur_ms": 4.0},
+             ]},
+            {"name": "solver.greedy", "offset_ms": 6.5, "dur_ms": 3.0},
+        ],
+    },
+    {"name": "session.solve", "offset_ms": 0.0, "dur_ms": 2.0},
+]
+
+
+def test_render_span_tree_indents_and_labels():
+    text = render_span_tree(FOREST, trace_id="deadbeef")
+    lines = text.splitlines()
+    assert lines[0] == "trace deadbeef (12.000 ms)"
+    assert lines[1].startswith("session.solve")
+    assert "10.000 ms" in lines[1]
+    assert "query=Q1 k=3" in lines[1]
+    assert lines[2].startswith("  engine.evaluate")
+    assert lines[3].startswith("    engine.join")
+    assert lines[4].startswith("  solver.greedy")
+    # Without a trace id there is no header line.
+    assert render_span_tree(FOREST).splitlines()[0].startswith("session.solve")
+
+
+def test_aggregate_stage_ms_sums_per_name_across_forest():
+    totals = aggregate_stage_ms(FOREST)
+    assert totals["session.solve"] == pytest.approx(12.0)
+    assert totals["engine.evaluate"] == pytest.approx(6.0)
+    assert totals["engine.join"] == pytest.approx(4.0)
+    assert totals["solver.greedy"] == pytest.approx(3.0)
+
+
+def test_load_trace_accepts_bare_list_and_envelope():
+    trace_id, spans = load_trace(FOREST)
+    assert trace_id == "" and spans == FOREST
+    trace_id, spans = load_trace({"trace_id": "cafe", "spans": FOREST})
+    assert trace_id == "cafe" and spans == FOREST
+    # Slow-log entries carry extra forensics keys; they are ignored.
+    trace_id, spans = load_trace(
+        {"trace_id": "cafe", "spans": FOREST, "route": "/v1/solve"}
+    )
+    assert trace_id == "cafe" and spans == FOREST
+
+
+def test_load_trace_rejects_garbage():
+    with pytest.raises(ValueError):
+        load_trace("not a trace")
+    with pytest.raises(ValueError):
+        load_trace({"spans": "nope"})

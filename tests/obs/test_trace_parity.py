@@ -1,0 +1,124 @@
+"""Tracing must never change answers, and worker spans must land home.
+
+Two contracts:
+
+* **Solution parity** -- a traced solve returns a byte-identical solution
+  to an untraced one, on both backends and on the serial (K=1) and
+  inline-sharded (K=2) paths.  Tracing observes; it never steers.
+* **Cross-process propagation** -- with a real fork pool, the serialized
+  child spans every worker returns are grafted under the dispatch span of
+  the evaluation that shipped the task, labelled with their shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.backend import numpy_available
+from repro.obs.trace import Tracer, use_tracer
+from repro.session import Session
+from repro.workloads.zipf import generate_zipf_path
+
+QUERY = "Qh(A) :- R1(A), R2(A, B), R3(B)"
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+def make_db():
+    return generate_zipf_path(r2_tuples=300, alpha=0.8, seed=11)
+
+
+def run_solve(backend: str, shards: int, tracer=None):
+    """One fresh-session solve; returns (solution, exported spans)."""
+    session = Session(
+        make_db(), backend=backend, workers=shards,
+        parallel_threshold=0 if shards > 1 else None,
+    )
+    if shards > 1:
+        # Force the inline shard path: same shard/merge code the workers
+        # run, without subprocess variance.
+        session._context.executor()._pool_failed = True
+    try:
+        prepared = session.prepare(QUERY)
+        if tracer is None:
+            return session.solve(prepared, 3, heuristic="greedy"), []
+        with use_tracer(tracer):
+            solution = session.solve(prepared, 3, heuristic="greedy")
+        return solution, tracer.export()
+    finally:
+        session.close()
+
+
+def span_names(spans):
+    out = []
+    stack = list(spans)
+    while stack:
+        node = stack.pop()
+        out.append(node["name"])
+        stack.extend(node.get("children", ()))
+    return out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shards", [1, 2])
+def test_traced_solve_is_byte_identical(backend, shards):
+    baseline, _ = run_solve(backend, shards)
+    traced, spans = run_solve(backend, shards, Tracer())
+    assert repr(traced) == repr(baseline)
+    assert traced.objective == baseline.objective
+    names = span_names(spans)
+    assert "session.solve" in names
+    assert "engine.evaluate" in names
+    assert "solver.greedy" in names
+    if shards > 1:
+        assert "parallel.shard" in names or "parallel.dispatch" in names
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unsampled_tracer_is_byte_identical_and_empty(backend):
+    baseline, _ = run_solve(backend, 1)
+    traced, spans = run_solve(backend, 1, Tracer(enabled=False))
+    assert repr(traced) == repr(baseline)
+    assert spans == []
+
+
+def test_worker_spans_graft_under_their_dispatch_span():
+    session = Session(make_db(), workers=2, parallel_threshold=0)
+    try:
+        tracer = Tracer()
+        prepared = session.prepare(QUERY)
+        with use_tracer(tracer):
+            baseline = session.solve(prepared, 3, heuristic="greedy")
+        assert baseline.removed_outputs >= 3
+        dispatches = [
+            node
+            for node in _walk(tracer.export())
+            if node["name"] == "parallel.dispatch"
+        ]
+        assert dispatches, "no parallel.dispatch span was recorded"
+        pooled = [d for d in dispatches if d.get("attrs", {}).get("pooled")]
+        if not pooled:  # the pool failed to start; inline path has no workers
+            pytest.skip("worker pool unavailable on this platform")
+        (dispatch,) = pooled
+        workers = [
+            child
+            for child in dispatch.get("children", ())
+            if child["name"] == "worker.task"
+        ]
+        assert workers, "worker child spans were not grafted"
+        shards = sorted(w["attrs"]["shard"] for w in workers)
+        assert shards == list(range(len(workers)))
+        assert all(w["dur_ms"] >= 0.0 for w in workers)
+        assert all(w["attrs"]["kind"] == "evaluate_shard" for w in workers)
+    finally:
+        session.close()
+
+
+def _walk(spans):
+    out = []
+    stack = list(spans)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.get("children", ()))
+    return out

@@ -24,7 +24,7 @@ QUERY = "Qh(A) :- R1(A), R2(A, B), R3(B)"
 EASY_QUERY = "Q6(A, B) :- R1(A), R2(A, B)"
 
 #: Service-envelope fields a direct Session call cannot produce.
-ENVELOPE_KEYS = ("database", "version", "batched", "elapsed_ms")
+ENVELOPE_KEYS = ("database", "version", "batched", "elapsed_ms", "trace_id")
 
 
 def make_zipf():
@@ -454,3 +454,46 @@ def test_metrics_exposition_and_healthz(service_runner):
         assert health["metrics"]["solves_total"] >= 1
     finally:
         client.close()
+
+
+def test_traced_service_stamps_stages_slow_log_and_access_log(
+    service_runner, capsys
+):
+    """trace=True threads one trace_id from header to slow-log entry."""
+    runner = service_runner(
+        backend="python", linger_ms=1.0, trace=True, slow_ms=0.0,
+        log_requests=True,
+    )
+    client = JsonClient("127.0.0.1", runner.port)
+    try:
+        register(client, "demo", make_zipf())
+        status, body, headers = client.post(
+            "/v1/solve", {"database": "demo", "query": QUERY, "k": 2}
+        )
+        assert status == 200
+        assert headers["x-trace-id"] == body["trace_id"]
+        assert len(body["trace_id"]) == 16
+
+        status, slow, _ = client.get("/v1/debug/slow")
+        assert status == 200
+        assert slow["recorded_total"] >= 1
+        entry = slow["entries"][0]
+        assert entry["route"] == "/v1/solve"
+        assert entry["database"] == "demo"
+        assert entry["plans"], "plan fingerprints should be captured"
+        assert entry["spans"][0]["name"] == "service.solve_batch"
+
+        status, text, _ = client.get("/metrics")
+        exposition = text.decode("utf-8")
+        assert "repro_service_stage_latency_ms_bucket" in exposition
+        assert 'stage="service.solve_batch"' in exposition
+        assert 'stage="engine.evaluate"' in exposition
+        assert "repro_service_batcher_queue_depth 0" in exposition
+        assert "repro_service_registry_evictions_total 0" in exposition
+        assert "repro_service_slow_requests_total 1" in exposition
+    finally:
+        client.close()
+    access = capsys.readouterr().out
+    assert f"[access] trace={body['trace_id']}" in access
+    assert "route=/v1/solve" in access
+    assert "db=demo" in access
