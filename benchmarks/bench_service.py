@@ -28,6 +28,19 @@ with solves on the hard mix and compares the incremental leg (delta join
 database and solving cold (``--assert-speedup 5`` in CI: the delta join
 touches only new witnesses, the fresh leg re-joins everything).
 
+``--compare-restart`` runs the kill-and-restart recovery scenario: a
+``repro serve --data-dir`` subprocess registers the hard mix, solves,
+absorbs write-through mutation batches and is SIGKILLed mid-flight.  The
+durable leg restarts on the same data dir and measures
+ready-to-first-successful-solve (lazy snapshot+log rehydration, warm
+provenance cache); the fresh leg restarts with no data dir and measures
+the pre-durability client path: CSV reload + re-registration + cold
+evaluate (``--assert-speedup 10`` in CI).
+
+The client retries 429/503 responses with capped exponential backoff +
+jitter, honoring ``Retry-After``; retries are reported separately from
+successes and hard errors in every run summary.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py --mix easy --mode both
@@ -37,6 +50,8 @@ Usage::
         --assert-speedup 2 --record
     PYTHONPATH=src python benchmarks/bench_service.py --compare-mutations \
         --assert-speedup 5 --record
+    PYTHONPATH=src python benchmarks/bench_service.py --compare-restart \
+        --assert-speedup 10 --record
 """
 
 from __future__ import annotations
@@ -46,8 +61,12 @@ import http.client
 import json
 import os
 import random
+import shutil
+import signal
 import statistics
+import subprocess
 import sys
+import tempfile
 import threading
 import time
 from datetime import datetime, timezone
@@ -65,21 +84,39 @@ EASY_SIZE = 2_000
 # --------------------------------------------------------------------------- #
 # HTTP plumbing
 # --------------------------------------------------------------------------- #
-class Client:
-    """One persistent keep-alive connection (one per worker thread)."""
+#: Statuses the service uses for transient pushback: 429 (admission
+#: control) and 503 (degraded durable storage).  Both carry Retry-After.
+RETRYABLE_STATUSES = (429, 503)
 
-    def __init__(self, host: str, port: int, timeout: float = 300.0):
+
+class Client:
+    """One persistent keep-alive connection (one per worker thread).
+
+    With ``max_attempts > 1`` the client absorbs transient 429/503
+    pushback instead of surfacing it: it honors the server's
+    ``Retry-After`` hint, backing off at least that long (otherwise a
+    capped exponential with jitter), and counts every retry in
+    ``self.retries`` so harness summaries report retries separately from
+    successes and hard errors.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0, *,
+                 max_attempts: int = 1, backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0, seed: int = 0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.retries = 0
+        self._rng = random.Random(seed)
         self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
 
-    def post(self, path: str, payload: dict) -> Tuple[int, dict]:
-        body = json.dumps(payload)
+    def _roundtrip(self, path: str, body: str):
         try:
             self.conn.request("POST", path, body)
             response = self.conn.getresponse()
-            return response.status, json.loads(response.read())
         except (http.client.HTTPException, OSError):
             # Keep-alive connection went stale: reconnect once.
             self.conn.close()
@@ -88,7 +125,30 @@ class Client:
             )
             self.conn.request("POST", path, body)
             response = self.conn.getresponse()
-            return response.status, json.loads(response.read())
+        return response.status, json.loads(response.read()), response.headers
+
+    def post(self, path: str, payload: dict) -> Tuple[int, dict]:
+        body = json.dumps(payload)
+        attempt = 0
+        while True:
+            status, parsed, headers = self._roundtrip(path, body)
+            if (status not in RETRYABLE_STATUSES
+                    or attempt + 1 >= self.max_attempts):
+                return status, parsed
+            # Capped exponential with jitter in [0.5x, 1.5x); never less
+            # than the server's own Retry-After hint.
+            delay = min(self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** attempt))
+            delay *= 0.5 + self._rng.random()
+            retry_after = headers.get("Retry-After")
+            if retry_after:
+                try:
+                    delay = max(delay, float(retry_after))
+                except ValueError:
+                    pass
+            self.retries += 1
+            attempt += 1
+            time.sleep(delay)
 
     def get(self, path: str) -> Tuple[int, bytes]:
         self.conn.request("GET", path)
@@ -147,8 +207,13 @@ def request_factory(mix: str, database: str) -> Callable[[int], dict]:
 # --------------------------------------------------------------------------- #
 # Generators
 # --------------------------------------------------------------------------- #
+#: Attempts per request inside the load loops: the first try plus three
+#: backed-off retries before a 429/503 is surfaced as rejected.
+LOAD_MAX_ATTEMPTS = 4
+
+
 def summarize(latencies_ms: List[float], wall_s: float, errors: int,
-              rejected: int) -> dict:
+              rejected: int, retries: int = 0) -> dict:
     latencies = sorted(latencies_ms)
 
     def pct(p: float) -> float:
@@ -161,6 +226,7 @@ def summarize(latencies_ms: List[float], wall_s: float, errors: int,
         "requests": len(latencies),
         "errors": errors,
         "rejected": rejected,
+        "retries": retries,
         "wall_s": round(wall_s, 3),
         "throughput_rps": round(len(latencies) / wall_s, 2) if wall_s else 0.0,
         "latency_ms": {
@@ -186,6 +252,7 @@ def closed_loop(
     latencies: List[float] = []
     errors = [0]
     rejected = [0]
+    retries = [0]
     lock = threading.Lock()
     counter = [0]
     stop = threading.Event()
@@ -197,8 +264,9 @@ def closed_loop(
             counter[0] += 1
             return counter[0] - 1
 
-    def worker() -> None:
-        client = Client(host, port)
+    def worker(worker_index: int) -> None:
+        client = Client(host, port, max_attempts=LOAD_MAX_ATTEMPTS,
+                        seed=worker_index)
         try:
             while not stop.is_set():
                 index = next_index()
@@ -212,14 +280,18 @@ def closed_loop(
                 with lock:
                     if status == 200:
                         latencies.append(elapsed)
-                    elif status == 429:
+                    elif status in RETRYABLE_STATUSES:
                         rejected[0] += 1
                     else:
                         errors[0] += 1
         finally:
+            with lock:
+                retries[0] += client.retries
             client.close()
 
-    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(concurrency)
+    ]
     started = time.perf_counter()
     for thread in threads:
         thread.start()
@@ -229,7 +301,7 @@ def closed_loop(
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - started
-    stats = summarize(latencies, wall, errors[0], rejected[0])
+    stats = summarize(latencies, wall, errors[0], rejected[0], retries[0])
     stats.update({"mode": "closed", "concurrency": concurrency, "batch": batch})
     return stats
 
@@ -247,6 +319,7 @@ def open_loop(
     latencies: List[float] = []
     errors = [0]
     rejected = [0]
+    retries = [0]
     lock = threading.Lock()
     interval = 1.0 / rate_rps
     total = int(rate_rps * duration_s)
@@ -254,8 +327,9 @@ def open_loop(
     cursor = [0]
     start = time.perf_counter()
 
-    def worker() -> None:
-        client = Client(host, port)
+    def worker(worker_index: int) -> None:
+        client = Client(host, port, max_attempts=LOAD_MAX_ATTEMPTS,
+                        seed=worker_index)
         try:
             while True:
                 with lock:
@@ -272,20 +346,24 @@ def open_loop(
                 with lock:
                     if status == 200:
                         latencies.append(elapsed)
-                    elif status == 429:
+                    elif status in RETRYABLE_STATUSES:
                         rejected[0] += 1
                     else:
                         errors[0] += 1
         finally:
+            with lock:
+                retries[0] += client.retries
             client.close()
 
-    threads = [threading.Thread(target=worker) for _ in range(max_workers)]
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(max_workers)
+    ]
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - start
-    stats = summarize(latencies, wall, errors[0], rejected[0])
+    stats = summarize(latencies, wall, errors[0], rejected[0], retries[0])
     stats.update({"mode": "open", "offered_rps": rate_rps})
     return stats
 
@@ -478,6 +556,243 @@ def compare_mutations(host: str, port: int, database: str, *,
 
 
 # --------------------------------------------------------------------------- #
+# Kill-and-restart recovery (the >= 10x acceptance run)
+# --------------------------------------------------------------------------- #
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn_server(port: int, extra: List[str], log_path: Path):
+    """Launch ``python -m repro serve`` bound to 127.0.0.1:port."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH", "")) if part
+    )
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", "127.0.0.1", "--port", str(port), *extra,
+    ]
+    log = open(log_path, "ab")
+    try:
+        return subprocess.Popen(command, env=env, stdout=log, stderr=log)
+    finally:
+        log.close()
+
+
+def _wait_ready(port: int, proc, log_path: Path,
+                timeout_s: float = 120.0) -> float:
+    """Poll /healthz until 200; returns the boot wait in seconds."""
+    started = time.perf_counter()
+    while time.perf_counter() - started < timeout_s:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"server exited during boot (rc={proc.returncode}):\n"
+                f"{log_path.read_text()[-2000:]}"
+            )
+        try:
+            client = Client("127.0.0.1", port, timeout=5.0)
+            try:
+                status, _body = client.get("/healthz")
+            finally:
+                client.close()
+            if status == 200:
+                return time.perf_counter() - started
+        except OSError:
+            pass
+        time.sleep(0.05)
+    proc.kill()
+    raise SystemExit(
+        f"server on port {port} never became ready:\n"
+        f"{log_path.read_text()[-2000:]}"
+    )
+
+
+def _kill_server(proc) -> None:
+    """SIGKILL: no atexit, no flush -- the crash the recovery path is for."""
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait()
+
+
+def compare_restart(*, size: int, rounds: int, batch_size: int,
+                    seed: int) -> dict:
+    """Kill ``repro serve --data-dir`` mid-flight; race the two restarts.
+
+    Both legs measure ready-to-first-successful-solve *at the acknowledged
+    version* -- the clock starts once /healthz answers (interpreter boot is
+    identical in both legs) and stops at the first 200 solve that answers
+    over the state clients were acknowledged before the kill.  The
+    **durable** leg restarts on the surviving data dir: the first solve
+    lazily rehydrates the database from the compacted snapshot plus a
+    bounded log-suffix replay and rides the persisted provenance cache.
+    The **fresh** leg restarts with no data dir and replays what clients
+    had to do before durability: reload the CSV export of the *originally
+    registered* database and replay the acknowledged request history over
+    HTTP -- register, the initial solve, every acknowledged mutation batch
+    (each one delta-maintained against the resident provenance, exactly as
+    the live service did), and the final solve.  The CSV export and all
+    batches are prepared before the kill, so neither leg's timed section
+    includes workload generation.
+
+    The probe is the poly-time query over the ``size``-tuple Zipf instance:
+    an NP-hard probe would recompute its greedy cost curve identically in
+    both legs (~0.4 s at 60k tuples) and only dilute the recovery delta
+    being measured.
+    """
+    from repro.data.csvio import load_database_csv, save_database_csv
+    from repro.service.serialize import database_to_wire, refs_to_json
+    from repro.workloads.zipf import generate_zipf_path
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_restart_"))
+    data_dir = workdir / "data"
+    csv_dir = workdir / "csv"
+    log_path = workdir / "serve.log"
+    local = generate_zipf_path(r2_tuples=size, alpha=1.1, seed=13)
+    save_database_csv(local, csv_dir)  # the fresh leg's input (untimed)
+    batches = mutation_batches(local, rounds, batch_size, seed)
+    batch_wires = [refs_to_json(batch) for batch in batches]
+    name = f"zipf_hard_{size}"
+    solve = {"database": name, "query": EASY_QUERY, "k": 2, "batch": False}
+    # Compact near the end of the mutation stream: the compaction snapshot
+    # carries the evaluated provenance and absorbs the bulk of the log,
+    # and the remaining records exercise log-suffix replay on restart.
+    compact_after = max(2, rounds - 2)
+    expected_version = 1 + rounds
+    proc = None
+    try:
+        # --- Seed process: register, solve, write-through mutations, die.
+        port = _free_port()
+        proc = _spawn_server(
+            port,
+            ["--data-dir", str(data_dir), "--compact-after", str(compact_after)],
+            log_path,
+        )
+        _wait_ready(port, proc, log_path)
+        client = Client("127.0.0.1", port, max_attempts=5)
+        status, body = client.post(
+            "/v1/databases",
+            {"name": name, "replace": True, **database_to_wire(local)},
+        )
+        if status != 200:
+            raise SystemExit(f"registering {name} failed: {status} {body}")
+        status, body = client.post("/v1/solve", solve)
+        if status != 200:
+            raise SystemExit(f"seed solve failed: {status} {body}")
+        for wire in batch_wires:
+            status, applied = client.post(
+                "/v1/apply_insertions", {"database": name, "refs": wire}
+            )
+            if status != 200:
+                raise SystemExit(f"apply_insertions failed: {status} {applied}")
+        client.close()
+        _kill_server(proc)
+        print(f"  seeded {size}-tuple mix +{rounds}x{batch_size} write-through "
+              f"mutations, SIGKILLed pid {proc.pid}")
+
+        # --- Durable leg: same data dir, lazy rehydrate + warm solve.
+        port = _free_port()
+        proc = _spawn_server(port, ["--data-dir", str(data_dir)], log_path)
+        durable_boot_s = _wait_ready(port, proc, log_path)
+        client = Client("127.0.0.1", port, max_attempts=8, backoff_cap_s=1.0)
+        started = time.perf_counter()
+        status, durable = client.post("/v1/solve", solve)
+        durable_s = time.perf_counter() - started
+        if status != 200:
+            raise SystemExit(f"durable-leg solve failed: {status} {durable}")
+        if durable["version"] != expected_version:
+            raise SystemExit(
+                f"durable leg recovered version {durable['version']}, "
+                f"expected {expected_version}: mutations were lost"
+            )
+        status, raw = client.get("/healthz")
+        storage = json.loads(raw).get("storage", {}) if status == 200 else {}
+        durable_retries = client.retries
+        client.close()
+        _kill_server(proc)
+        print(f"  durable restart: first solve {durable_s * 1000.0:.1f} ms "
+              f"(replayed {storage.get('replayed_records_total')} log "
+              f"records over the recovered snapshot)")
+
+        # --- Fresh leg: no data dir; CSV reload + replay of the
+        # acknowledged request history (register, solve, batches, solve).
+        port = _free_port()
+        proc = _spawn_server(port, [], log_path)
+        fresh_boot_s = _wait_ready(port, proc, log_path)
+        client = Client("127.0.0.1", port, max_attempts=8, backoff_cap_s=1.0)
+        started = time.perf_counter()
+        reloaded = load_database_csv(csv_dir)
+        status, body = client.post(
+            "/v1/databases",
+            {"name": name, "replace": True, **database_to_wire(reloaded)},
+        )
+        if status != 200:
+            raise SystemExit(f"fresh re-registration failed: {status} {body}")
+        status, body = client.post("/v1/solve", solve)
+        if status != 200:
+            raise SystemExit(f"fresh initial solve failed: {status} {body}")
+        for wire in batch_wires:
+            status, applied = client.post(
+                "/v1/apply_insertions", {"database": name, "refs": wire}
+            )
+            if status != 200:
+                raise SystemExit(f"fresh re-apply failed: {status} {applied}")
+        status, fresh = client.post("/v1/solve", solve)
+        fresh_s = time.perf_counter() - started
+        if status != 200:
+            raise SystemExit(f"fresh-leg solve failed: {status} {fresh}")
+        if fresh["version"] != expected_version:
+            raise SystemExit(
+                f"fresh leg replayed to version {fresh['version']}, "
+                f"expected {expected_version}"
+            )
+        fresh_retries = client.retries
+        client.close()
+        print(f"  fresh restart:   first solve {fresh_s * 1000.0:.1f} ms "
+              f"(CSV reload + re-registration + {rounds} re-applied "
+              f"batches + cold evaluate)")
+        # Same acknowledged state, same answer: recovery changed nothing
+        # but the clock.
+        for field in ("output_size", "removed_outputs"):
+            if field in durable and field in fresh:
+                if durable[field] != fresh[field]:
+                    raise SystemExit(
+                        f"durable/fresh diverge on {field}: "
+                        f"{durable[field]} vs {fresh[field]}"
+                    )
+    finally:
+        if proc is not None:
+            _kill_server(proc)
+        shutil.rmtree(workdir, ignore_errors=True)
+    speedup = fresh_s / durable_s if durable_s else 0.0
+    print(f"  restart-to-first-solve speedup: {speedup:.2f}x")
+    return {
+        "rounds": rounds,
+        "batch_size": batch_size,
+        "seed": seed,
+        "compact_after": compact_after,
+        "recovered_version": expected_version,
+        "durable": {
+            "boot_s": round(durable_boot_s, 3),
+            "first_solve_s": round(durable_s, 4),
+            "retries": durable_retries,
+            "replayed_records": storage.get("replayed_records_total"),
+            "rehydrations": storage.get("rehydrations_total"),
+        },
+        "fresh": {
+            "boot_s": round(fresh_boot_s, 3),
+            "first_solve_s": round(fresh_s, 4),
+            "retries": fresh_retries,
+        },
+        "speedup": round(speedup, 3),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Recording
 # --------------------------------------------------------------------------- #
 def record_runs(path: Path, entries: List[dict]) -> None:
@@ -537,6 +852,9 @@ def main(argv=None) -> int:
     parser.add_argument("--compare-mutations", action="store_true",
                         help="run the incremental-insert vs fresh "
                         "re-evaluation hard-mix comparison")
+    parser.add_argument("--compare-restart", action="store_true",
+                        help="run the kill-and-restart recovery comparison "
+                        "(spawns its own repro serve subprocesses)")
     parser.add_argument("--mutation-rounds", type=int, default=5)
     parser.add_argument("--mutation-batch", type=int, default=500,
                         help="tuples inserted per mutation round")
@@ -553,6 +871,33 @@ def main(argv=None) -> int:
                         help=f"append results to PATH "
                         f"(default: {RECORD_PATH.name})")
     args = parser.parse_args(argv)
+
+    if args.compare_restart:
+        if args.url:
+            parser.error("--compare-restart manages its own server "
+                         "subprocesses and cannot target --url")
+        stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        print(f"kill-and-restart recovery ({args.hard_size}-tuple zipf, "
+              f"{args.mutation_rounds} x {args.mutation_batch} write-through "
+              f"mutations, seed {args.mutation_seed}):")
+        comparison = compare_restart(
+            size=args.hard_size,
+            rounds=args.mutation_rounds,
+            batch_size=args.mutation_batch,
+            seed=args.mutation_seed,
+        )
+        entry = {"timestamp": stamp, "target": "subprocess",
+                 "backend": "server-side", "kind": "compare_restart",
+                 "hard_size": args.hard_size, **comparison}
+        if args.record:
+            record_runs(Path(args.record), [entry])
+        if (args.assert_speedup is not None
+                and comparison["speedup"] < args.assert_speedup):
+            print(f"FAILED: restart speedup {comparison['speedup']:.2f}x "
+                  f"< required {args.assert_speedup:g}x")
+            return 1
+        print("service load run ok")
+        return 0
 
     runner = None
     if args.url:

@@ -1,10 +1,15 @@
-"""REP005: engine/parallel code is wall-clock- and module-RNG-free.
+"""REP005: engine/parallel/storage code is wall-clock- and module-RNG-free.
 
-Everything under ``engine/`` and ``parallel/`` must be a deterministic
-function of its inputs: results are compared byte-for-byte across
-backends, worker counts and incremental-mutation replays, and the
-evaluation cache assumes a (query, database version) pair pins the
-answer.  ``time.time()`` (or any wall/CPU clock) and the *module-level*
+Everything under ``engine/``, ``parallel/`` and ``storage/`` must be a
+deterministic function of its inputs: results are compared byte-for-byte
+across backends, worker counts, incremental-mutation replays and
+crash-recovery replays, and the evaluation cache assumes a (query,
+database version) pair pins the answer.  Durability raises the stakes:
+recovery re-derives a session from snapshot + log bytes and the fault
+suite asserts the result byte-identical, so ambient state on that path
+would surface as phantom corruption.  (The one sanctioned exception is
+the record-header timestamp in ``MutationLog.now()``, suppressed at its
+definition.)  ``time.time()`` (or any wall/CPU clock) and the *module-level*
 ``random`` functions (which mutate hidden global state seeded per
 process) both smuggle ambient nondeterminism into that contract.
 

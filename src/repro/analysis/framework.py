@@ -150,12 +150,18 @@ class AnalysisConfig:
     #: REP001: the only module allowed to import NumPy.
     backend_module: str = "engine/backend.py"
     #: REP002: attribute names of interned columns / packed provenance.
+    #: ``interned_rows``/``dead_tids`` are the durable mirror of the
+    #: interning table (snapshot sections): same append-only contract,
+    #: same tid-stability argument.  ``storage/`` only ever constructs
+    #: them, so it needs no whitelist entry.
     protected_columns: Tuple[str, ...] = (
         "ref_columns",
         "witness_outputs",
         "output_rows",
         "rows",
         "ids",
+        "interned_rows",
+        "dead_tids",
     )
     #: REP002: modules that own the whitelisted append/compact sites.
     append_whitelist: Tuple[str, ...] = (
@@ -173,7 +179,11 @@ class AnalysisConfig:
         "engine/provenance.py",
     )
     #: REP005: engine code that must stay wall-clock- and RNG-free.
-    wallclock_paths: Tuple[str, ...] = ("engine/", "parallel/")
+    #: ``storage/`` is held to the same bar: recovery replays bytes into
+    #: byte-identical sessions, so nothing on that path may read ambient
+    #: state -- the one sanctioned wall-time site is the log-record
+    #: timestamp in ``MutationLog.now()`` (suppressed in place).
+    wallclock_paths: Tuple[str, ...] = ("engine/", "parallel/", "storage/")
     #: REP005 relaxed scope: monotonic clocks are the whole point of the
     #: tracing layer, but wall time (``time.time``, ``datetime.now``)
     #: stays banned so span offsets never depend on ambient state.

@@ -276,6 +276,22 @@ def _add_serve_parser(subparsers) -> None:
         help="emit one '[access]' line per request "
         "(trace id, route, db, status, latency)",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="persist databases under DIR (snapshot + mutation log; a "
+        "restarted server rehydrates them at their last acknowledged "
+        "version -- see docs/DURABILITY.md)",
+    )
+    parser.add_argument(
+        "--compact-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mutation-log records absorbed before a compaction snapshot "
+        "(requires --data-dir)",
+    )
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -361,6 +377,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(f"error: --load expects NAME=CSV_DIR, got {spec!r}", file=sys.stderr)
             return 2
         preload[name] = load_database_csv(path)
+    if args.compact_after is not None and not args.data_dir:
+        print("error: --compact-after requires --data-dir", file=sys.stderr)
+        return 2
+    from repro.storage import DEFAULT_COMPACT_AFTER
+
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -377,6 +398,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         slow_ms=args.slow_ms,
         slow_log_capacity=args.slow_log_capacity,
         log_requests=args.log_requests,
+        data_dir=args.data_dir,
+        compact_after=(
+            args.compact_after
+            if args.compact_after is not None
+            else DEFAULT_COMPACT_AFTER
+        ),
     )
     try:
         asyncio.run(serve(config, preload))

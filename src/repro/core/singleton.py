@@ -26,6 +26,8 @@ optimisation evaluated in Figure 28 of the paper.
 
 from __future__ import annotations
 
+from collections import Counter
+from operator import itemgetter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.curves import PrefixCurve
@@ -80,18 +82,29 @@ def singleton_curve(query: ConjunctiveQuery, database: Database) -> PrefixCurve:
 
     if atom.attribute_set <= head:
         # Case 1: profit of a tuple t in Ri = number of output tuples whose
-        # projection onto attr(Ri) equals t.
+        # projection onto attr(Ri) equals t.  The projection/count runs at
+        # C speed (itemgetter + Counter): this curve is rebuilt on every
+        # solve, so on large outputs it dominates warm-solve latency.
         head_positions = {a: i for i, a in enumerate(query.head)}
         projection_positions = [head_positions[a] for a in relation.attributes]
-        profits: Dict[Tuple, int] = {}
-        for output_row in result.output_rows:
-            key = tuple(output_row[i] for i in projection_positions)
-            profits[key] = profits.get(key, 0) + 1
-        picks = [
-            ((TupleRef(relation_name, key),), profit)
-            for key, profit in profits.items()
-        ]
-        picks.sort(key=lambda pick: (-pick[1], repr(pick[0])))
+        keyed: List[Tuple[Tuple, int]]
+        if not projection_positions:
+            # Vacuum singleton: its only tuple owns every output.
+            keyed = [((), len(result.output_rows))]
+        elif len(projection_positions) == 1:
+            column = itemgetter(projection_positions[0])
+            singles = sorted(
+                Counter(map(column, result.output_rows)).items(),
+                key=lambda item: (-item[1], repr(item[0])),
+            )
+            keyed = [((value,), profit) for value, profit in singles]
+        else:
+            project = itemgetter(*projection_positions)
+            keyed = sorted(
+                Counter(map(project, result.output_rows)).items(),
+                key=lambda item: (-item[1], repr(item[0])),
+            )
+        picks = [((TupleRef(relation_name, key),), profit) for key, profit in keyed]
         return PrefixCurve(picks, optimal=True)
 
     # Case 2: head(Q) ⊆ attr(Ri).  Cost of an output tuple t = number of

@@ -34,6 +34,7 @@ just work).
 from __future__ import annotations
 
 import os
+import struct
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 #: A packed column: a plain Python list or a ``numpy.ndarray`` -- typed as
@@ -89,6 +90,15 @@ class PythonBackend:
     def object_column(self, values: Sequence[object]) -> List[object]:
         return list(values)
 
+    def id_column_from_buffer(self, buffer: Union[bytes, memoryview]) -> List[int]:
+        """Decode a little-endian ``int64`` byte buffer into an ID column.
+
+        The snapshot format (:mod:`repro.storage`) stores integer columns as
+        raw ``<i8`` bytes; this is the pure-Python decode path.
+        """
+        count = len(buffer) // 8
+        return list(struct.unpack(f"<{count}q", buffer))
+
     # -- gathers ------------------------------------------------------------ #
     def take(self, column: Column, selection: Sequence[int]) -> List[object]:
         return [column[i] for i in selection]
@@ -138,6 +148,16 @@ class NumpyBackend:
         column = self.np.empty(len(values), dtype=object)
         column[:] = values
         return column
+
+    def id_column_from_buffer(self, buffer: Union[bytes, memoryview]) -> Column:
+        """Decode a little-endian ``int64`` byte buffer into an ID column.
+
+        ``frombuffer`` returns a (read-only) view over the caller's buffer --
+        when that buffer is a slice of a memory-mapped snapshot file this is
+        the zero-copy load path: the column aliases the page cache and the
+        mapping stays alive for as long as the array references it.
+        """
+        return self.np.frombuffer(buffer, dtype="<i8")
 
     # -- gathers ------------------------------------------------------------ #
     def take(self, column: Column, selection: Column) -> Column:
@@ -239,6 +259,20 @@ def as_id_list(column: Column) -> List[int]:
     return list(column)
 
 
+def id_column_to_bytes(column: Column) -> bytes:
+    """Serialize a packed ID column as little-endian ``int64`` bytes.
+
+    The inverse of ``Backend.id_column_from_buffer``: both backends produce
+    the same bytes for the same values, so snapshots written by a NumPy
+    session load bit-for-bit identically in a pure-Python one (and vice
+    versa).
+    """
+    if is_ndarray(column):
+        np = _np
+        return np.ascontiguousarray(column, dtype="<i8").tobytes()
+    return struct.pack(f"<{len(column)}q", *column)
+
+
 def group_positions(column: Column) -> Dict[int, object]:
     """``value -> positions holding it`` for one ID column (postings build).
 
@@ -269,6 +303,7 @@ __all__ = [
     "as_id_list",
     "backend_of_column",
     "group_positions",
+    "id_column_to_bytes",
     "is_ndarray",
     "numpy_available",
     "python_backend",

@@ -177,6 +177,18 @@ class EvaluationCache:
             while len(entries) > self._max_entries:
                 entries.pop(next(iter(entries)))
 
+    def entries_snapshot(self, database: Database) -> Dict[Tuple[Hashable, ...], Any]:
+        """A copy of ``{(query key, token, layout, backend): result}``.
+
+        Unlike :meth:`take_entries` the cache keeps its entries: the
+        durability layer (:mod:`repro.storage`) peeks at the current packed
+        results while writing a snapshot, without disturbing the cache that
+        keeps serving concurrent readers.
+        """
+        with self._lock:
+            entries = self._per_database.get(database)
+            return dict(entries) if entries else {}
+
     def take_entries(self, database: Database) -> Dict[Tuple[Hashable, ...], Any]:
         """Remove and return ``{(query key, token, layout, backend): result}``.
 

@@ -115,6 +115,40 @@ class RelationIndex:
         index._hash_groups = {}
         return index
 
+    @classmethod
+    def from_rows(
+        cls, name: str, attributes: Tuple[str, ...], rows: Iterable[Row]
+    ) -> "RelationIndex":
+        """An interning table with ``rows`` interned in the given order.
+
+        The snapshot loader (:mod:`repro.storage`) persists a relation's
+        rows in interned order precisely so recovery can rebuild the same
+        ``tid`` assignment here: ``Relation`` stores rows in a set, whose
+        iteration order is process-dependent, but packed provenance columns
+        written to disk refer to tids and therefore pin this order.  Seeding
+        the rebuilt index into an :class:`~repro.engine.evaluate.EngineContext`
+        makes post-recovery evaluations byte-identical to the pre-crash ones.
+        Duplicate rows are skipped (first occurrence wins), matching
+        :meth:`extended`.
+        """
+        index = cls.__new__(cls)
+        index.name = name
+        index.attributes = tuple(attributes)
+        ordered: List[Row] = []
+        ids: Dict[Row, int] = {}
+        for row in rows:
+            stored = tuple(row)
+            if stored not in ids:
+                ids[stored] = len(ordered)
+                ordered.append(stored)
+        index.rows = ordered
+        index.ids = ids
+        index._ref_view = None
+        index._value_columns = {}
+        index._value_codes = {}
+        index._hash_groups = {}
+        return index
+
     def ref_view(self) -> List[TupleRef]:
         """``tid -> TupleRef`` view, built lazily and cached on the index.
 

@@ -32,8 +32,15 @@ per-stage latency histograms at ``/metrics`` and requests slower than
 
 Status codes: 400 malformed/invalid request, 404 unknown database or
 route, 409 name conflict, 413 oversized body, 429 overloaded (with
-``Retry-After``), 500 internal, 503 database evicted mid-request, 504
+``Retry-After``), 500 internal, 503 database evicted mid-request or
+durable storage degraded (write paths only, with ``Retry-After``), 504
 deadline expired.
+
+With ``ServiceConfig.data_dir`` set the registry gets a
+:class:`~repro.storage.DatabaseStore`: registrations snapshot, mutations
+write through to the log before the acknowledgement, and a restarted
+process lazily rehydrates databases on first touch (see
+``docs/DURABILITY.md``).
 """
 
 from __future__ import annotations
@@ -70,6 +77,11 @@ from repro.service.registry import (
     DuplicateDatabaseError,
     RegisteredDatabase,
     SessionRegistry,
+)
+from repro.storage import (
+    DEFAULT_COMPACT_AFTER,
+    DatabaseStore,
+    StorageUnavailableError,
 )
 from repro.service.serialize import (
     database_payload,
@@ -141,6 +153,10 @@ class ServiceConfig:
     slow_log_capacity: int = 32
     #: Emit one ``[access]`` log line per finished request.
     log_requests: bool = False
+    #: Persist databases under this directory (None = in-memory only).
+    data_dir: Optional[str] = None
+    #: Mutation-log records absorbed before a compaction snapshot.
+    compact_after: int = DEFAULT_COMPACT_AFTER
 
 
 class ApiError(Exception):
@@ -184,11 +200,19 @@ class AdpService:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
+        self.store: Optional[DatabaseStore] = (
+            DatabaseStore(
+                self.config.data_dir, compact_after=self.config.compact_after
+            )
+            if self.config.data_dir
+            else None
+        )
         self.registry = SessionRegistry(
             self.config.max_databases,
             engine=self.config.engine,
             backend=self.config.backend,
             workers=self.config.workers,
+            store=self.store,
         )
         self.metrics = ServiceMetrics()
         self.admission = AdmissionController(
@@ -243,6 +267,8 @@ class AdpService:
         await self.batcher.flush_all()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.registry.close)
+        if self.store is not None:
+            self.store.close()
         self.executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------ #
@@ -356,6 +382,16 @@ class AdpService:
             except DeadlineExpired as exc:
                 self.metrics.deadline_missed()
                 status, payload, extra = 504, error_payload(str(exc)), {}
+            except StorageUnavailableError as exc:
+                # The data dir is erroring: writes cannot be made durable,
+                # so they fail fast while the read path keeps serving.
+                status = 503
+                retry_after = self.config.retry_after_s
+                payload = error_payload(
+                    f"durable storage unavailable: {exc}",
+                    retry_after_s=retry_after,
+                )
+                extra = {"Retry-After": f"{retry_after:g}"}
             except ApiError as exc:
                 status = exc.status
                 payload, extra = error_payload(exc.message), dict(exc.headers)
@@ -406,7 +442,18 @@ class AdpService:
                 "databases_capacity": self.registry.capacity,
                 "batcher_queue_depth": self.batcher.depth,
             }
-            counters = {"registry_evictions_total": self.registry.evictions_total}
+            counters = {
+                "registry_evictions_total": self.registry.evictions_total,
+                "registry_rehydrations_total": self.registry.rehydrations_total,
+            }
+            if self.store is not None:
+                counters.update({
+                    "storage_snapshots_written_total": self.store.snapshots_written,
+                    "storage_compactions_total": self.store.compactions_total,
+                    "storage_records_appended_total": self.store.records_appended_total,
+                    "storage_replayed_records_total": self.store.replayed_records_total,
+                })
+                gauges["storage_degraded"] = 1 if self.store.degraded else 0
             text = self.metrics.render(gauges, counters).encode("utf-8")
             return 200, text, {"content-type": "text/plain; version=0.0.4"}
         if path == "/v1/databases" and method == "GET":
@@ -438,13 +485,21 @@ class AdpService:
     # Metadata endpoints
     # ------------------------------------------------------------------ #
     def _healthz(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
             "databases": len(self.registry),
             "pending_requests": self.admission.pending,
             "metrics": self.metrics.snapshot(),
         }
+        if self.store is not None:
+            # Recovery state: persisted names, replay counters, degradation.
+            storage = self.store.stats()
+            storage["rehydrations_total"] = self.registry.rehydrations_total
+            payload["storage"] = storage
+            if self.store.degraded:
+                payload["status"] = "degraded"
+        return payload
 
     def _list_databases(self) -> dict:
         return {

@@ -22,7 +22,13 @@ across requests.  The :class:`SessionRegistry` owns that mapping:
 * **LRU bound** -- at most ``capacity`` databases stay resident; inserting
   beyond it closes and evicts the least-recently-used entry
   (:meth:`Session.close` shuts down its caches and worker pool
-  deterministically -- the satellite contract this registry relies on).
+  deterministically -- the satellite contract this registry relies on);
+* **durability** (optional) -- with a :class:`~repro.storage.DatabaseStore`
+  attached, registrations snapshot to disk, mutations write through to the
+  append-only log *before* the client is acknowledged, LRU eviction
+  compacts the evictee's state to disk first, and a missing name
+  lazily rehydrates from disk (so an evicted or restarted database comes
+  back at the exact version clients last saw, warm cache included).
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from typing import Iterable, Iterator, List, Optional
 from repro.data.database import Database
 from repro.data.relation import TupleRef
 from repro.session import Session
+from repro.storage import OP_DELETE, OP_INSERT, DatabaseStore, StorageError
 
 
 class DuplicateDatabaseError(ValueError):
@@ -134,6 +141,7 @@ class SessionRegistry:
         engine: str = "columnar",
         backend: str = "auto",
         workers: int = 1,
+        store: Optional[DatabaseStore] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"registry capacity must be >= 1, got {capacity}")
@@ -141,12 +149,15 @@ class SessionRegistry:
         self.engine = engine
         self.backend = backend
         self.workers = int(workers)
+        self.store = store
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, RegisteredDatabase]" = OrderedDict()
         self._closed = False
         #: Entries closed by LRU overflow (scraped at ``/metrics``).
         #: Mutated under ``_lock``; reads are single int loads (atomic).
         self.evictions_total = 0
+        #: Entries brought back from disk (evicted or from a prior process).
+        self.rehydrations_total = 0
 
     # ------------------------------------------------------------------ #
     # CRUD
@@ -165,9 +176,27 @@ class SessionRegistry:
         name is taken (HTTP 409); ``replace=True`` closes and supersedes the
         old entry.  A custom ``session`` may be supplied (tests); by
         default one is created with the registry's engine/backend/workers.
+
+        With a store attached, re-registering a name that lives on disk but
+        is not resident (evicted, or persisted by a previous process)
+        **rehydrates** it at its durable version instead of silently
+        resetting its mutation history -- the supplied ``database`` is
+        ignored in that case.  ``replace=True`` genuinely replaces, wiping
+        the durable state too.
         """
         if not name or "/" in name:
             raise ValueError(f"invalid database name {name!r}")
+        if (
+            self.store is not None
+            and not replace
+            and name not in self
+            and self.store.exists(name)
+        ):
+            # An evicted (or pre-restart) database keeps its identity: the
+            # durable version and mutation history win over a fresh bind.
+            if session is not None:
+                session.close()
+            return self._rehydrate(name)
         owned = session is None
         if session is None:
             session = Session(
@@ -177,6 +206,7 @@ class SessionRegistry:
                 workers=self.workers,
             )
         entry = RegisteredDatabase(name, database, session)
+        superseded: List[RegisteredDatabase] = []
         evicted: List[RegisteredDatabase] = []
         with self._lock:
             if self._closed:
@@ -196,7 +226,7 @@ class SessionRegistry:
                 # across the replacement (batch keys and client caches rely
                 # on it).
                 entry.version = old.version + 1
-                evicted.append(old)
+                superseded.append(old)
                 del self._entries[name]
             self._entries[name] = entry
             while len(self._entries) > self.capacity:
@@ -207,24 +237,103 @@ class SessionRegistry:
         # in-flight readers, and those readers never touch the registry
         # lock while running, so this cannot deadlock -- but holding the
         # registry lock across a drain would stall every other endpoint.
-        for stale in evicted:
+        for stale in superseded:
             stale.close()
+        for stale in evicted:
+            self._flush_evicted(stale)
+            stale.close()
+        if self.store is not None:
+            try:
+                self.store.initialize(name, session, entry.version, replace=replace)
+            except StorageError:
+                # Registration could not be made durable: undo it so the
+                # in-memory and on-disk views never disagree about whether
+                # the name exists.
+                with self._lock:
+                    if self._entries.get(name) is entry:
+                        del self._entries[name]
+                entry.close()
+                raise
         return entry
 
     def get(self, name: str) -> RegisteredDatabase:
-        """The entry for ``name`` (refreshing its LRU position)."""
+        """The entry for ``name`` (refreshing its LRU position).
+
+        A name that is not resident but has durable state lazily rehydrates
+        from disk -- the restart path: a fresh process serves its first
+        request for a persisted database by recovering it here.
+        """
         with self._lock:
             entry = self._entries.get(name)
-            if entry is None:
-                raise KeyError(f"no database named {name!r}")
-            self._entries.move_to_end(name)
-            return entry
+            if entry is not None:
+                self._entries.move_to_end(name)
+                return entry
+            closed = self._closed
+        if not closed and self.store is not None and self.store.exists(name):
+            return self._rehydrate(name)
+        raise KeyError(f"no database named {name!r}")
+
+    def _rehydrate(self, name: str) -> RegisteredDatabase:
+        """Recover ``name`` from the store and install it (LRU rules apply)."""
+        assert self.store is not None
+        recovered = self.store.load(
+            name, engine=self.engine, backend=self.backend, workers=self.workers
+        )
+        entry = RegisteredDatabase(name, recovered.database, recovered.session)
+        entry.version = recovered.version
+        evicted: List[RegisteredDatabase] = []
+        with self._lock:
+            if self._closed:
+                recovered.session.close()
+                raise RuntimeError("registry is closed")
+            existing = self._entries.get(name)
+            if existing is not None:
+                # A concurrent request rehydrated first; keep theirs.
+                recovered.session.close()
+                self._entries.move_to_end(name)
+                return existing
+            self._entries[name] = entry
+            while len(self._entries) > self.capacity:
+                _lru_name, lru = self._entries.popitem(last=False)
+                evicted.append(lru)
+                self.evictions_total += 1
+            self.rehydrations_total += 1
+        for stale in evicted:
+            self._flush_evicted(stale)
+            stale.close()
+        return entry
+
+    def _flush_evicted(self, stale: RegisteredDatabase) -> None:
+        """Compact an evictee to disk so eviction never loses history.
+
+        Best-effort on top of the write-through log: every acknowledged
+        mutation is already durable, so a failed flush (degraded storage)
+        only costs the cached-provenance warmth, not correctness.
+        """
+        if self.store is None:
+            return
+        try:
+            with stale.lock.write():
+                self.store.flush(stale.name, stale.session, stale.version)
+        except StorageError:
+            pass
 
     def drop(self, name: str) -> None:
-        """Unregister and close one entry (``KeyError`` when absent)."""
+        """Unregister and close one entry, durable state included.
+
+        ``KeyError`` when the name neither is resident nor has durable
+        state.
+        """
         with self._lock:
-            entry = self._entries.pop(name)
-        entry.close()
+            entry = self._entries.pop(name, None)
+        if entry is None and not (
+            self.store is not None and self.store.exists(name)
+        ):
+            raise KeyError(f"no database named {name!r}")
+        if entry is not None:
+            entry.close()
+        if self.store is not None:
+            self.store.remove(name)
 
     def entries(self) -> List[RegisteredDatabase]:
         """Every resident entry, least- to most-recently used."""
@@ -250,16 +359,26 @@ class SessionRegistry:
         Returns ``(removed count, resulting version)``.  The version bumps
         only when tuples were actually removed -- a no-op deletion leaves
         cached results (and the version clients cache against) intact.
+
+        With a store attached the batch is appended to the mutation log
+        *before* returning: a :class:`~repro.storage.StorageError` here
+        means the client was never acknowledged, so replaying (or retrying)
+        the batch is safe.
         """
         entry = self.get(name)
+        ref_list = list(refs)
         with entry.lock.write():
             if entry.session.closed:
                 # Evicted while we waited for the write lock: to the caller
                 # the database is simply gone.
                 raise KeyError(f"no database named {name!r}")
-            removed = entry.session.apply_deletions(refs)
+            removed = entry.session.apply_deletions(ref_list)
             if removed:
                 entry.version += 1
+                if self.store is not None:
+                    self.store.record_mutation(
+                        name, entry.session, OP_DELETE, ref_list, entry.version
+                    )
             return removed, entry.version
 
     def apply_insertions(
@@ -271,28 +390,42 @@ class SessionRegistry:
         only when tuples actually landed -- a no-op batch (duplicates,
         unknown relations) leaves cached results (and the version clients
         cache against) intact.
+
+        Durability mirrors :meth:`apply_deletions`: log append before the
+        acknowledgement, failure means the batch is retry-safe.
         """
         entry = self.get(name)
+        ref_list = list(refs)
         with entry.lock.write():
             if entry.session.closed:
                 # Evicted while we waited for the write lock: to the caller
                 # the database is simply gone.
                 raise KeyError(f"no database named {name!r}")
-            added = entry.session.apply_insertions(refs)
+            added = entry.session.apply_insertions(ref_list)
             if added:
                 entry.version += 1
+                if self.store is not None:
+                    self.store.record_mutation(
+                        name, entry.session, OP_INSERT, ref_list, entry.version
+                    )
             return added, entry.version
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Close every session and refuse further registrations."""
+        """Close every session and refuse further registrations.
+
+        With a store attached each entry is compacted to disk first (best
+        effort -- the write-through log already holds every acknowledged
+        mutation), so a graceful shutdown restarts with warm snapshots.
+        """
         with self._lock:
             self._closed = True
             entries = list(self._entries.values())
             self._entries.clear()
         for entry in entries:
+            self._flush_evicted(entry)
             entry.close()
 
 

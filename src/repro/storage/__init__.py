@@ -1,0 +1,50 @@
+"""Crash-consistent durability: columnar snapshots + append-only mutation log.
+
+The persistence layer behind ``repro serve --data-dir``.  Each database gets
+a columnar snapshot (interned relation columns, packed provenance, interning
+tables; :mod:`repro.storage.snapshot`) plus an append-only log of mutation
+batches (:mod:`repro.storage.log`); recovery = latest valid snapshot + log
+suffix replay (:mod:`repro.storage.store`), byte-identical to a process
+that never crashed.  :mod:`repro.storage.faultpoints` provides the injected
+crash points the property suite drives.  See ``docs/DURABILITY.md``.
+"""
+
+from repro.storage.faultpoints import CRASH_POINTS, InjectedCrash, arm, armed, crash_point, disarm_all
+from repro.storage.log import LogRecord, MutationLog, OP_DELETE, OP_INSERT
+from repro.storage.snapshot import (
+    RelationSnapshot,
+    ResultSnapshot,
+    SnapshotCorruptError,
+    SnapshotPayload,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.storage.store import (
+    DEFAULT_COMPACT_AFTER,
+    DatabaseStore,
+    RecoveredDatabase,
+    StorageError,
+    StorageUnavailableError,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "DEFAULT_COMPACT_AFTER",
+    "DatabaseStore",
+    "InjectedCrash",
+    "LogRecord",
+    "MutationLog",
+    "OP_DELETE",
+    "OP_INSERT",
+    "RecoveredDatabase",
+    "RelationSnapshot",
+    "ResultSnapshot",
+    "SnapshotCorruptError",
+    "SnapshotPayload",
+    "arm",
+    "armed",
+    "crash_point",
+    "disarm_all",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,238 @@
+"""Binary primitives shared by the snapshot and mutation-log formats.
+
+Everything on disk is built from three pieces:
+
+* **Unsigned varints** (LEB128) for lengths and counters, with a zig-zag
+  transform for signed integers, so small values cost one byte and Python's
+  arbitrary-precision ints round-trip exactly at any size.
+* **Tagged values** for the arbitrary Python objects a relation may hold
+  (``None``/``bool``/``int``/``float``/``str``/``bytes``/nested tuples).
+  The tag pins the exact type -- ``True`` and ``1`` encode differently --
+  so a recovered row compares equal *and hashes equal* to the original.
+* **CRC32 framing**: every snapshot section and every log record carries a
+  ``crc32`` over its payload; a mismatch means torn or corrupt bytes, never
+  a silent wrong answer.
+
+Integer-only columns additionally get a packed fast path: raw little-endian
+``int64`` bytes (``pack_int64_column``), which the NumPy backend can load as
+a zero-copy array view straight out of a memory-mapped snapshot
+(:meth:`repro.engine.backend.NumpyBackend.id_column_from_buffer`).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Sequence, Tuple, Union
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+_TAG_TUPLE = 7
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+_FLOAT_STRUCT = struct.Struct("<d")
+
+
+class CodecError(ValueError):
+    """Malformed bytes handed to a decoder (truncation, unknown tag, ...)."""
+
+
+# --------------------------------------------------------------------------- #
+# Varints
+# --------------------------------------------------------------------------- #
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (>= 0) as an LEB128 varint."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(buf: Buffer, offset: int) -> Tuple[int, int]:
+    """Decode an LEB128 varint at ``offset``; returns ``(value, next offset)``."""
+    value = 0
+    shift = 0
+    length = len(buf)
+    while True:
+        if offset >= length:
+            raise CodecError("truncated varint")
+        byte = buf[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append a signed integer using the zig-zag transform.
+
+    The transform maps 0, -1, 1, -2, ... to 0, 1, 2, 3, ... and has no
+    width assumption, so arbitrary-precision ints round-trip exactly.
+    """
+    write_uvarint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+
+def read_varint(buf: Buffer, offset: int) -> Tuple[int, int]:
+    encoded, offset = read_uvarint(buf, offset)
+    if encoded & 1:
+        return -((encoded + 1) >> 1), offset
+    return encoded >> 1, offset
+
+
+# --------------------------------------------------------------------------- #
+# Tagged values
+# --------------------------------------------------------------------------- #
+def write_value(out: bytearray, value: object) -> None:
+    """Append one tagged value (``None``/bool/int/float/str/bytes/tuple)."""
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif type(value) is int:
+        out.append(_TAG_INT)
+        write_varint(out, value)
+    elif type(value) is float:
+        out.append(_TAG_FLOAT)
+        out.extend(_FLOAT_STRUCT.pack(value))
+    elif type(value) is str:
+        out.append(_TAG_STR)
+        encoded = value.encode("utf-8")
+        write_uvarint(out, len(encoded))
+        out.extend(encoded)
+    elif type(value) is bytes:
+        out.append(_TAG_BYTES)
+        write_uvarint(out, len(value))
+        out.extend(value)
+    elif type(value) is tuple:
+        out.append(_TAG_TUPLE)
+        write_uvarint(out, len(value))
+        for item in value:
+            write_value(out, item)
+    else:
+        raise CodecError(
+            f"cannot serialize a {type(value).__name__} value ({value!r}); "
+            "relations may hold None, bool, int, float, str, bytes and "
+            "tuples thereof"
+        )
+
+
+def read_value(buf: Buffer, offset: int) -> Tuple[object, int]:
+    """Decode one tagged value at ``offset``; returns ``(value, next offset)``."""
+    if offset >= len(buf):
+        raise CodecError("truncated value")
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_INT:
+        return read_varint(buf, offset)
+    if tag == _TAG_FLOAT:
+        end = offset + 8
+        if end > len(buf):
+            raise CodecError("truncated float")
+        return _FLOAT_STRUCT.unpack(bytes(buf[offset:end]))[0], end
+    if tag == _TAG_STR:
+        length, offset = read_uvarint(buf, offset)
+        end = offset + length
+        if end > len(buf):
+            raise CodecError("truncated string")
+        return bytes(buf[offset:end]).decode("utf-8"), end
+    if tag == _TAG_BYTES:
+        length, offset = read_uvarint(buf, offset)
+        end = offset + length
+        if end > len(buf):
+            raise CodecError("truncated bytes")
+        return bytes(buf[offset:end]), end
+    if tag == _TAG_TUPLE:
+        count, offset = read_uvarint(buf, offset)
+        items = []
+        for _ in range(count):
+            item, offset = read_value(buf, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise CodecError(f"unknown value tag {tag}")
+
+
+def write_str(out: bytearray, value: str) -> None:
+    """Append a length-prefixed UTF-8 string (no tag byte)."""
+    encoded = value.encode("utf-8")
+    write_uvarint(out, len(encoded))
+    out.extend(encoded)
+
+
+def read_str(buf: Buffer, offset: int) -> Tuple[str, int]:
+    length, offset = read_uvarint(buf, offset)
+    end = offset + length
+    if end > len(buf):
+        raise CodecError("truncated string")
+    return bytes(buf[offset:end]).decode("utf-8"), end
+
+
+# --------------------------------------------------------------------------- #
+# Packed int64 columns
+# --------------------------------------------------------------------------- #
+def is_int64_column(values: Sequence[object]) -> bool:
+    """Whether every value is a genuine int (not bool) fitting in int64."""
+    return all(
+        type(value) is int and _INT64_MIN <= value <= _INT64_MAX
+        for value in values
+    )
+
+
+def pack_int64_column(values: Sequence[int]) -> bytes:
+    """Raw little-endian ``int64`` bytes for an all-int column."""
+    return struct.pack(f"<{len(values)}q", *values)
+
+
+def unpack_int64_column(buffer: Buffer) -> List[int]:
+    """The pure-Python inverse of :func:`pack_int64_column`."""
+    count = len(buffer) // 8
+    return list(struct.unpack(f"<{count}q", buffer))
+
+
+# --------------------------------------------------------------------------- #
+# CRC framing
+# --------------------------------------------------------------------------- #
+def checksum(payload: Buffer) -> int:
+    """CRC32 of ``payload`` as an unsigned 32-bit value."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+__all__ = [
+    "Buffer",
+    "CodecError",
+    "checksum",
+    "is_int64_column",
+    "pack_int64_column",
+    "read_str",
+    "read_uvarint",
+    "read_value",
+    "read_varint",
+    "unpack_int64_column",
+    "write_str",
+    "write_uvarint",
+    "write_value",
+    "write_varint",
+]

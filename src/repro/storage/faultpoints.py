@@ -1,0 +1,125 @@
+"""Crash-point injection for the durability layer.
+
+Crash consistency cannot be tested by unplugging machines in CI, so the
+storage code calls :func:`crash_point` at every moment where a real crash
+would leave interestingly-partial state on disk:
+
+* ``snapshot.mid_write`` -- half of the snapshot temp file is written;
+* ``snapshot.pre_fsync`` -- the temp file is complete but not fsynced;
+* ``snapshot.post_rename`` -- the atomic rename happened but the follow-up
+  work (directory fsync, log reset after compaction) did not;
+* ``log.mid_append`` -- a log record is torn in the middle.
+
+A crash point is inert until *armed*.  Tests arm points in-process via
+:func:`arm` / the :func:`armed` context manager, in which case hitting the
+point raises :class:`InjectedCrash` (the test catches it, abandons every
+in-memory object, and recovers from disk like a fresh process would).
+Subprocess-level tests arm points from the environment instead --
+``REPRO_CRASH_POINT=log.mid_append:3`` fires on the third hit -- and with
+``REPRO_CRASH_MODE=exit`` the process dies on the spot via ``os._exit``,
+which is as close to ``kill -9`` at an exact instruction as a test can get.
+
+A point fires **once** and disarms itself: recovery code re-runs the same
+write paths and must not trip over the trap that killed its predecessor.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Exit status used by ``REPRO_CRASH_MODE=exit`` so harnesses can tell an
+#: injected crash from an ordinary failure.
+CRASH_EXIT_CODE = 86
+
+#: Every crash point the storage layer calls, for discovery by the suite.
+CRASH_POINTS = (
+    "snapshot.mid_write",
+    "snapshot.pre_fsync",
+    "snapshot.post_rename",
+    "log.mid_append",
+)
+
+_ENV_POINT = "REPRO_CRASH_POINT"
+_ENV_MODE = "REPRO_CRASH_MODE"
+
+
+class InjectedCrash(RuntimeError):
+    """An armed crash point fired (in ``raise`` mode)."""
+
+
+#: ``point name -> remaining hits before firing``; mutated by arm/crash_point.
+_armed: Dict[str, int] = {}
+_env_loaded = False
+
+
+def arm(name: str, hits: int = 1) -> None:
+    """Arm ``name`` to fire on its ``hits``-th upcoming hit (1 = next)."""
+    if name not in CRASH_POINTS:
+        raise ValueError(f"unknown crash point {name!r} (known: {CRASH_POINTS})")
+    if hits < 1:
+        raise ValueError("hits must be >= 1")
+    _armed[name] = hits
+
+
+def disarm_all() -> None:
+    """Disarm every point and forget any environment arming already read."""
+    global _env_loaded
+    _armed.clear()
+    _env_loaded = True  # the environment was consumed (or deliberately ignored)
+
+
+@contextmanager
+def armed(name: str, hits: int = 1) -> Iterator[None]:
+    """Arm ``name`` for the duration of a ``with`` block, then disarm."""
+    arm(name, hits)
+    try:
+        yield
+    finally:
+        _armed.pop(name, None)
+
+
+def _load_env_arming() -> None:
+    """Arm from ``REPRO_CRASH_POINT=name[:hits]`` once per process."""
+    global _env_loaded
+    if _env_loaded:
+        return
+    _env_loaded = True
+    spec = os.environ.get(_ENV_POINT, "").strip()
+    if not spec:
+        return
+    name, _, count = spec.partition(":")
+    if name in CRASH_POINTS:
+        _armed[name] = max(1, int(count)) if count else 1
+
+
+def _crash_mode() -> Optional[str]:
+    mode = os.environ.get(_ENV_MODE, "").strip().lower()
+    return mode or None
+
+
+def crash_point(name: str) -> None:
+    """Die here when ``name`` is armed; a no-op (a dict lookup) otherwise."""
+    _load_env_arming()
+    hits = _armed.get(name)
+    if hits is None:
+        return
+    if hits > 1:
+        _armed[name] = hits - 1
+        return
+    _armed.pop(name, None)
+    if _crash_mode() == "exit":
+        os._exit(CRASH_EXIT_CODE)
+    raise InjectedCrash(name)
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CRASH_POINTS",
+    "InjectedCrash",
+    "arm",
+    "armed",
+    "crash_point",
+    "disarm_all",
+]

@@ -10,6 +10,13 @@ with inline shards K in {1, 2}.  A second family runs the identical trace
 on the python and numpy backends side by side and asserts the packed
 provenance is **byte-identical** between them after every mutation.
 
+A third family folds the durability layer into the interleavings: at
+seeded random steps the mutated session is flushed to a
+:class:`~repro.storage.DatabaseStore`, closed, and *reopened* from disk --
+and the recovered session must stay byte-identical (packed provenance,
+output rows, version token) to an uninterrupted session replaying the same
+trace, resurrection re-inserts across the restart boundary included.
+
 The seed comes from the ``REPRO_TEST_SEED`` env knob (see tests/conftest),
 so a failing CI leg is reproducible locally by exporting the seed it
 prints.
@@ -22,6 +29,7 @@ import pytest
 from repro.data.relation import TupleRef
 from repro.engine.backend import numpy_available
 from repro.session import Session
+from repro.storage import DatabaseStore, OP_DELETE, OP_INSERT
 from repro.workloads.queries import Q1, QPATH_EXP
 from repro.workloads.tpch import generate_tpch
 from repro.workloads.zipf import generate_zipf_path
@@ -180,6 +188,76 @@ def test_interleaved_mutations_match_rebuild(name, query, database, backend, wor
                 ), context
         # The incremental path genuinely rode the cache, not re-evaluation.
         assert session.stats.cache_hits >= len(trace)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name,query,database", WORKLOADS, ids=IDS)
+def test_snapshot_reopen_matches_uninterrupted_run(
+    tmp_path, name, query, database, backend
+):
+    """Random snapshot/reopen points never perturb the mutation trace.
+
+    Both sessions are built from ``database.copy()`` -- two copies of one
+    source replay the same insertion sequence, so their interning orders
+    agree (copy-vs-original would not: set iteration order is a function of
+    insertion history).  The durable session additionally write-throughs
+    every batch and, at seeded random steps, is torn down and recovered
+    from disk mid-trace.
+    """
+    trace = _mutation_trace(query, database, seed=SEED)
+    # A closing resurrection batch: re-insert tuples the trace deleted, so
+    # dead interned tids revive across at least the final restart.
+    deleted = [ref for op, refs in trace for ref in refs if op == "delete"]
+    trace = trace + [("insert", deleted[: max(1, len(deleted) // 2)])]
+    rng = random.Random(SEED ^ 0xD07A11)
+    reopen_at = {step for step in range(len(trace)) if rng.random() < 0.4}
+    reopen_at.add(len(trace) - 2)  # the resurrection batch lands after a reopen
+    store = DatabaseStore(tmp_path, compact_after=2)
+    durable = Session(database.copy(), backend=backend)
+    reference = Session(database.copy(), backend=backend)
+    context = f"seed={SEED} [{name}] backend={backend}"
+    try:
+        durable.evaluate(query)
+        reference.evaluate(query)
+        store.initialize("db", durable, 1)
+        version = 1
+        for step, (op, refs) in enumerate(trace):
+            if step - 1 in reopen_at:
+                durable.close()
+                store.close()
+                store = DatabaseStore(tmp_path, compact_after=2)
+                recovered = store.load("db", backend=backend)
+                assert recovered.version == version, f"{context} step={step}"
+                durable = recovered.session
+            assert _apply(durable, op, refs) == _apply(reference, op, refs)
+            version += 1
+            store.record_mutation(
+                "db",
+                durable,
+                OP_INSERT if op == "insert" else OP_DELETE,
+                refs,
+                version,
+            )
+            durable_result = durable.evaluate(query)
+            reference_result = reference.evaluate(query)
+            step_context = f"{context} step={step} op={op}"
+            assert packed_columns(durable_result.provenance) == packed_columns(
+                reference_result.provenance
+            ), step_context
+            assert packed_outputs(durable_result.provenance) == packed_outputs(
+                reference_result.provenance
+            ), step_context
+            assert durable_result.output_rows == reference_result.output_rows, (
+                step_context
+            )
+            assert (
+                durable.database.version_token()
+                == reference.database.version_token()
+            ), step_context
+    finally:
+        durable.close()
+        reference.close()
+        store.close()
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")

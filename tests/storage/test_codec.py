@@ -1,0 +1,113 @@
+"""Round-trip and error-path tests for the storage codec primitives."""
+
+import pytest
+
+from repro.storage.codec import (
+    CodecError,
+    checksum,
+    is_int64_column,
+    pack_int64_column,
+    read_str,
+    read_uvarint,
+    read_value,
+    read_varint,
+    unpack_int64_column,
+    write_str,
+    write_uvarint,
+    write_value,
+    write_varint,
+)
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63 - 1])
+def test_uvarint_roundtrip(value):
+    buffer = bytearray()
+    write_uvarint(buffer, value)
+    decoded, offset = read_uvarint(bytes(buffer), 0)
+    assert decoded == value
+    assert offset == len(buffer)
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 2**40, -(2**40), 2**63 - 1, -(2**63)])
+def test_varint_roundtrip(value):
+    buffer = bytearray()
+    write_varint(buffer, value)
+    decoded, offset = read_varint(bytes(buffer), 0)
+    assert decoded == value
+    assert offset == len(buffer)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        2**70,  # big ints survive (varints are unbounded)
+        3.25,
+        float("inf"),
+        "",
+        "héllo",
+        b"\x00\xffbytes",
+        (),
+        ("a", 1, (2.5, None), (True, b"x")),
+    ],
+)
+def test_value_roundtrip(value):
+    buffer = bytearray()
+    write_value(buffer, value)
+    decoded, offset = read_value(bytes(buffer), 0)
+    assert decoded == value
+    assert type(decoded) is type(value)
+    assert offset == len(buffer)
+
+
+def test_bool_is_not_int():
+    """True must not come back as 1 -- tuples compare equal but rows differ."""
+    buffer = bytearray()
+    write_value(buffer, True)
+    decoded, _ = read_value(bytes(buffer), 0)
+    assert decoded is True
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(CodecError):
+        write_value(bytearray(), object())
+    with pytest.raises(CodecError):
+        write_value(bytearray(), [1, 2])  # lists are not row values
+
+
+def test_str_roundtrip():
+    buffer = bytearray()
+    write_str(buffer, "relation/ünïcode")
+    decoded, offset = read_str(bytes(buffer), 0)
+    assert decoded == "relation/ünïcode"
+    assert offset == len(buffer)
+
+
+def test_truncated_buffer_raises():
+    buffer = bytearray()
+    write_value(buffer, ("abc", 123))
+    with pytest.raises(CodecError):
+        read_value(bytes(buffer)[:-2], 0)
+
+
+def test_int64_column_detection():
+    assert is_int64_column([0, -5, 2**63 - 1, -(2**63)])
+    assert is_int64_column([])
+    assert not is_int64_column([2**63])  # overflow
+    assert not is_int64_column([1, True])  # bools are not int64 values
+    assert not is_int64_column([1, "x"])
+
+
+def test_int64_column_roundtrip():
+    column = [0, 1, -1, 2**62, -(2**62)]
+    packed = pack_int64_column(column)
+    assert unpack_int64_column(packed) == column
+
+
+def test_checksum_is_stable():
+    assert checksum(b"abc") == checksum(b"abc")
+    assert checksum(b"abc") != checksum(b"abd")

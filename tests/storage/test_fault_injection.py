@@ -1,0 +1,215 @@
+"""Fault-injected crash/recovery: byte-identical state at every crash point.
+
+The property: whatever crash point fires, recovery yields a session that is
+**byte-identical** (packed provenance, interning tables, version token,
+rows) to a never-crashed process that replayed exactly the acknowledged
+batches -- on both array backends.  The acknowledged set depends on where
+the crash hit:
+
+* ``log.mid_append`` tears the record being written: the client never got
+  an acknowledgement, so the batch is *excluded* and the torn tail
+  truncated.
+* ``snapshot.mid_write`` / ``snapshot.pre_fsync`` fire during a compaction
+  whose triggering record was already fsynced: the batch is *included*,
+  recovered from the old snapshot plus a log replay.
+* ``snapshot.post_rename`` leaves the new snapshot without the log reset:
+  the batch is *included*, recovered from the new snapshot with the stale
+  log records skipped by their LSN.
+
+Seeds come from ``REPRO_TEST_SEED`` (the CI crash-fuzz job sweeps several),
+so every failure names its exact replay.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.session import Session
+from repro.storage import (
+    CRASH_POINTS,
+    DatabaseStore,
+    InjectedCrash,
+    OP_DELETE,
+    OP_INSERT,
+    arm,
+)
+from repro.storage.faultpoints import CRASH_EXIT_CODE
+
+from tests.storage.conftest import (
+    BACKENDS,
+    QUERY,
+    SEED,
+    apply_batch,
+    fingerprint,
+    make_db,
+    mutation_batches,
+    reference_session,
+)
+
+COMPACT_AFTER = 3
+
+#: (crash point, 0-based batch index at which to arm it).  The snapshot
+#: points must be armed at the compaction-triggering batch to fire.
+CRASH_CASES = [
+    ("log.mid_append", 1),
+    ("log.mid_append", 4),
+    ("snapshot.mid_write", COMPACT_AFTER - 1),
+    ("snapshot.pre_fsync", COMPACT_AFTER - 1),
+    ("snapshot.post_rename", COMPACT_AFTER - 1),
+    ("snapshot.mid_write", 2 * COMPACT_AFTER - 1),  # second compaction cycle
+]
+
+
+def run_until_crash(tmp_path, backend, point, crash_at):
+    """Drive the write-through path into an injected crash at ``crash_at``.
+
+    Returns the number of batches the client was *acknowledged* for.  The
+    in-memory session is abandoned unclosed-by-crash semantics aside, the
+    store object is simply dropped -- recovery must work from the files
+    alone.
+    """
+    store = DatabaseStore(tmp_path, compact_after=COMPACT_AFTER)
+    session = Session(make_db(), backend=backend)
+    session.evaluate(QUERY)
+    store.initialize("db", session, 1)
+    acked = 0
+    crashed = False
+    for i, (op, refs) in enumerate(mutation_batches()):
+        if i == crash_at:
+            arm(point)
+        apply_batch(session, op, refs)
+        try:
+            store.record_mutation(
+                "db",
+                session,
+                OP_INSERT if op == "insert" else OP_DELETE,
+                refs,
+                1 + i + 1,
+            )
+        except InjectedCrash:
+            crashed = True
+            break
+        acked = i + 1
+    assert crashed, f"{point} never fired (armed at batch {crash_at})"
+    session.close()
+    store.close()
+    if point.startswith("snapshot."):
+        # The compaction crashed *after* the triggering record was durably
+        # appended: the client of that batch was (about to be) acknowledged.
+        acked = crash_at + 1
+    return acked
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("point,crash_at", CRASH_CASES)
+def test_recovery_is_byte_identical_after_crash(tmp_path, backend, point, crash_at):
+    acked = run_until_crash(tmp_path, backend, point, crash_at)
+    store = DatabaseStore(tmp_path, compact_after=COMPACT_AFTER)
+    recovered = store.load("db", backend=backend)
+    assert recovered.version == 1 + acked, f"seed={SEED} point={point}"
+    if point == "snapshot.post_rename":
+        # The renamed snapshot absorbed every record; stale log entries
+        # (the reset never ran) are skipped by their LSN.
+        assert recovered.replayed_records == 0
+    with reference_session(backend, acked) as reference:
+        assert fingerprint(recovered.session) == fingerprint(reference), (
+            f"seed={SEED} point={point} crash_at={crash_at} backend={backend}"
+        )
+    recovered.session.close()
+    store.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_every_crash_point_is_exercised(backend):
+    """CRASH_CASES covers the full catalogue (guards future crash points)."""
+    assert {point for point, _ in CRASH_CASES} == set(CRASH_POINTS)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_repeated_crashes_then_recovery(tmp_path, backend):
+    """Crash, recover, crash again mid-write-through, recover again."""
+    acked = run_until_crash(tmp_path, backend, "log.mid_append", 2)
+    store = DatabaseStore(tmp_path, compact_after=COMPACT_AFTER)
+    recovered = store.load("db", backend=backend)
+    assert recovered.version == 1 + acked
+    # Continue the trace where the acknowledged prefix left off, crashing
+    # again at the next compaction boundary.
+    session = recovered.session
+    crashed = False
+    remaining = mutation_batches()[acked:]
+    for i, (op, refs) in enumerate(remaining):
+        if store._state("db").records_since_snapshot == COMPACT_AFTER - 1:
+            arm("snapshot.pre_fsync")
+        apply_batch(session, op, refs)
+        try:
+            store.record_mutation(
+                "db",
+                session,
+                OP_INSERT if op == "insert" else OP_DELETE,
+                refs,
+                1 + acked + i + 1,
+            )
+        except InjectedCrash:
+            crashed = True
+            acked += i + 1  # the append preceded the snapshot crash
+            break
+    else:
+        acked += len(remaining)
+    session.close()
+    store.close()
+    assert crashed
+    final = DatabaseStore(tmp_path, compact_after=COMPACT_AFTER)
+    again = final.load("db", backend=backend)
+    assert again.version == 1 + acked
+    with reference_session(backend, acked) as reference:
+        assert fingerprint(again.session) == fingerprint(reference)
+    again.session.close()
+    final.close()
+
+
+_CHILD_SCRIPT = """
+import sys
+from repro.session import Session
+from repro.storage import DatabaseStore, OP_DELETE, OP_INSERT
+sys.path.insert(0, {tests_root!r})
+from tests.storage.conftest import QUERY, apply_batch, make_db, mutation_batches
+
+store = DatabaseStore({data_dir!r}, compact_after=3)
+session = Session(make_db())
+session.evaluate(QUERY)
+store.initialize("db", session, 1)
+for i, (op, refs) in enumerate(mutation_batches()):
+    apply_batch(session, op, refs)
+    store.record_mutation(
+        "db", session, OP_INSERT if op == "insert" else OP_DELETE, refs, i + 2
+    )
+print("no crash happened", file=sys.stderr)
+sys.exit(1)
+"""
+
+
+def test_env_driven_crash_kills_the_process(tmp_path):
+    """``REPRO_CRASH_MODE=exit`` takes the whole process down mid-append."""
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo_root / "src"), str(repo_root), env.get("PYTHONPATH", "")]
+    )
+    env["REPRO_CRASH_POINT"] = "log.mid_append:3"  # fires on the third append
+    env["REPRO_CRASH_MODE"] = "exit"
+    script = _CHILD_SCRIPT.format(
+        tests_root=str(repo_root), data_dir=str(tmp_path)
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, timeout=120
+    )
+    assert proc.returncode == CRASH_EXIT_CODE, proc.stderr.decode()
+    recovered = DatabaseStore(tmp_path).load("db")
+    # Two batches were acknowledged before the third append died mid-write.
+    assert recovered.version == 3
+    with reference_session("auto", 2) as reference:
+        assert fingerprint(recovered.session) == fingerprint(reference)
+    recovered.session.close()

@@ -1,0 +1,94 @@
+"""Mutation-log framing: append/replay round-trips and torn-tail recovery."""
+
+import pytest
+
+from repro.data.relation import TupleRef
+from repro.storage import (
+    InjectedCrash,
+    LogRecord,
+    MutationLog,
+    OP_DELETE,
+    OP_INSERT,
+    armed,
+)
+from repro.storage.log import MAGIC
+
+
+def _record(lsn, op=OP_INSERT, version=2):
+    refs = (
+        TupleRef("R1", (lsn, "a", None)),
+        TupleRef("R2", ((1, 2), True, 3.5)),
+    )
+    return LogRecord(lsn, op, version, 123.25, refs)
+
+
+def test_append_replay_roundtrip(tmp_path):
+    log = MutationLog(tmp_path / "log.bin")
+    records = [_record(1), _record(2, OP_DELETE, 3), _record(3, version=4)]
+    for record in records:
+        log.append(record)
+    log.close()
+    assert MutationLog(tmp_path / "log.bin").replay() == records
+
+
+def test_missing_file_is_empty(tmp_path):
+    assert MutationLog(tmp_path / "absent.bin").replay() == []
+
+
+def test_torn_header_resets(tmp_path):
+    path = tmp_path / "log.bin"
+    path.write_bytes(MAGIC[:4])  # crashed during creation
+    log = MutationLog(path)
+    assert log.replay() == []
+    log.append(_record(1))
+    log.close()
+    assert MutationLog(path).replay() == [_record(1)]
+
+
+def test_torn_tail_is_truncated(tmp_path):
+    path = tmp_path / "log.bin"
+    log = MutationLog(path)
+    log.append(_record(1))
+    log.append(_record(2))
+    log.close()
+    intact = path.read_bytes()
+    path.write_bytes(intact[:-3])  # tear the final record
+    replayed = MutationLog(path).replay()
+    assert replayed == [_record(1)]
+    # The torn bytes are gone for good: the next append starts clean.
+    assert len(path.read_bytes()) < len(intact)
+
+
+def test_corrupt_record_stops_replay(tmp_path):
+    path = tmp_path / "log.bin"
+    log = MutationLog(path)
+    log.append(_record(1))
+    log.append(_record(2))
+    log.close()
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a payload byte of record 2
+    path.write_bytes(bytes(data))
+    assert MutationLog(path).replay() == [_record(1)]
+
+
+def test_mid_append_crash_leaves_truncatable_tail(tmp_path):
+    path = tmp_path / "log.bin"
+    log = MutationLog(path)
+    log.append(_record(1))
+    with armed("log.mid_append"):
+        with pytest.raises(InjectedCrash):
+            log.append(_record(2))
+    log.close()
+    assert MutationLog(path).replay() == [_record(1)]
+
+
+def test_reset_empties_the_log(tmp_path):
+    path = tmp_path / "log.bin"
+    log = MutationLog(path)
+    log.append(_record(1))
+    log.reset()
+    assert path.read_bytes() == MAGIC
+    assert log.replay() == []
+    log.append(_record(7))
+    log.close()
+    assert MutationLog(path).replay() == [_record(7)]
