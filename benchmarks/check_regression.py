@@ -22,16 +22,19 @@ committed trajectory file ``benchmarks/BENCH_fig12.json``; CI records one
 entry per run and uploads the file as a workflow artifact, so the perf
 history accumulates instead of evaporating with each runner.
 
-``--obs-overhead`` runs a separate relative gate for the tracing layer
-(:mod:`repro.obs`): the same greedy solve is timed with no tracer installed
-and with an installed-but-unsampled tracer (``Tracer(enabled=False)`` --
-the configuration every instrumentation point must treat as a no-op), and
-the check fails when the unsampled path costs more than
-``OBS_OVERHEAD_LIMIT`` (2%, plus a small absolute grace so sub-millisecond
-jitter cannot fail the gate).  The two variants are interleaved so clock
-drift hits both sides equally.  With ``--record`` the run also appends an
-``obs`` section (overhead ratio + per-stage span totals from one enabled
-traced solve) to the trajectory file.
+``--obs-overhead`` runs a separate relative gate for the observability
+layer (:mod:`repro.obs`): the same greedy solve is timed with no
+instrumentation, with an installed-but-unsampled tracer
+(``Tracer(enabled=False)``, stats collection off -- the configuration
+every instrumentation point must treat as a no-op), and with the fully
+enabled path (sampled tracer plus an installed ``StatsCollector``).  The
+check fails when the disabled path costs more than ``OBS_OVERHEAD_LIMIT``
+(2%) or the enabled path more than ``STATS_OVERHEAD_LIMIT`` (10%), each
+plus a small absolute grace so sub-millisecond jitter cannot fail the
+gate.  The variants are interleaved so clock drift hits all sides
+equally.  With ``--record`` the run also appends an ``obs`` section (both
+overhead ratios + per-stage span totals from one enabled instrumented
+solve) to the trajectory file.
 
 Usage::
 
@@ -87,8 +90,13 @@ PARALLEL_WORKERS = 2
 BACKEND_R2_TUPLES = 8_000
 BACKEND_RATIO = 0.1
 
-#: Allowed relative cost of the installed-but-unsampled tracer path.
+#: Allowed relative cost of the installed-but-unsampled tracer path
+#: (stats collection off: the disabled path of both layers together).
 OBS_OVERHEAD_LIMIT = 1.02
+#: Allowed relative cost of the fully enabled instrumentation: sampled
+#: tracer plus an installed StatsCollector (per-operator counters,
+#: build-side skew summaries, the estimate-vs-actual ledger inputs).
+STATS_OVERHEAD_LIMIT = 1.10
 #: Absolute grace (seconds) under which the overhead gate never fails:
 #: at small workload durations, 2% is below timer/scheduler jitter.
 OBS_ABS_GRACE_S = 0.010
@@ -211,14 +219,19 @@ def measure() -> dict:
 
 
 def measure_obs_overhead() -> dict:
-    """The tracing-layer overhead probe (zipf-8000 greedy solve).
+    """The observability-layer overhead probe (zipf-8000 greedy solve).
 
-    Returns baseline/unsampled seconds (best-of, interleaved), their
-    ratio, and the per-stage span totals of one fully traced solve
-    (the stage-level timings ``--record`` persists).
+    Times three interleaved variants: no instrumentation at all, the
+    installed-but-unsampled tracer with stats collection off (the
+    disabled path every solve pays), and the fully enabled path (sampled
+    tracer plus an installed :class:`StatsCollector`).  Returns the two
+    overhead ratios plus the per-stage span totals of one fully
+    instrumented solve (the enabled-path stage timings ``--record``
+    persists).
     """
     from repro.experiments.harness import target_from_ratio
     from repro.obs.render import aggregate_stage_ms
+    from repro.obs.stats import StatsCollector, use_stats
     from repro.obs.trace import Tracer, use_tracer
     from repro.query.parser import parse_query
     from repro.session import Session
@@ -240,9 +253,16 @@ def measure_obs_overhead() -> dict:
         with use_tracer(Tracer(enabled=False)):
             plain()
 
-    plain()  # warm-up (imports, allocator): outside both timed variants
+    def instrumented() -> None:
+        tracer = Tracer()
+        with use_tracer(tracer), use_stats(StatsCollector()):
+            with tracer.span("bench.obs_overhead", workload="zipf_greedy"):
+                plain()
+
+    plain()  # warm-up (imports, allocator): outside all timed variants
     baseline = float("inf")
     with_tracer = float("inf")
+    with_stats = float("inf")
     for _ in range(OBS_REPEATS):
         start = time.perf_counter()
         plain()
@@ -250,9 +270,13 @@ def measure_obs_overhead() -> dict:
         start = time.perf_counter()
         unsampled()
         with_tracer = min(with_tracer, time.perf_counter() - start)
+        start = time.perf_counter()
+        instrumented()
+        with_stats = min(with_stats, time.perf_counter() - start)
 
     tracer = Tracer()
-    with use_tracer(tracer):
+    collector = StatsCollector()
+    with use_tracer(tracer), use_stats(collector):
         with tracer.span("bench.obs_overhead", workload="zipf_greedy"):
             plain()
     stage_ms = {
@@ -263,6 +287,9 @@ def measure_obs_overhead() -> dict:
         "baseline_s": round(baseline, 6),
         "unsampled_s": round(with_tracer, 6),
         "overhead_ratio": round(with_tracer / baseline, 4),
+        "stats_enabled_s": round(with_stats, 6),
+        "stats_overhead_ratio": round(with_stats / baseline, 4),
+        "stats_records": len(collector.records),
         "stage_ms": stage_ms,
     }
 
@@ -345,9 +372,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--obs-overhead",
         action="store_true",
-        help="gate the tracing layer instead: fail when the installed-but-"
-        f"unsampled tracer costs more than {(OBS_OVERHEAD_LIMIT - 1) * 100:g}%% "
-        "over no tracer at all",
+        help="gate the observability layer instead: fail when the disabled "
+        f"path costs more than {(OBS_OVERHEAD_LIMIT - 1) * 100:g}%% or the "
+        "enabled tracer+stats path more than "
+        f"{(STATS_OVERHEAD_LIMIT - 1) * 100:g}%% over no instrumentation",
     )
     args = parser.parse_args(argv)
 
@@ -357,19 +385,35 @@ def main(argv=None) -> int:
         print(
             f"obs overhead: baseline {result['baseline_s'] * 1e3:.2f}ms, "
             f"unsampled tracer {result['unsampled_s'] * 1e3:.2f}ms "
-            f"(x{result['overhead_ratio']:.4f})"
+            f"(x{result['overhead_ratio']:.4f}), "
+            f"tracer+stats {result['stats_enabled_s'] * 1e3:.2f}ms "
+            f"(x{result['stats_overhead_ratio']:.4f}, "
+            f"{result['stats_records']} records)"
         )
         for stage, ms in result["stage_ms"].items():
             print(f"  stage {stage}: {ms:.3f}ms")
         if args.record:
             record_trajectory(Path(args.record), calibration, obs=result)
+        failed = False
         budget = result["baseline_s"] * OBS_OVERHEAD_LIMIT + OBS_ABS_GRACE_S
         if result["unsampled_s"] > budget:
             print(
-                "FAILED: disabled tracing costs "
+                "FAILED: disabled instrumentation costs "
                 f"x{result['overhead_ratio']:.4f} "
                 f"(limit x{OBS_OVERHEAD_LIMIT} + {OBS_ABS_GRACE_S * 1e3:g}ms grace)"
             )
+            failed = True
+        stats_budget = (
+            result["baseline_s"] * STATS_OVERHEAD_LIMIT + OBS_ABS_GRACE_S
+        )
+        if result["stats_enabled_s"] > stats_budget:
+            print(
+                "FAILED: enabled tracer+stats costs "
+                f"x{result['stats_overhead_ratio']:.4f} "
+                f"(limit x{STATS_OVERHEAD_LIMIT} + {OBS_ABS_GRACE_S * 1e3:g}ms grace)"
+            )
+            failed = True
+        if failed:
             return 1
         print("obs overhead ok")
         return 0

@@ -8,6 +8,11 @@ without writing any Python:
 * ``solve`` -- solve ``ADP(Q, D, k)`` on a database stored as a directory of
   CSV files (one file per relation, written by
   :func:`repro.data.csvio.save_database_csv` or by hand);
+* ``explain`` -- print a query's plan (join order with tie-break rationale,
+  backend/partition cost-model verdicts, estimate-vs-actual cardinality
+  ledger) as a text tree or, with ``--json``, the same structured payload
+  ``POST /v1/explain`` answers; the plan block and its fingerprint are
+  byte-identical across engines and backends;
 * ``trace`` -- render a recorded span tree (written by ``solve --trace-out``
   or fetched from the service's ``GET /v1/debug/slow``) as an indented text
   profile;
@@ -135,6 +140,49 @@ def _add_solve_parser(subparsers) -> None:
         default=None,
         help="write the recorded trace as JSON to FILE (implies tracing; "
         "render it later with 'repro trace FILE')",
+    )
+
+
+def _add_explain_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "explain",
+        help="show the query plan (join order, cost-model verdicts, "
+        "estimate-vs-actual cardinalities) without solving",
+    )
+    parser.add_argument("query", help="datalog-style query")
+    parser.add_argument(
+        "database", help="directory with one <relation>.csv per relation"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["columnar", "row", "parallel"],
+        default="columnar",
+        help="evaluation engine the execution block reports on",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the parallel engine",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="array backend; the plan block (and its fingerprint) is "
+        "byte-identical across backends",
+    )
+    parser.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="plan only: skip the instrumented evaluation that fills the "
+        "estimate-vs-actual ledger",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured payload (same schema as POST /v1/explain)",
     )
 
 
@@ -522,6 +570,32 @@ def _solve_impl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import render_explain_text
+
+    query = parse_query(args.query)
+    database = load_database_csv(args.database)
+    if args.engine == "row" and args.workers > 1:
+        print(
+            "error: --workers is incompatible with the row reference engine "
+            "(it is serial-only)",
+            file=sys.stderr,
+        )
+        return 2
+    session = Session(
+        database, engine=args.engine, workers=args.workers, backend=args.backend
+    )
+    try:
+        payload = session.explain(query, analyze=not args.no_analyze)
+    finally:
+        session.close()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_explain_text(payload))
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.obs.render import load_trace, render_span_tree
 
@@ -565,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_classify_parser(subparsers)
     _add_solve_parser(subparsers)
+    _add_explain_parser(subparsers)
     _add_trace_parser(subparsers)
     _add_experiments_parser(subparsers)
     _add_serve_parser(subparsers)
@@ -579,6 +654,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_classify(args)
     if args.command == "solve":
         return _run_solve(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "experiments":

@@ -40,6 +40,7 @@ from repro.engine.backend import (
     is_ndarray,
     python_backend,
 )
+from repro.obs.stats import current_collector, join_step_record
 from repro.obs.trace import span
 from repro.query.atoms import Atom
 from repro.query.cq import ConjunctiveQuery
@@ -716,6 +717,7 @@ def join_columns(
     #: probe and the output factorization key on it).
     binding: Dict[str, int] = {}
     count: Optional[int] = None  # None = the single empty partial row
+    stats = current_collector()
 
     for step, (atom, rindex) in enumerate(zip(ordered_atoms, indexes)):
         step_span = span("engine.join.atom")
@@ -819,6 +821,29 @@ def join_columns(
                     rows=len(rows),
                     probed=probed,
                     witnesses=count,
+                )
+            if stats is not None:
+                # Build-side bucket sizes for the heavy-hitter summary; the
+                # hash table is cached on the interning table, so this
+                # re-fetch does no hashing work.
+                bucket_sizes = None
+                if shared:
+                    groups = rindex.hash_groups(shared_positions, backend)
+                    if vector:
+                        gid_table, group_counts = groups[0], groups[1]
+                        bucket_sizes = (
+                            (key, int(group_counts[gid]))
+                            for key, gid in gid_table.items()
+                        )
+                    else:
+                        bucket_sizes = (
+                            (key, len(members)) for key, members in groups.items()
+                        )
+                stats.record(
+                    join_step_record(
+                        step, atom.name, len(rows), probed, count, shared,
+                        bucket_sizes,
+                    )
                 )
 
             if max_witnesses is not None and count > max_witnesses:

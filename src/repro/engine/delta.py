@@ -45,6 +45,7 @@ from repro.engine.backend import (
 )
 from repro.engine.columnar import ColumnarProvenance, RelationIndex
 from repro.engine.evaluate import QueryResult, Witness
+from repro.obs.stats import current_collector
 from repro.obs.trace import span
 
 
@@ -134,31 +135,49 @@ def delta_counts(
     evaluation) exactly.
     """
     with span("engine.delta.counts"):
-        provenance = result.provenance
-        if provenance is None:
-            filtered = _delta_filter_witnesses(result, set(removed))
-            return (
-                result.witness_count() - filtered.witness_count(),
-                result.output_count() - filtered.output_count(),
-            )
-        dead = _dead_witnesses(provenance, removed)
-        if dead is None:
-            return (provenance.witness_count(), provenance.output_count())
-        if len(dead) == 0:
-            return (0, 0)
-        count = provenance.witness_count()
-        output_count = provenance.output_count()
-        if output_count == count:
-            # Bijection (no projection sharing): outputs die with their
-            # witness.
-            return (len(dead), len(dead))
-        alive = _alive_mask(provenance, dead)
-        if is_ndarray(provenance.witness_outputs):
-            np = backend_of_column(provenance.witness_outputs).np
-            surviving_count = np.unique(provenance.witness_outputs[alive]).size
-            return (len(dead), output_count - int(surviving_count))
-        surviving = set(compress(provenance.witness_outputs, alive))
-        return (len(dead), output_count - len(surviving))
+        counts = _delta_counts_body(result, removed)
+    stats = current_collector()
+    if stats is not None:
+        stats.record(
+            {
+                "op": "delta.counts",
+                "dead_witnesses": counts[0],
+                "removed_outputs": counts[1],
+            }
+        )
+    return counts
+
+
+def _delta_counts_body(
+    result: QueryResult,
+    removed: Iterable[TupleRef],
+) -> Tuple[int, int]:
+    """The branchy core of :func:`delta_counts` (span/stats live above)."""
+    provenance = result.provenance
+    if provenance is None:
+        filtered = _delta_filter_witnesses(result, set(removed))
+        return (
+            result.witness_count() - filtered.witness_count(),
+            result.output_count() - filtered.output_count(),
+        )
+    dead = _dead_witnesses(provenance, removed)
+    if dead is None:
+        return (provenance.witness_count(), provenance.output_count())
+    if len(dead) == 0:
+        return (0, 0)
+    count = provenance.witness_count()
+    output_count = provenance.output_count()
+    if output_count == count:
+        # Bijection (no projection sharing): outputs die with their
+        # witness.
+        return (len(dead), len(dead))
+    alive = _alive_mask(provenance, dead)
+    if is_ndarray(provenance.witness_outputs):
+        np = backend_of_column(provenance.witness_outputs).np
+        surviving_count = np.unique(provenance.witness_outputs[alive]).size
+        return (len(dead), output_count - int(surviving_count))
+    surviving = set(compress(provenance.witness_outputs, alive))
+    return (len(dead), output_count - len(surviving))
 
 
 def _compact_outputs(
@@ -311,21 +330,34 @@ def delta_filter_result(
         if provenance is None:
             # Row-style witnesses carry vacuum refs inline, so plain
             # intersection filtering covers the vacuum-deletion case too.
-            return _delta_filter_witnesses(result, set(removed))
-        filtered = delta_filter_provenance(provenance, removed)
-        if filtered is provenance:
-            return result
-        return QueryResult(
-            filtered.query,
-            filtered.output_rows,
-            None,
-            # The public QueryResult field stays a plain list on every
-            # backend; the packed (possibly ndarray) column lives on the
-            # provenance.
-            as_id_list(filtered.witness_outputs),
-            None,
-            provenance=filtered,
+            filtered_result = _delta_filter_witnesses(result, set(removed))
+        else:
+            filtered = delta_filter_provenance(provenance, removed)
+            if filtered is provenance:
+                filtered_result = result
+            else:
+                filtered_result = QueryResult(
+                    filtered.query,
+                    filtered.output_rows,
+                    None,
+                    # The public QueryResult field stays a plain list on every
+                    # backend; the packed (possibly ndarray) column lives on
+                    # the provenance.
+                    as_id_list(filtered.witness_outputs),
+                    None,
+                    provenance=filtered,
+                )
+    stats = current_collector()
+    if stats is not None:
+        stats.record(
+            {
+                "op": "delta.filter",
+                "witnesses_before": result.witness_count(),
+                "witnesses_after": filtered_result.witness_count(),
+                "outputs_after": filtered_result.output_count(),
+            }
         )
+    return filtered_result
 
 
 def outputs_delta(result: QueryResult, removed: Iterable[TupleRef]) -> int:
@@ -748,6 +780,16 @@ def delta_insert_result(
         )
         if updated is None:
             return None
+        stats = current_collector()
+        if stats is not None:
+            stats.record(
+                {
+                    "op": "delta.insert",
+                    "changed": updated is not provenance,
+                    "witnesses_after": updated.witness_count(),
+                    "outputs_after": updated.output_count(),
+                }
+            )
         if updated is provenance:
             return result
         return QueryResult(

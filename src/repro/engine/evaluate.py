@@ -95,6 +95,7 @@ from repro.engine.columnar import (
     empty_provenance,
     join_columns,
 )
+from repro.obs.stats import current_collector
 from repro.obs.trace import span
 from repro.query.cq import ConjunctiveQuery
 
@@ -263,18 +264,28 @@ class QueryResult:
         return sum(1 for count in alive if count == 0)
 
 
-def _join_order(query: ConjunctiveQuery) -> List[int]:
-    """A connected join order over atom indices (greedy BFS on shared attrs)."""
+def _join_order_steps(
+    query: ConjunctiveQuery,
+) -> List[Tuple[int, List[int], List[str], str]]:
+    """The greedy join order with, per step, the tie-break rationale.
+
+    Returns ``(index, candidates, overlap, reason)`` tuples: the chosen atom
+    index, the candidate indices it was picked from, the (sorted) attributes
+    it shares with the already-joined set, and a human-readable reason.  This
+    is the *single* source of truth for the join order -- :func:`_join_order`
+    and the EXPLAIN rationale both read it, so they can never disagree.
+    """
     atoms = list(query.atoms)
     remaining = set(range(len(atoms)))
-    order: List[int] = []
+    steps: List[Tuple[int, List[int], List[str], str]] = []
     joined_attrs: Set[str] = set()
     while remaining:
         # Prefer an atom sharing attributes with what is already joined.
         candidates = [
             i for i in sorted(remaining) if atoms[i].attribute_set & joined_attrs
         ]
-        if not candidates:
+        fresh_component = not candidates
+        if fresh_component:
             # Start a new connected component: pick the first remaining atom
             # in body order (deterministic), smallest relations first would
             # also be valid but body order keeps plans reproducible.
@@ -284,10 +295,25 @@ def _join_order(query: ConjunctiveQuery) -> List[int]:
             candidates,
             key=lambda i: (len(atoms[i].attribute_set & joined_attrs), -i),
         )
-        order.append(best)
+        overlap = sorted(atoms[best].attribute_set & joined_attrs)
+        if fresh_component:
+            reason = "starts a component: first remaining atom in body order"
+        elif len(candidates) == 1:
+            reason = "only atom sharing attributes with the joined set"
+        else:
+            reason = (
+                f"largest shared-attribute overlap among {len(candidates)} "
+                "connected candidates; earliest body position on ties"
+            )
+        steps.append((best, candidates, overlap, reason))
         remaining.remove(best)
         joined_attrs |= atoms[best].attribute_set
-    return order
+    return steps
+
+
+def _join_order(query: ConjunctiveQuery) -> List[int]:
+    """A connected join order over atom indices (greedy BFS on shared attrs)."""
+    return [index for index, _candidates, _overlap, _reason in _join_order_steps(query)]
 
 
 def join_order_plan(query: ConjunctiveQuery) -> Tuple[int, ...]:
@@ -304,6 +330,38 @@ def join_order_plan(query: ConjunctiveQuery) -> Tuple[int, ...]:
     return tuple(
         _join_order(ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name))
     )
+
+
+def join_order_steps(query: ConjunctiveQuery) -> List[Dict[str, object]]:
+    """The join order as JSON-safe records with per-step tie-break rationale.
+
+    Same traversal as :func:`join_order_plan` (both delegate to the one
+    greedy implementation), enriched for EXPLAIN: each record names the atom,
+    the candidate set the greedy step chose from, the shared attributes that
+    drove the choice, and the reason.  Indices address the non-vacuum atoms,
+    matching :func:`join_order_plan`.
+    """
+    non_vacuum = [a for a in query.atoms if not a.is_vacuum]
+    if not non_vacuum:
+        return []
+    sub = ConjunctiveQuery(query.head, tuple(non_vacuum), name=query.name)
+    records: List[Dict[str, object]] = []
+    for position, (index, candidates, overlap, reason) in enumerate(
+        _join_order_steps(sub)
+    ):
+        atom = non_vacuum[index]
+        records.append(
+            {
+                "position": position,
+                "atom_index": index,
+                "atom": str(atom),
+                "relation": atom.name,
+                "shared": overlap,
+                "candidates": list(candidates),
+                "reason": reason,
+            }
+        )
+    return records
 
 
 #: Engine modes an :class:`EngineContext` can run in.
@@ -489,6 +547,18 @@ class EngineContext:
                 if cached is not None:
                     if esp:
                         esp.set(cache="hit", witnesses=len(cached.witness_outputs))
+                    stats = current_collector()
+                    if stats is not None:
+                        stats.record(
+                            {
+                                "op": "evaluate",
+                                "mode": mode,
+                                "backend": backend_tag,
+                                "cache": "hit",
+                                "witnesses": len(cached.witness_outputs),
+                                "outputs": len(cached.output_rows),
+                            }
+                        )
                     return cached
             result = None
             if mode == "parallel" and max_witnesses is None:
@@ -521,6 +591,18 @@ class EngineContext:
                 )
             if esp:
                 esp.set(cache="miss", witnesses=len(result.witness_outputs))
+            stats = current_collector()
+            if stats is not None:
+                stats.record(
+                    {
+                        "op": "evaluate",
+                        "mode": mode,
+                        "backend": backend_tag,
+                        "cache": "miss" if cacheable else "bypass",
+                        "witnesses": len(result.witness_outputs),
+                        "outputs": len(result.output_rows),
+                    }
+                )
             return result
 
 
@@ -832,6 +914,8 @@ def evaluate_columnar(
         )
     ordered_atoms = [non_vacuum[i] for i in order]
 
+    stats = current_collector()
+    requested_backend = backend
     if backend.is_numpy and getattr(backend, "gated", False):
         # The auto-selected NumPy backend applies a cost-model floor: below
         # MIN_VECTOR_TUPLES input tuples the fixed per-kernel overhead beats
@@ -842,6 +926,20 @@ def evaluate_columnar(
         )
         if total_tuples < MIN_VECTOR_TUPLES:
             backend = python_backend()
+    if stats is not None:
+        stats.record(
+            {
+                "op": "backend",
+                "requested": requested_backend.name,
+                "effective": backend.name,
+                "gated": bool(getattr(requested_backend, "gated", False)),
+                "total_tuples": sum(
+                    len(database.relation(atom.name)) for atom in non_vacuum
+                ),
+                "min_vector_tuples": MIN_VECTOR_TUPLES,
+                "demoted": backend is not requested_backend,
+            }
+        )
 
     with span("engine.join") as jsp:
         bound, ref_columns, indexes = join_columns(
@@ -898,6 +996,17 @@ def evaluate_columnar(
             packed_outputs = backend.id_column(witness_outputs)
         if fsp:
             fsp.set(witnesses=count, outputs=len(output_rows))
+        if stats is not None:
+            stats.record(
+                {
+                    "op": "factorize",
+                    "witnesses": count,
+                    "outputs": len(output_rows),
+                    "dedup_ratio": round(count / len(output_rows), 4)
+                    if output_rows
+                    else 0.0,
+                }
+            )
 
     provenance = ColumnarProvenance(
         query,

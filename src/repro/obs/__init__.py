@@ -9,11 +9,23 @@ and the overhead contract.  The public surface:
   :func:`load_trace` -- text profiles and stage rollups
   (``repro.obs.render``);
 * :class:`SlowQueryLog` -- the service's over-threshold ring buffer
-  (``repro.obs.slowlog``).
+  (``repro.obs.slowlog``);
+* :class:`StatsCollector` / :func:`use_stats` / :func:`current_collector`
+  -- per-operator runtime statistics (``repro.obs.stats``); the EXPLAIN
+  subsystem consuming them lives in ``repro.obs.explain`` (imported
+  directly, not re-exported here, because it reaches into the session
+  tier lazily).
 """
 
 from repro.obs.render import aggregate_stage_ms, load_trace, render_span_tree
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.stats import (
+    StatsCollector,
+    StatsLog,
+    current_collector,
+    stats_active,
+    use_stats,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     NullSpan,
@@ -33,13 +45,18 @@ __all__ = [
     "SlowQueryLog",
     "Span",
     "SpanDict",
+    "StatsCollector",
+    "StatsLog",
     "Tracer",
     "aggregate_stage_ms",
+    "current_collector",
     "current_tracer",
     "load_trace",
     "new_trace_id",
     "render_span_tree",
     "span",
+    "stats_active",
     "tracing_active",
+    "use_stats",
     "use_tracer",
 ]

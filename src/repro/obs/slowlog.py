@@ -2,11 +2,14 @@
 
 A :class:`SlowQueryLog` keeps the last *capacity* requests that exceeded
 the latency threshold, each entry a plain JSON-ready dict the service
-assembles: trace id, route, database/version, plan fingerprints, elapsed
-milliseconds, a wall-clock timestamp (supplied by the caller -- this
-module reads no clock at all) and the serialized span tree when tracing
-was on.  One lock guards the deque: entries are recorded from solver
-threads and read from the event loop.
+assembles: trace id, route, database/version, plan fingerprints, the
+worst-misestimated operator record (``worst_misestimate``, from the stats
+collector that runs alongside tracing -- a badly misestimated join step
+is the usual culprit behind a slow query), elapsed milliseconds, a
+wall-clock timestamp (supplied by the caller -- this module reads no
+clock at all) and the serialized span tree when tracing was on.  One
+lock guards the deque: entries are recorded from solver threads and read
+from the event loop.
 """
 
 from __future__ import annotations

@@ -45,6 +45,7 @@ from repro.parallel.partition import (
     partition_index,
     partition_plan,
 )
+from repro.obs.stats import current_collector, shard_skew_record
 from repro.obs.trace import span, tracing_active
 from repro.parallel.pool import (
     PoolBrokenError,
@@ -311,6 +312,7 @@ class ParallelExecutor:
                     for forest in worker_spans:
                         if forest:
                             dsp.graft(forest)
+        pooled = shard_results is not None
         if shard_results is None:
             shard_results = self._run_inline(
                 context,
@@ -323,6 +325,29 @@ class ParallelExecutor:
                 plan,
                 shards_per_atom,
                 use_cache,
+            )
+        stats = current_collector()
+        if stats is not None:
+            # Parent-side merge of per-shard statistics: workers never share
+            # a collector, so skew is summarized from the returned shard
+            # payloads (witness count = len of each shard's witness_outputs).
+            stats.record(
+                {
+                    "op": "parallel.partition",
+                    "key": plan.key,
+                    "shards": plan.shards,
+                    "partitioned": list(plan.partitioned),
+                    "broadcast": list(plan.broadcast),
+                    "partitioned_tuples": plan.partitioned_tuples,
+                    "broadcast_tuples": plan.broadcast_tuples,
+                    "min_partition_tuples": self.threshold,
+                    "pooled": pooled,
+                }
+            )
+            stats.record(
+                shard_skew_record(
+                    plan.key, [len(result[2]) for result in shard_results]
+                )
             )
         with span("parallel.merge", shards=plan.shards):
             return merge_shard_results(

@@ -79,20 +79,40 @@ def choose_partition_key(query: ConjunctiveQuery) -> Optional[str]:
     partition -- the vacuum guard logic is a constant-time parent-side
     check anyway).
     """
+    return partition_key_rationale(query)[0]
+
+
+def partition_key_rationale(query: ConjunctiveQuery) -> Tuple[Optional[str], str]:
+    """The partition key together with why it was chosen (for EXPLAIN).
+
+    This is the single source of truth for key choice --
+    :func:`choose_partition_key` delegates here, so the executed plan and the
+    rationale EXPLAIN reports can never disagree.
+    """
     non_vacuum = [a for a in query.atoms if not a.is_vacuum]
     if not non_vacuum:
-        return None
+        return None, "no non-vacuum atoms: nothing to partition"
     universal = set.intersection(*(set(a.attribute_set) for a in non_vacuum))
     if universal:
         for attribute in query.head:
             if attribute in universal:
-                return attribute
-        return min(universal)
+                return attribute, (
+                    "universal attribute (in every atom, no broadcast); "
+                    "first such attribute in head order"
+                )
+        return min(universal), (
+            "universal attribute (in every atom, no broadcast); "
+            "none in the head, alphabetically first"
+        )
     coverage: Dict[str, int] = {}
     for atom in non_vacuum:
         for attribute in sorted(atom.attribute_set):
             coverage[attribute] = coverage.get(attribute, 0) + 1
-    return min(coverage, key=lambda a: (-coverage[a], a))
+    best = min(coverage, key=lambda a: (-coverage[a], a))
+    return best, (
+        f"no universal attribute; covers {coverage[best]} of {len(non_vacuum)} "
+        "atoms (max coverage, alphabetical tie-break), the rest broadcast"
+    )
 
 
 @dataclass(frozen=True)
@@ -333,6 +353,7 @@ __all__ = [
     "choose_partition_key",
     "evaluate_shard",
     "partition_index",
+    "partition_key_rationale",
     "partition_plan",
     "shard_of",
     "partition_hash",

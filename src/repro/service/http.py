@@ -21,8 +21,16 @@ Endpoints (all bodies JSON; see ``docs/ARCHITECTURE.md`` for the schema):
 ``POST /v1/what_if``     ``{database, query, refs[, include_after]}``
 ``POST /v1/apply_deletions``  ``{database, refs}`` -- bumps the version
 ``POST /v1/apply_insertions``  ``{database, refs}`` -- bumps the version
+``POST /v1/explain``     ``{database, query[, analyze]}`` -- the structured
+                         plan + estimate-vs-actual ledger (same payload as
+                         ``repro explain --json``)
 ``GET  /v1/debug/slow``  ring buffer of over-threshold requests
+``GET  /v1/debug/stats`` ring buffer of recent plan+stats records
 =======================  ====================================================
+
+A solve request may pass ``"stats": true`` to get a ``"stats"`` block
+(operator records + worst misestimate) on its response; such requests
+bypass the micro-batcher so their records are not mixed with batch-mates'.
 
 Every request is stamped with a ``trace_id`` (echoed in JSON payloads and
 the ``X-Trace-Id`` header).  With ``ServiceConfig.trace`` on, solver jobs
@@ -70,6 +78,13 @@ from repro.service.admission import (
 )
 from repro.obs.render import aggregate_stage_ms
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.stats import (
+    StatsCollector,
+    StatsLog,
+    StatsRecord,
+    use_stats,
+    worst_misestimate,
+)
 from repro.obs.trace import Tracer, new_trace_id, use_tracer
 from repro.service.batch import MicroBatcher
 from repro.service.metrics import ServiceMetrics
@@ -107,7 +122,7 @@ SOLVE_METHODS = ("auto", "greedy", "drastic")
 KNOWN_ENDPOINTS = frozenset({
     "/healthz", "/metrics", "/v1/databases", "/v1/prepare", "/v1/solve",
     "/v1/what_if", "/v1/apply_deletions", "/v1/apply_insertions",
-    "/v1/debug/slow",
+    "/v1/explain", "/v1/debug/slow", "/v1/debug/stats",
 })
 
 #: The trace id of the request being served (set per request in _respond;
@@ -151,6 +166,8 @@ class ServiceConfig:
     #: Requests slower than this land in the slow-query log.
     slow_ms: float = 250.0
     slow_log_capacity: int = 32
+    #: Ring-buffer bound on recent plan+stats records (``/v1/debug/stats``).
+    stats_log_capacity: int = 64
     #: Emit one ``[access]`` log line per finished request.
     log_requests: bool = False
     #: Persist databases under this directory (None = in-memory only).
@@ -173,16 +190,19 @@ class ApiError(Exception):
 class _SolveItem:
     """One queued solve request (what travels through the batcher)."""
 
-    __slots__ = ("query", "k", "ratio", "method", "counting_only", "deadline")
+    __slots__ = ("query", "k", "ratio", "method", "counting_only", "deadline",
+                 "collect_stats")
 
     def __init__(self, query: str, k: Optional[int], ratio: Optional[float],
-                 method: str, counting_only: bool, deadline: Deadline) -> None:
+                 method: str, counting_only: bool, deadline: Deadline,
+                 collect_stats: bool = False) -> None:
         self.query = query
         self.k = k
         self.ratio = ratio
         self.method = method
         self.counting_only = counting_only
         self.deadline = deadline
+        self.collect_stats = collect_stats
 
 
 class _Failure:
@@ -232,6 +252,12 @@ class AdpService:
             capacity=self.config.slow_log_capacity,
             threshold_ms=self.config.slow_ms,
         )
+        self.stats_log = StatsLog(capacity=self.config.stats_log_capacity)
+        #: Per-database operator gauges (last observed instrumented solve);
+        #: pruned to registry-resident names at /metrics scrape time so the
+        #: label cardinality is bounded by the registry LRU capacity.
+        self._db_operator_gauges: Dict[str, Dict[str, float]] = {}
+        self._db_gauges_lock = threading.Lock()
         self.started_at = time.time()
         self._server: Optional[asyncio.AbstractServer] = None
         self._clients: "set[asyncio.Task]" = set()
@@ -454,12 +480,15 @@ class AdpService:
                     "storage_replayed_records_total": self.store.replayed_records_total,
                 })
                 gauges["storage_degraded"] = 1 if self.store.degraded else 0
-            text = self.metrics.render(gauges, counters).encode("utf-8")
+            labeled = self._labeled_gauges()
+            text = self.metrics.render(gauges, counters, labeled).encode("utf-8")
             return 200, text, {"content-type": "text/plain; version=0.0.4"}
         if path == "/v1/databases" and method == "GET":
             return 200, self._list_databases(), {}
         if path == "/v1/debug/slow" and method == "GET":
             return 200, self.slow_log.snapshot(), {}
+        if path == "/v1/debug/stats" and method == "GET":
+            return 200, self.stats_log.snapshot(), {}
         post_routes = {
             "/v1/databases": self._handle_register,
             "/v1/prepare": self._handle_prepare,
@@ -467,6 +496,7 @@ class AdpService:
             "/v1/what_if": self._handle_what_if,
             "/v1/apply_deletions": self._handle_apply_deletions,
             "/v1/apply_insertions": self._handle_apply_insertions,
+            "/v1/explain": self._handle_explain,
         }
         handler = post_routes.get(path)
         if handler is None:
@@ -603,8 +633,17 @@ class AdpService:
             raise ApiError(400, f"ratio must be a number, got {ratio!r}")
         deadline = self._deadline_of(body)
         deadline.check()  # an already-spent budget never enters the queue
-        item = _SolveItem(query, k, ratio, method, counting_only, deadline)
-        use_batch = bool(body.get("batch", True)) and self.batcher.enabled
+        collect_stats = bool(body.get("stats", False))
+        item = _SolveItem(
+            query, k, ratio, method, counting_only, deadline, collect_stats
+        )
+        # Stats-requesting solves bypass the batcher: a batch shares one
+        # collector, so its records could not be attributed to one request.
+        use_batch = (
+            bool(body.get("batch", True))
+            and self.batcher.enabled
+            and not collect_stats
+        )
         with self.admission:
             if use_batch:
                 key = (entry.name, entry.version, method, counting_only)
@@ -666,20 +705,105 @@ class AdpService:
         unless a singleton dispatch hands down the request's).  Span
         durations feed the stage histograms; over-threshold batches land
         in the slow-query log with their span tree.
+
+        Operator statistics are collected whenever tracing is on (feeding
+        the per-database gauges and the slow log's worst-misestimate field)
+        or a request asked for them with ``"stats": true`` (always a
+        singleton dispatch -- see ``_handle_solve``).
         """
-        if not self.config.trace:
+        want_stats = self.config.trace or any(
+            item.collect_stats for item in items
+        )
+        if not want_stats:
             return self._solve_batch_inner(entry, items)
-        tracer = Tracer(trace_id)
+        collector = StatsCollector()
         plans: List[str] = []
         start = time.perf_counter()
-        with use_tracer(tracer):
-            with tracer.span("service.solve_batch", requests=len(items)):
+        if self.config.trace:
+            tracer = Tracer(trace_id)
+            with use_tracer(tracer), use_stats(collector):
+                with tracer.span("service.solve_batch", requests=len(items)):
+                    outcomes = self._solve_batch_inner(entry, items, plans)
+        else:
+            tracer = None
+            with use_stats(collector):
                 outcomes = self._solve_batch_inner(entry, items, plans)
-        self._observe_trace(
-            tracer, "/v1/solve", entry, plans,
-            elapsed_ms(start, time.perf_counter()),
-        )
+        records = collector.export()
+        worst = worst_misestimate(records)
+        if tracer is not None:
+            self._observe_trace(
+                tracer, "/v1/solve", entry, plans,
+                elapsed_ms(start, time.perf_counter()), worst,
+            )
+        self._observe_stats(entry.name, records)
+        for item, outcome in zip(items, outcomes):
+            if item.collect_stats and isinstance(outcome, dict):
+                outcome["stats"] = {
+                    "operators": records,
+                    "worst_misestimate": worst,
+                }
+                self.stats_log.record({
+                    "route": "/v1/solve",
+                    "database": entry.name,
+                    "version": entry.version,
+                    "plans": sorted(set(plans)),
+                    "worst_misestimate": worst,
+                    "operators": records,
+                    "recorded_at": round(time.time(), 3),
+                })
         return outcomes
+
+    def _observe_stats(
+        self, database: str, records: "List[StatsRecord]"
+    ) -> None:
+        """Fold one solve's operator records into the per-database gauges.
+
+        Gauges report the *last observed* instrumented solve.  The map is
+        keyed by database name and pruned to registry-resident names at
+        scrape time (:meth:`_labeled_gauges`), so its label cardinality is
+        bounded by the registry LRU capacity and evicted databases drop
+        out of ``/metrics``.
+        """
+        joins = [r for r in records if r.get("op") == "join.atom"]
+        if not joins:
+            return
+        heavy = sum(
+            1 for r in joins
+            if isinstance(r.get("keys"), dict) and r["keys"].get("heavy_hitter")  # type: ignore[union-attr]
+        )
+        gauges = {
+            "operator_join_steps": float(len(joins)),
+            "operator_witnesses": float(
+                sum(int(r.get("witnesses", 0)) for r in joins)  # type: ignore[arg-type]
+            ),
+            "operator_mispredicted_steps": float(
+                sum(1 for r in joins if r.get("misestimated"))
+            ),
+            "operator_heavy_hitter_steps": float(heavy),
+            "operator_max_expansion": max(
+                float(r.get("expansion", 0.0)) for r in joins  # type: ignore[arg-type]
+            ),
+        }
+        with self._db_gauges_lock:
+            self._db_operator_gauges[database] = gauges
+
+    def _labeled_gauges(self) -> Dict[str, Dict[str, float]]:
+        """Per-database gauges, pruned to resident names (bounded labels)."""
+        resident = {entry.name for entry in self.registry.entries()}
+        with self._db_gauges_lock:
+            for name in [
+                n for n in self._db_operator_gauges if n not in resident
+            ]:
+                del self._db_operator_gauges[name]
+            per_db = {
+                name: dict(values)
+                for name, values in self._db_operator_gauges.items()
+            }
+        labeled: Dict[str, Dict[str, float]] = {}
+        for name, values in per_db.items():
+            for metric, value in values.items():
+                labeled.setdefault(metric, {})[name] = value
+        return labeled
 
     def _observe_trace(
         self,
@@ -688,8 +812,15 @@ class AdpService:
         entry: RegisteredDatabase,
         plans: List[str],
         elapsed: float,
+        worst: Optional[StatsRecord] = None,
     ) -> None:
-        """Feed one traced job into the stage histograms and the slow log."""
+        """Feed one traced job into the stage histograms and the slow log.
+
+        ``worst`` is the job's worst-misestimated operator record (when
+        stats ran alongside the trace): a slow query whose estimate was
+        badly off is usually slow *because* of it, so the slow log keeps
+        the pair together.
+        """
         spans = tracer.export()
         for stage, total in aggregate_stage_ms(spans).items():
             self.metrics.stage_observed(stage, total)
@@ -701,6 +832,7 @@ class AdpService:
                 "database": entry.name,
                 "version": entry.version,
                 "plans": sorted(set(plans)),
+                "worst_misestimate": worst,
                 "elapsed_ms": round(elapsed, 3),
                 "recorded_at": round(time.time(), 3),
                 "spans": spans,
@@ -848,6 +980,58 @@ class AdpService:
             payload = what_if_payload(result.single, include_after=include_after)
             payload.update({"database": entry.name, "version": entry.version})
             return payload
+
+    # ------------------------------------------------------------------ #
+    # Explain
+    # ------------------------------------------------------------------ #
+    async def _handle_explain(self, body: dict) -> Tuple[int, dict, dict]:
+        """Structured plan introspection: ``Session.explain`` over HTTP.
+
+        Returns the same payload schema as ``repro explain --json`` --
+        plan fingerprints are identical across the CLI and the service
+        because both reuse ``PreparedQuery.plan_fingerprint`` verbatim.
+        """
+        start = time.perf_counter()
+        entry = self._entry(_require_str(body, "database"))
+        query = _require_str(body, "query")
+        analyze = bool(body.get("analyze", True))
+        with self.admission:
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self.executor, self._explain_job, entry, query, analyze
+            )
+        payload["elapsed_ms"] = elapsed_ms(start, time.perf_counter())
+        return 200, payload, {}
+
+    def _explain_job(
+        self, entry: RegisteredDatabase, query: str, analyze: bool
+    ) -> dict:
+        with entry.lock.read():
+            if entry.session.closed:
+                raise ApiError(503, f"database {entry.name!r} has been evicted")
+            try:
+                payload = entry.session.explain(query, analyze=analyze)
+            except (ValueError, KeyError) as exc:
+                raise ApiError(400, str(exc))
+            payload.update({"database": entry.name, "version": entry.version})
+        execution = payload.get("execution")
+        if not isinstance(execution, dict):
+            return payload
+        operators = execution.get("operators", [])
+        if analyze and operators:
+            self._observe_stats(entry.name, operators)
+            plan: Dict[str, object] = payload["plan"]  # type: ignore[assignment]
+            self.stats_log.record({
+                "route": "/v1/explain",
+                "database": entry.name,
+                "version": entry.version,
+                "plan": plan.get("fingerprint"),
+                "flags": execution.get("flags"),
+                "worst_misestimate": execution.get("worst_misestimate"),
+                "operators": operators,
+                "recorded_at": round(time.time(), 3),
+            })
+        return payload
 
     async def _handle_apply_deletions(self, body: dict) -> Tuple[int, dict, dict]:
         start = time.perf_counter()

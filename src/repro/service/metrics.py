@@ -38,6 +38,20 @@ _COUNTER_HELP = {
     "registry_evictions_total": "Databases evicted by registry LRU overflow.",
 }
 
+#: HELP text for the per-database labeled gauges (operator statistics).
+_LABELED_GAUGE_HELP = {
+    "operator_join_steps": "Join steps executed by the last observed solve.",
+    "operator_witnesses": "Witnesses produced by the last observed solve.",
+    "operator_mispredicted_steps":
+        "Join steps whose cardinality estimate missed by >= the "
+        "misprediction ratio in the last observed solve.",
+    "operator_heavy_hitter_steps":
+        "Join steps with a heavy-hitter build-side key distribution in the "
+        "last observed solve.",
+    "operator_max_expansion":
+        "Largest per-step match expansion factor in the last observed solve.",
+}
+
 #: One latency histogram: (observation count, sum of ms, cumulative buckets).
 _Histogram = Tuple[int, float, List[int]]
 
@@ -165,8 +179,17 @@ class ServiceMetrics:
         self,
         extra_gauges: Optional[Dict[str, float]] = None,
         extra_counters: Optional[Dict[str, int]] = None,
+        labeled_gauges: Optional[Dict[str, Dict[str, float]]] = None,
+        label: str = "database",
     ) -> str:
-        """The Prometheus text exposition served at ``/metrics``."""
+        """The Prometheus text exposition served at ``/metrics``.
+
+        ``labeled_gauges`` maps metric name to ``{label value: gauge
+        value}`` (one HELP/TYPE pair per metric, one series per label
+        value).  The *caller* is responsible for bounding the label
+        cardinality -- the service prunes to registry-resident database
+        names before rendering (see docs/INVARIANTS.md).
+        """
         with self._lock:
             lines: List[str] = []
 
@@ -213,6 +236,17 @@ class ServiceMetrics:
                 lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
                 lines.append(f"# TYPE {_PREFIX}_{name} gauge")
                 lines.append(f"{_PREFIX}_{name} {value}")
+            for name, series in sorted((labeled_gauges or {}).items()):
+                if not series:
+                    continue
+                help_text = _LABELED_GAUGE_HELP.get(name, f"Gauge {name}.")
+                lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
+                lines.append(f"# TYPE {_PREFIX}_{name} gauge")
+                for label_value, value in sorted(series.items()):
+                    lines.append(
+                        f'{_PREFIX}_{name}{{{label}="{_escape_label(label_value)}"}}'
+                        f" {value}"
+                    )
             counter("rejected_total", self.rejected_total,
                     "Requests shed by admission control (HTTP 429).")
             counter("deadline_missed_total", self.deadline_missed_total,

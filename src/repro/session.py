@@ -592,6 +592,21 @@ class Session:
                 partition_key=prepared.partition_key,
             )
 
+    def explain(self, query: QueryLike, analyze: bool = True) -> Dict[str, object]:
+        """The structured EXPLAIN payload for ``query`` on this session.
+
+        The ``"plan"`` block (fingerprint, decomposition, join order with
+        tie-break rationale, partition key, static cardinality estimates)
+        is engine- and backend-independent; the ``"execution"`` block
+        carries the cost-model verdicts and, with ``analyze=True``, the
+        estimate-vs-actual ledger from one instrumented evaluation.  See
+        ``docs/OBSERVABILITY.md`` for the schema.
+        """
+        self._check_open()
+        from repro.obs.explain import explain_payload
+
+        return explain_payload(self, query, analyze=analyze)
+
     def output_size(self, query: QueryLike) -> int:
         """``|Q(D)|`` over the bound database."""
         return self.evaluate(query).output_count()

@@ -129,3 +129,57 @@ class TestParser:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiments", "--only", "nope"])
+
+
+class TestExplainCommand:
+    QUERY = "Q(A, B) :- R1(A), R2(A, B)"
+
+    def test_text_output(self, capsys, csv_database):
+        assert main(["explain", self.QUERY, str(csv_database)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "join order:" in out
+        assert "cardinalities (estimate vs actual):" in out
+
+    def test_json_plan_fingerprints_identical_across_configs(
+        self, capsys, csv_database
+    ):
+        """Golden snapshot: the plan block (fingerprint included) must be
+        byte-identical across --engine columnar|parallel and
+        --backend python|numpy."""
+        from repro.engine.backend import numpy_available
+
+        variants = [
+            [],
+            ["--engine", "parallel", "--workers", "2"],
+            ["--backend", "python"],
+        ]
+        if numpy_available():
+            variants.append(["--backend", "numpy"])
+            variants.append(
+                ["--engine", "parallel", "--workers", "2", "--backend", "numpy"]
+            )
+        plans = set()
+        fingerprints = set()
+        for extra in variants:
+            args = ["explain", self.QUERY, str(csv_database), "--json"] + extra
+            assert main(args) == 0
+            payload = json.loads(capsys.readouterr().out)
+            plans.add(json.dumps(payload["plan"], sort_keys=True))
+            fingerprints.add(payload["plan"]["fingerprint"])
+        assert len(plans) == 1
+        assert len(fingerprints) == 1
+
+    def test_no_analyze_skips_actuals(self, capsys, csv_database):
+        args = ["explain", self.QUERY, str(csv_database), "--json", "--no-analyze"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["analyzed"] is False
+        assert payload["execution"]["operators"] == []
+
+    def test_row_engine_with_workers_rejected(self, capsys, csv_database):
+        args = [
+            "explain", self.QUERY, str(csv_database),
+            "--engine", "row", "--workers", "2",
+        ]
+        assert main(args) == 2
